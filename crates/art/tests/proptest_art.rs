@@ -1,0 +1,150 @@
+//! Property-based tests: the ART must behave exactly like a sorted map
+//! (`BTreeMap`) under arbitrary prefix-free workloads.
+
+use cuart_art::{Art, ArtError};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Fixed-length keys are trivially prefix-free.
+fn fixed_keys(len: usize, n: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), len), 1..n)
+}
+
+/// Variable-length keys made prefix-free by appending a sentinel 0xFF byte
+/// to keys drawn from a 0..=0xFE alphabet.
+fn prefix_free_keys(n: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..=0xFE, 0..20), 1..n).prop_map(|keys| {
+        keys.into_iter()
+            .map(|mut k| {
+                k.push(0xFF);
+                k
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn lookup_matches_btreemap(keys in fixed_keys(8, 300)) {
+        let mut art = Art::new();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+            model.insert(k.clone(), i as u64);
+        }
+        prop_assert_eq!(art.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(art.get(k), Some(v));
+        }
+        // A key not in the model must miss.
+        let absent = vec![0u8; 9];
+        prop_assert_eq!(art.get(&absent), None);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete(keys in prefix_free_keys(200)) {
+        let mut art = Art::new();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+            model.insert(k.clone(), i as u64);
+        }
+        let got: Vec<_> = art.iter().map(|(k, &v)| (k, v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn removal_matches_btreemap(
+        keys in fixed_keys(6, 200),
+        remove_mask in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        let mut art = Art::new();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+            model.insert(k.clone(), i as u64);
+        }
+        for (k, &rm) in keys.iter().zip(&remove_mask) {
+            if rm {
+                prop_assert_eq!(art.remove(k), model.remove(k));
+            }
+        }
+        prop_assert_eq!(art.len(), model.len());
+        for k in &keys {
+            prop_assert_eq!(art.get(k), model.get(k));
+        }
+        let got: Vec<_> = art.iter().map(|(k, _)| k).collect();
+        let want: Vec<_> = model.keys().cloned().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_matches_btreemap(
+        keys in fixed_keys(4, 200),
+        lo in prop::collection::vec(any::<u8>(), 4),
+        hi in prop::collection::vec(any::<u8>(), 4),
+    ) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let mut art = Art::new();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+            model.insert(k.clone(), i as u64);
+        }
+        let got: Vec<_> = art.range(&lo, &hi).map(|(k, &v)| (k, v)).collect();
+        let want: Vec<_> = model
+            .range(lo.clone()..=hi.clone())
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prefix_violations_never_corrupt(
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..6), 1..100)
+    ) {
+        // Arbitrary keys MAY violate prefix-freeness; the tree must either
+        // accept or reject each insert, and accepted keys must stay intact.
+        let mut art = Art::new();
+        let mut accepted: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            match art.insert(k, i as u64) {
+                Ok(_) => {
+                    accepted.insert(k.clone(), i as u64);
+                }
+                Err(ArtError::PrefixViolation) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            }
+        }
+        prop_assert_eq!(art.len(), accepted.len());
+        for (k, v) in &accepted {
+            prop_assert_eq!(art.get(k), Some(v), "key {:?} lost", k);
+        }
+    }
+
+    #[test]
+    fn stats_leaf_count_matches_len(keys in fixed_keys(8, 150)) {
+        let mut art = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+        }
+        let stats = art.stats();
+        prop_assert_eq!(stats.leaves, art.len());
+        prop_assert!(stats.max_depth as f64 >= stats.avg_depth());
+        // Every inner node holds at least 2 children after pure inserts, so
+        // there can never be more inner nodes than leaves - 1.
+        prop_assert!(stats.inner_nodes() <= art.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn min_max_agree_with_iteration(keys in fixed_keys(8, 100)) {
+        let mut art = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+        }
+        let all: Vec<_> = art.iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(art.min().map(|(k, _)| k), all.first().cloned());
+        prop_assert_eq!(art.max().map(|(k, _)| k), all.last().cloned());
+    }
+}

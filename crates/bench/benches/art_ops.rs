@@ -1,0 +1,89 @@
+//! Microbenchmarks of the classic ART baseline: insert, point lookup,
+//! remove, in-order iteration, range scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuart_art::Art;
+use cuart_workloads::uniform_keys;
+use std::hint::black_box;
+
+fn build(keys: &[Vec<u8>]) -> Art<u64> {
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64).unwrap();
+    }
+    art
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("art/insert");
+    for n in [10_000usize, 100_000] {
+        let keys = uniform_keys(n, 8, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| black_box(build(keys)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("art/get");
+    for (n, kl) in [(100_000usize, 8usize), (100_000, 32)] {
+        let keys = uniform_keys(n, kl, 2);
+        let art = build(&keys);
+        let probes = &keys[..10_000];
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_kl{kl}")),
+            probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for k in probes {
+                        if art.get(k).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_remove_insert_cycle(c: &mut Criterion) {
+    let keys = uniform_keys(50_000, 8, 3);
+    c.bench_function("art/remove_insert_cycle_1k", |b| {
+        let mut art = build(&keys);
+        b.iter(|| {
+            for k in &keys[..1000] {
+                black_box(art.remove(k));
+            }
+            for (i, k) in keys[..1000].iter().enumerate() {
+                art.insert(k, i as u64).unwrap();
+            }
+        });
+    });
+}
+
+fn bench_iteration_and_range(c: &mut Criterion) {
+    let keys = uniform_keys(100_000, 8, 4);
+    let art = build(&keys);
+    c.bench_function("art/iterate_100k", |b| {
+        b.iter(|| black_box(art.iter().count()));
+    });
+    let mut sorted = keys.clone();
+    sorted.sort();
+    let (lo, hi) = (&sorted[20_000], &sorted[30_000]);
+    c.bench_function("art/range_10k_of_100k", |b| {
+        b.iter(|| black_box(art.range(lo, hi).count()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_get, bench_remove_insert_cycle, bench_iteration_and_range
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! The Figure 7 microbenchmark: pointer-based ART vs the CuART
+//! structure-of-buffers layout, both on the CPU, really measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_workloads::uniform_keys;
+use std::hint::black_box;
+
+fn bench_cpu_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_lookup");
+    for (n, kl) in [(65_536usize, 8usize), (65_536, 32), (1 << 20, 8)] {
+        let keys = uniform_keys(n, kl, 7);
+        let mut art = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+        }
+        let index = CuartIndex::build(&art, &CuartConfig::for_tests());
+        let probes = &keys[..8192];
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("art", format!("n{n}_kl{kl}")),
+            probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut hits = 0;
+                    for k in probes {
+                        if art.get(k).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cuart_layout", format!("n{n}_kl{kl}")),
+            probes,
+            |b, probes| {
+                b.iter(|| {
+                    let mut hits = 0;
+                    for k in probes {
+                        if index.lookup_cpu(k).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cpu_lookup
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Simulator kernel benchmarks: wall time of simulating one lookup batch
+//! (harness performance) and, more importantly, the **modeled** kernel
+//! times reported alongside — printed once per configuration so `cargo
+//! bench` output documents the CuART-vs-GRT transaction gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_gpu_sim::devices;
+use cuart_grt::GrtIndex;
+use cuart_workloads::uniform_keys;
+use std::hint::black_box;
+
+fn bench_lookup_kernels(c: &mut Criterion) {
+    let keys = uniform_keys(100_000, 32, 11);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64).unwrap();
+    }
+    let cuart = CuartIndex::build(&art, &CuartConfig::default());
+    let grt = GrtIndex::build(&art);
+    let mut dev = devices::a100();
+    dev.l2.size_bytes = 512 << 10; // figure-harness scaled L2
+    let batch = keys[..4096].to_vec();
+
+    // Print the modeled times once, so bench logs carry the comparison.
+    let (_, cu) = cuart.lookup_batch_device(&dev, &batch, 32);
+    let (_, gr) = grt.lookup_batch_device(&dev, &batch, 32);
+    println!(
+        "modeled kernel time per 4Ki batch: CuART {:.1} µs ({} DRAM tx), GRT {:.1} µs ({} DRAM tx)",
+        cu.time_ns / 1e3,
+        cu.dram_transactions,
+        gr.time_ns / 1e3,
+        gr.dram_transactions
+    );
+
+    let mut group = c.benchmark_group("simulate_lookup_batch");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_with_input(BenchmarkId::new("cuart", batch.len()), &batch, |b, batch| {
+        b.iter(|| black_box(cuart.lookup_batch_device(&dev, batch, 32)))
+    });
+    group.bench_with_input(BenchmarkId::new("grt", batch.len()), &batch, |b, batch| {
+        b.iter(|| black_box(grt.lookup_batch_device(&dev, batch, 32)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lookup_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Mapping cost: flattening the pointer-based ART into the GRT packed
+//! buffer and the CuART structure of buffers (the "preparing the buffers"
+//! step §3.1 identifies as the update-path tax of GPU-resident trees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuart::{mapper::map_art as map_cuart, CuartConfig};
+use cuart_art::Art;
+use cuart_grt::map_art as map_grt;
+use cuart_workloads::uniform_keys;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping");
+    for n in [50_000usize, 500_000] {
+        let keys = uniform_keys(n, 16, 5);
+        let mut art = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64).unwrap();
+        }
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("grt", n), &art, |b, art| {
+            b.iter(|| black_box(map_grt(art)))
+        });
+        let cfg = CuartConfig::for_tests();
+        group.bench_with_input(BenchmarkId::new("cuart", n), &art, |b, art| {
+            b.iter(|| black_box(map_cuart(art, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mapping
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! The two-stage update engine: wall cost of simulating an update batch
+//! and the modeled throughput at different hash-table load factors (the
+//! Figure 15 droop mechanism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cuart::{CuartConfig, CuartIndex, DELETE};
+use cuart_art::Art;
+use cuart_gpu_sim::devices;
+use cuart_workloads::{uniform_keys, UpdateStream};
+use std::hint::black_box;
+
+fn bench_update_batches(c: &mut Criterion) {
+    let keys = uniform_keys(100_000, 16, 13);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64).unwrap();
+    }
+    let index = CuartIndex::build(&art, &CuartConfig::for_tests());
+    let dev = devices::rtx3090();
+
+    // Modeled throughput vs load factor, printed for the bench log.
+    for (label, slots) in [("sparse_table", 1usize << 16), ("tight_table", 5000)] {
+        let mut session = index.device_session_with_table(&dev, slots);
+        let mut us = UpdateStream::new(keys.clone(), 0.1, 0.1, 1);
+        let ops = us.next_batch(4096, DELETE);
+        let (_, report) = session.update_batch(&ops);
+        println!(
+            "{label}: modeled {:.1} µs per 4Ki update batch ({} atomic conflicts)",
+            report.time_ns / 1e3,
+            report.atomic_conflicts
+        );
+    }
+
+    let mut group = c.benchmark_group("simulate_update_batch");
+    for batch in [1024usize, 4096] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let mut session = index.device_session_with_table(&dev, 1 << 16);
+            let mut us = UpdateStream::new(keys.clone(), 0.1, 0.1, 2);
+            b.iter(|| {
+                let ops = us.next_batch(batch, DELETE);
+                black_box(session.update_batch(&ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_update_batches
+}
+criterion_main!(benches);

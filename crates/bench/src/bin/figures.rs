@@ -1,0 +1,60 @@
+//! Regenerate the paper's figures. See `cuart-bench` crate docs.
+//!
+//! ```text
+//! figures all                    # every figure at 1/16 scale
+//! figures fig10 fig17            # selected figures
+//! figures all --scale 64         # smaller/faster
+//! figures all --full             # paper-scale (needs a big machine)
+//! figures all --out results/     # output directory (default: results/)
+//! ```
+
+use cuart_bench::{figures, RunCtx};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = 16usize;
+    let mut out_dir = "results".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args[i].parse().expect("--scale takes an integer");
+            }
+            "--full" => scale = 1,
+            "--out" => {
+                i += 1;
+                out_dir = args[i].clone();
+            }
+            "all" => ids.extend(figures::ALL.iter().map(|s| s.to_string())),
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("usage: figures <all|figN ...> [--scale N] [--full] [--out DIR]");
+        eprintln!("known figures: {:?}", figures::ALL);
+        std::process::exit(2);
+    }
+    ids.dedup();
+
+    let ctx = RunCtx::new(scale, &out_dir);
+    println!("# CuART figure regeneration (scale 1/{scale}, output {out_dir}/)\n");
+    let mut summary = String::new();
+    for id in &ids {
+        let start = Instant::now();
+        eprintln!("[{id}] running ...");
+        let fig = figures::run(id, &ctx);
+        fig.write_csv(&ctx.out_dir).expect("write CSV");
+        let elapsed = start.elapsed().as_secs_f64();
+        eprintln!("[{id}] done in {elapsed:.1}s -> {out_dir}/{id}.csv");
+        let md = fig.to_markdown();
+        println!("{md}");
+        summary.push_str(&md);
+    }
+    std::fs::create_dir_all(&ctx.out_dir).expect("create output dir");
+    std::fs::write(ctx.out_dir.join("SUMMARY.md"), summary).expect("write summary");
+    println!("wrote {out_dir}/SUMMARY.md");
+}

@@ -1,0 +1,90 @@
+//! Figure 18 — the memory-architecture comparison (§4.6).
+
+use crate::context::RunCtx;
+use crate::series::{Figure, Series};
+use cuart_grt::ApiProfile;
+use cuart_host::gpu_runner::{
+    run_cuart_lookups, run_cuart_updates, run_grt_lookups, run_grt_updates, RunConfig,
+};
+use cuart_workloads::{QueryStream, UpdateStream};
+
+/// Figure 18 — *"Lookup/Update throughput on different GPUs (16Mi entries,
+/// 8 threads, 32ki items per batch, 32 byte keys)"*. Expected: CuART above
+/// GRT on every device; the GDDR6X RTX 3090 beats the HBM2 A100 (higher
+/// command clock → cheaper random transactions); the GTX 1070 trails; GRT
+/// updates are near-constant (host-bound) across devices.
+pub fn fig18(ctx: &RunCtx) -> Figure {
+    let mut fig = Figure::new(
+        "fig18",
+        "Lookup/update throughput across GPUs (16Mi entries, 32B keys, 32Ki batch)",
+        "device (0=A100, 1=RTX3090, 2=GTX1070)",
+        "MOps/s",
+    );
+    let n = ctx.tree_size(16 << 20);
+    let (art, keys) = ctx.build_art(n, 32, 1801);
+    let cuart = ctx.cuart(&art);
+    let cfg = RunConfig {
+        total_queries: 1 << 18,
+        sample_batches: 2,
+        ..RunConfig::default()
+    };
+    let devices = [ctx.server(), ctx.workstation(), ctx.notebook()];
+    let slots = crate::figures::update::table_slots(ctx);
+
+    let mut cu_lookup = Series::new("CuART lookup");
+    let mut grt_lookup = Series::new("GRT lookup");
+    let mut cu_update = Series::new("CuART update");
+    let mut grt_update = Series::new("GRT update");
+    for (i, dev) in devices.iter().enumerate() {
+        let x = i as f64;
+        let mut qs = QueryStream::new(keys.clone(), 1.0, 18);
+        cu_lookup.push(x, run_cuart_lookups(&cuart, dev, &cfg, &mut qs).mops);
+        let grt = ctx.grt(&art);
+        let mut qs = QueryStream::new(keys.clone(), 1.0, 18);
+        grt_lookup.push(x, run_grt_lookups(&grt, ApiProfile::Cuda, dev, &cfg, &mut qs).mops);
+        let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 18);
+        cu_update.push(x, run_cuart_updates(&cuart, dev, &cfg, &mut us, slots).mops);
+        let mut grt = ctx.grt(&art);
+        let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 18);
+        grt_update.push(x, run_grt_updates(&mut grt, dev, &cfg, &mut us).mops);
+    }
+    fig.series.push(cu_lookup);
+    fig.series.push(grt_lookup);
+    fig.series.push(cu_update);
+    fig.series.push(grt_update);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "heavy sweep; covered by the figures binary (run with --ignored)"]
+    fn fig18_device_and_engine_ordering() {
+        let ctx = RunCtx::new(400, std::env::temp_dir());
+        let fig = fig18(&ctx);
+        let cu = fig.series("CuART lookup").unwrap();
+        let grt = fig.series("GRT lookup").unwrap();
+        // CuART above GRT on every device.
+        for i in 0..3 {
+            let x = i as f64;
+            assert!(
+                cu.y_at(x).unwrap() > grt.y_at(x).unwrap(),
+                "device {i}: CuART must beat GRT"
+            );
+        }
+        // The GTX 1070 is the slowest device for CuART lookups.
+        assert!(cu.y_at(2.0).unwrap() < cu.y_at(0.0).unwrap());
+        assert!(cu.y_at(2.0).unwrap() < cu.y_at(1.0).unwrap());
+        // GRT updates are host-bound: near-constant across devices.
+        let gu = fig.series("GRT update").unwrap();
+        let spread = gu.max_y() / gu.points.iter().map(|(_, y)| *y).fold(f64::MAX, f64::min);
+        assert!(spread < 2.0, "GRT update spread {spread}");
+        // CuART updates dwarf GRT updates everywhere.
+        let cuu = fig.series("CuART update").unwrap();
+        for i in 0..3 {
+            assert!(cuu.y_at(i as f64).unwrap() > gu.y_at(i as f64).unwrap());
+        }
+    }
+}

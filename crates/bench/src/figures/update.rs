@@ -1,0 +1,168 @@
+//! Figures 15–17 — the update/delete engine (§4.5).
+
+use crate::context::RunCtx;
+use crate::series::{Figure, Series};
+use cuart_host::cpu_runner::measure_art_atomic_updates;
+use cuart_host::gpu_runner::{run_cuart_updates, run_grt_updates, RunConfig};
+use cuart_workloads::UpdateStream;
+use parking_lot::Mutex;
+
+/// The paper's hash table: 1 Mi entries (§4.5), scaled with the context so
+/// the batch-vs-table load factors — which drive the Figure 15 droop —
+/// match the paper's. Floored at twice the default 32 Ki batch so heavily
+/// scaled runs cannot overflow the linear-probing table.
+pub(crate) fn table_slots(ctx: &RunCtx) -> usize {
+    ((1usize << 20) / ctx.scale).max(2 * 32 * 1024)
+}
+
+/// Figure 15 — *"CuART Update throughput with increasing batch size for
+/// different tree sizes (…, 8 threads, 16 byte keys, workstation)"*.
+/// Expected: small trees stay flat (few distinct leaves -> hash table
+/// stays sparse), large trees droop as batches approach the table size
+/// and linear probing degenerates.
+pub fn fig15(ctx: &RunCtx) -> Figure {
+    let mut fig = Figure::new(
+        "fig15",
+        "CuART update throughput vs batch size, per tree size (16B keys, workstation)",
+        "batch size",
+        "MOps/s",
+    );
+    let dev = ctx.workstation();
+    let slots = table_slots(ctx);
+    let batches: Vec<usize> = [1024usize, 4096, 16384, 65536]
+        .iter()
+        .copied()
+        .chain((slots == 1 << 20).then_some(1 << 20))
+        .filter(|&b| b <= slots)
+        .collect();
+    for paper_n in [65_536usize, 1 << 20, 16 << 20] {
+        let n = ctx.tree_size(paper_n);
+        let (art, keys) = ctx.build_art(n, 16, 1500 + n as u64);
+        let index = ctx.cuart(&art);
+        let mut s = Series::new(format!("tree {paper_n} (scaled {n})"));
+        for &batch in &batches {
+            let cfg = RunConfig {
+                batch_size: batch,
+                total_queries: batch * 8,
+                sample_batches: 2,
+                ..RunConfig::default()
+            };
+            let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 15);
+            let r = run_cuart_updates(&index, &dev, &cfg, &mut us, slots);
+            s.push(batch as f64, r.mops);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Figure 16 — *"CuART Update throughput with increasing key length for
+/// different tree sizes (16ki items per batch, 8 threads, workstation)"*.
+/// Expected: small trees far faster (cache effects); throughput decreases
+/// with key length (comparison cost).
+pub fn fig16(ctx: &RunCtx) -> Figure {
+    let mut fig = Figure::new(
+        "fig16",
+        "CuART update throughput vs key length, per tree size (16Ki batch, workstation)",
+        "key length (bytes)",
+        "MOps/s",
+    );
+    let dev = ctx.workstation();
+    let slots = table_slots(ctx);
+    let cfg = RunConfig {
+        batch_size: 16 * 1024,
+        total_queries: 1 << 18,
+        sample_batches: 2,
+        ..RunConfig::default()
+    };
+    for paper_n in [65_536usize, 1 << 20, 16 << 20] {
+        let n = ctx.tree_size(paper_n);
+        let mut s = Series::new(format!("tree {paper_n} (scaled {n})"));
+        for kl in [4usize, 8, 16, 24, 32] {
+            let (art, keys) = ctx.build_art(n, kl, 1600 + (n + kl) as u64);
+            let index = ctx.cuart(&art);
+            let mut us = UpdateStream::new(keys, 0.0, 0.0, 16);
+            let r = run_cuart_updates(&index, &dev, &cfg, &mut us, slots);
+            s.push(kl as f64, r.mops);
+        }
+        fig.series.push(s);
+    }
+    fig
+}
+
+/// Figure 17 — *"Update throughput of CuART, GRT and the CPU (16Mi
+/// entries, 8 threads, 32ki items per batch, workstation)"*. Expected
+/// shape: CuART ≫ GRT ≫ CPU — the paper reports ~120 / ~13 / ~2.5 MOps/s
+/// (≈10× and ≈50×).
+pub fn fig17(ctx: &RunCtx) -> Figure {
+    let mut fig = Figure::new(
+        "fig17",
+        "Update throughput: CuART vs GRT vs CPU (16Mi entries, 32Ki batch, workstation)",
+        "engine (0=CuART, 1=GRT, 2=CPU ART)",
+        "MOps/s",
+    );
+    let dev = ctx.workstation();
+    let n = ctx.tree_size(16 << 20);
+    let (art, keys) = ctx.build_art(n, 16, 1701);
+    let cfg = RunConfig {
+        total_queries: 1 << 18,
+        sample_batches: 2,
+        ..RunConfig::default()
+    };
+    let mut s = Series::new("update throughput");
+
+    let index = ctx.cuart(&art);
+    let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 17);
+    s.push(0.0, run_cuart_updates(&index, &dev, &cfg, &mut us, table_slots(ctx)).mops);
+
+    let mut grt = ctx.grt(&art);
+    let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 17);
+    s.push(1.0, run_grt_updates(&mut grt, &dev, &cfg, &mut us).mops);
+
+    // CPU: the classic ART under a global lock, really measured.
+    let mut us = UpdateStream::new(keys, 0.0, 0.0, 17);
+    let ops = us.next_batch(cfg.batch_size, u64::MAX - 1);
+    let locked = Mutex::new(art);
+    s.push(2.0, measure_art_atomic_updates(&locked, &ops, 8));
+
+    fig.series.push(s);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> RunCtx {
+        RunCtx::new(400, std::env::temp_dir())
+    }
+
+    #[test]
+    #[ignore = "heavy sweep; covered by the figures binary (run with --ignored)"]
+    fn fig15_large_tree_droops_small_tree_does_not() {
+        let ctx = tiny_ctx();
+        let fig = fig15(&ctx);
+        assert_eq!(fig.series.len(), 3);
+        let small = &fig.series[0];
+        let large = &fig.series[2];
+        // Ratio of best to last point: the large tree must degrade more.
+        let degrade = |s: &Series| s.max_y() / s.points.last().unwrap().1.max(1e-9);
+        assert!(
+            degrade(large) > degrade(small) * 0.99,
+            "large tree should droop at least as hard: {} vs {}",
+            degrade(large),
+            degrade(small)
+        );
+    }
+
+    #[test]
+    fn fig17_ordering_matches_paper() {
+        let fig = fig17(&tiny_ctx());
+        let s = &fig.series[0];
+        let cuart = s.y_at(0.0).unwrap();
+        let grt = s.y_at(1.0).unwrap();
+        let cpu = s.y_at(2.0).unwrap();
+        assert!(cuart > 2.0 * grt, "CuART {cuart} must dwarf GRT {grt}");
+        assert!(grt > cpu, "GRT {grt} must beat the locked CPU ART {cpu}");
+    }
+}

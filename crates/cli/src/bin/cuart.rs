@@ -1,0 +1,141 @@
+//! The `cuart` command-line tool. See the `cuart-cli` crate docs.
+
+use cuart_cli::*;
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+cuart — build, persist and query CuART indexes
+
+USAGE:
+  cuart build  --keys FILE --out FILE [--hex] [--lut-span N]
+  cuart info   INDEX
+  cuart get    INDEX KEY [--hex]
+  cuart range  INDEX LO HI [--hex] [--limit N]
+  cuart query  INDEX --keys FILE [--hex] [--device NAME]
+  cuart bench  INDEX [--device NAME] [--batch N] [--batches N]
+
+DEVICES: a100 (server), rtx3090 (workstation), gtx1070 (notebook)
+KEY FILES: one key per line; optional 'key<TAB>value'; --hex for hex keys";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let takes_value = !matches!(name, "hex");
+                if takes_value && i + 1 < raw.len() {
+                    flags.push((name.to_string(), Some(raw[i + 1].clone())));
+                    i += 2;
+                } else {
+                    flags.push((name.to_string(), None));
+                    i += 1;
+                }
+            } else {
+                positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn pos(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(|s| s.as_str())
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    exit(2)
+}
+
+fn required_path(_args: &Args, what: &str, value: Option<&str>) -> PathBuf {
+    match value {
+        Some(v) => PathBuf::from(v),
+        None => fail(&format!("missing {what}")),
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        fail("no command");
+    }
+    let cmd = raw[0].clone();
+    let args = Args::parse(&raw[1..]);
+    let hex = args.has("hex");
+    let result = match cmd.as_str() {
+        "build" => {
+            let keys = required_path(&args, "--keys FILE", args.flag("keys"));
+            let out = required_path(&args, "--out FILE", args.flag("out"));
+            let span = args
+                .flag("lut-span")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --lut-span")))
+                .unwrap_or(3);
+            cmd_build(&keys, &out, hex, span)
+        }
+        "info" => cmd_info(&required_path(&args, "INDEX", args.pos(0))),
+        "get" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let key = args.pos(1).unwrap_or_else(|| fail("missing KEY"));
+            cmd_get(&idx, key, hex)
+        }
+        "range" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let lo = args.pos(1).unwrap_or_else(|| fail("missing LO"));
+            let hi = args.pos(2).unwrap_or_else(|| fail("missing HI"));
+            let limit = args
+                .flag("limit")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --limit")))
+                .unwrap_or(20);
+            cmd_range(&idx, lo, hi, hex, limit)
+        }
+        "query" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let keys = required_path(&args, "--keys FILE", args.flag("keys"));
+            cmd_query(&idx, &keys, hex, args.flag("device").unwrap_or("rtx3090"))
+        }
+        "bench" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let batch = args
+                .flag("batch")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch")))
+                .unwrap_or(32 * 1024);
+            let batches = args
+                .flag("batches")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batches")))
+                .unwrap_or(8);
+            cmd_bench(&idx, args.flag("device").unwrap_or("rtx3090"), batch, batches)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return;
+        }
+        other => fail(&format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}

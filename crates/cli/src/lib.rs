@@ -1,0 +1,374 @@
+//! # cuart-cli — build, persist and query CuART indexes from the shell
+//!
+//! ```text
+//! cuart build  --keys keys.txt --out idx.cuart [--hex] [--lut-span 3]
+//! cuart info   idx.cuart
+//! cuart get    idx.cuart <key> [--hex]
+//! cuart range  idx.cuart <lo> <hi> [--hex] [--limit 20]
+//! cuart query  idx.cuart --keys probes.txt [--hex] [--device rtx3090]
+//! cuart bench  idx.cuart [--device a100] [--batch 32768] [--batches 8]
+//! ```
+//!
+//! Key files hold one key per line — raw text by default, or hex pairs
+//! with `--hex`. `build` assigns each key its (1-based) line number as the
+//! value unless a tab-separated `key<TAB>value` format is used.
+//!
+//! All command logic lives in this library (unit-tested); the binary is a
+//! thin argument parser.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::NOT_FOUND;
+use cuart_gpu_sim::{devices, DeviceConfig};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// I/O failure (file missing, unreadable, …).
+    Io(std::io::Error),
+    /// Malformed input (bad hex, bad value, prefix violation, …).
+    Input(String),
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Input(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Parse one key: raw bytes, or hex when `hex` is set.
+pub fn parse_key(s: &str, hex: bool) -> Result<Vec<u8>, CliError> {
+    if !hex {
+        return Ok(s.as_bytes().to_vec());
+    }
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return Err(CliError::Input(format!("odd-length hex key {s:?}")));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| CliError::Input(format!("bad hex key {s:?}")))
+        })
+        .collect()
+}
+
+/// Load `key` or `key<TAB>value` lines.
+pub fn load_key_file(path: &Path, hex: bool) -> Result<Vec<(Vec<u8>, u64)>, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (key_part, value) = match line.split_once('\t') {
+            Some((k, v)) => {
+                let value = v.trim().parse::<u64>().map_err(|_| {
+                    CliError::Input(format!("line {}: bad value {v:?}", i + 1))
+                })?;
+                (k, value)
+            }
+            None => (line, i as u64 + 1),
+        };
+        out.push((parse_key(key_part, hex)?, value));
+    }
+    if out.is_empty() {
+        return Err(CliError::Input(format!("{}: no keys", path.display())));
+    }
+    Ok(out)
+}
+
+/// Build an index from a key file and save it.
+pub fn cmd_build(
+    keys_path: &Path,
+    out_path: &Path,
+    hex: bool,
+    lut_span: usize,
+) -> Result<String, CliError> {
+    let pairs = load_key_file(keys_path, hex)?;
+    let mut art = Art::new();
+    for (k, v) in &pairs {
+        art.insert(k, *v)
+            .map_err(|e| CliError::Input(format!("key {:?}: {e}", preview(k))))?;
+    }
+    let cfg = CuartConfig {
+        lut_span,
+        ..CuartConfig::default()
+    };
+    let index = CuartIndex::build(&art, &cfg);
+    index.save(out_path)?;
+    Ok(format!(
+        "built {} keys -> {} ({:.1} MiB device image)",
+        index.len(),
+        out_path.display(),
+        index.device_bytes() as f64 / (1 << 20) as f64
+    ))
+}
+
+/// Describe a saved index.
+pub fn cmd_info(path: &Path) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let b = index.buffers();
+    let mut out = String::new();
+    writeln!(out, "{}:", path.display()).expect("write");
+    writeln!(out, "  keys:            {}", index.len()).expect("write");
+    writeln!(out, "  max key length:  {} bytes", b.max_key_len).expect("write");
+    writeln!(out, "  lut span:        {} bytes", b.config.lut_span).expect("write");
+    writeln!(out, "  long-key policy: {:?}", b.config.long_key_policy).expect("write");
+    writeln!(
+        out,
+        "  device image:    {:.1} MiB",
+        index.device_bytes() as f64 / (1 << 20) as f64
+    )
+    .expect("write");
+    for (label, ty) in [
+        ("N4", cuart::link::LinkType::N4),
+        ("N16", cuart::link::LinkType::N16),
+        ("N48", cuart::link::LinkType::N48),
+        ("N256", cuart::link::LinkType::N256),
+        ("N2L", cuart::link::LinkType::N2L),
+        ("leaf8", cuart::link::LinkType::Leaf8),
+        ("leaf16", cuart::link::LinkType::Leaf16),
+        ("leaf32", cuart::link::LinkType::Leaf32),
+    ] {
+        let n = b.record_count(ty);
+        if n > 0 {
+            writeln!(out, "  {label:<6} records:  {n}").expect("write");
+        }
+    }
+    if b.host_entries() > 0 {
+        writeln!(out, "  host-side keys:  {}", b.host_entries()).expect("write");
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// Point lookup through the CPU engine.
+pub fn cmd_get(path: &Path, key: &str, hex: bool) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let key = parse_key(key, hex)?;
+    Ok(match index.lookup_cpu(&key) {
+        Some(v) => format!("{v}"),
+        None => "(not found)".to_string(),
+    })
+}
+
+/// Inclusive range query; prints up to `limit` rows plus the span sizes.
+pub fn cmd_range(
+    path: &Path,
+    lo: &str,
+    hi: &str,
+    hex: bool,
+    limit: usize,
+) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let lo = parse_key(lo, hex)?;
+    let hi = parse_key(hi, hex)?;
+    let rows = cuart::range::range_query(index.buffers(), &lo, &hi);
+    let mut out = String::new();
+    for (k, v) in rows.iter().take(limit) {
+        writeln!(out, "{}\t{v}", render(k, hex)).expect("write");
+    }
+    writeln!(out, "({} rows total)", rows.len()).expect("write");
+    Ok(out.trim_end().to_string())
+}
+
+/// Resolve a device name.
+pub fn device_by_name(name: &str) -> Result<DeviceConfig, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "a100" | "server" => devices::a100(),
+        "rtx3090" | "3090" | "workstation" => devices::rtx3090(),
+        "gtx1070" | "1070" | "notebook" => devices::gtx1070(),
+        other => {
+            return Err(CliError::Input(format!(
+                "unknown device {other:?} (a100 | rtx3090 | gtx1070)"
+            )))
+        }
+    })
+}
+
+/// Batch lookups on the simulated device; prints hit statistics.
+pub fn cmd_query(
+    path: &Path,
+    keys_path: &Path,
+    hex: bool,
+    device: &str,
+) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let dev = device_by_name(device)?;
+    let probes: Vec<Vec<u8>> = load_key_file(keys_path, hex)?
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    let mut session = index.device_session(&dev);
+    let (results, report) = session.lookup_batch(&probes);
+    let hits = results.iter().filter(|&&r| r != NOT_FOUND).count();
+    Ok(format!(
+        "{hits}/{} hits on {} — modeled kernel {:.1} µs ({} DRAM transactions, {:.0}% L2 hits)",
+        probes.len(),
+        dev.name,
+        report.time_ns / 1e3,
+        report.dram_transactions,
+        100.0 * report.l2_hits as f64 / report.sectors.max(1) as f64
+    ))
+}
+
+/// End-to-end throughput bench against the saved index.
+pub fn cmd_bench(
+    path: &Path,
+    device: &str,
+    batch: usize,
+    batches: usize,
+) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let dev = device_by_name(device)?;
+    // Query the stored keys themselves (all hits), round-robin.
+    let stored = cuart::range::range_query(
+        index.buffers(),
+        &[0u8],
+        &vec![0xFFu8; index.buffers().max_key_len.max(1)],
+    );
+    if stored.is_empty() {
+        return Err(CliError::Input("index is empty".into()));
+    }
+    let mut session = index.device_session(&dev);
+    let mut total_ns = 0.0;
+    for b in 0..batches {
+        let queries: Vec<Vec<u8>> = (0..batch)
+            .map(|i| stored[(b * batch + i * 7) % stored.len()].0.clone())
+            .collect();
+        let (_, report) = session.lookup_batch(&queries);
+        total_ns += report.time_ns;
+    }
+    let mops = (batch * batches) as f64 / total_ns * 1000.0;
+    Ok(format!(
+        "{} lookups in {batches} batches of {batch} on {}: {:.1} MOps/s (kernel-side, modeled)",
+        batch * batches,
+        dev.name,
+        mops
+    ))
+}
+
+fn preview(key: &[u8]) -> String {
+    String::from_utf8_lossy(&key[..key.len().min(24)]).into_owned()
+}
+
+fn render(key: &[u8], hex: bool) -> String {
+    if hex {
+        key.iter().map(|b| format!("{b:02x}")).collect()
+    } else {
+        String::from_utf8_lossy(key).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cuart-cli-{name}-{}", std::process::id()))
+    }
+
+    fn write_keys(name: &str, lines: &[&str]) -> std::path::PathBuf {
+        let p = tmp(name);
+        std::fs::write(&p, lines.join("\n")).unwrap();
+        p
+    }
+
+    #[test]
+    fn parse_keys_raw_and_hex() {
+        assert_eq!(parse_key("abc", false).unwrap(), b"abc");
+        assert_eq!(parse_key("00ff10", true).unwrap(), vec![0, 255, 16]);
+        assert!(parse_key("0f0", true).is_err());
+        assert!(parse_key("zz", true).is_err());
+    }
+
+    #[test]
+    fn key_file_with_and_without_values() {
+        let p = write_keys("kv", &["alpha\t100", "beta", "gamma\t7"]);
+        let pairs = load_key_file(&p, false).unwrap();
+        assert_eq!(pairs[0], (b"alpha".to_vec(), 100));
+        assert_eq!(pairs[1], (b"beta".to_vec(), 2)); // line number
+        assert_eq!(pairs[2], (b"gamma".to_vec(), 7));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn build_info_get_roundtrip() {
+        let keys = write_keys("build", &["key-alpha\t11", "key-beta\t22", "key-gamma\t33"]);
+        let idx = tmp("build-idx");
+        let msg = cmd_build(&keys, &idx, false, 2).unwrap();
+        assert!(msg.contains("built 3 keys"), "{msg}");
+        let info = cmd_info(&idx).unwrap();
+        assert!(info.contains("keys:            3"), "{info}");
+        assert_eq!(cmd_get(&idx, "key-beta", false).unwrap(), "22");
+        assert_eq!(cmd_get(&idx, "key-nope", false).unwrap(), "(not found)");
+        std::fs::remove_file(keys).ok();
+        std::fs::remove_file(idx).ok();
+    }
+
+    #[test]
+    fn range_and_query_and_bench() {
+        let lines: Vec<String> = (0..500u64).map(|i| format!("{:08}\t{}", i * 3, i)).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("range", &refs);
+        let idx = tmp("range-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+
+        let out = cmd_range(&idx, "00000030", "00000060", false, 100).unwrap();
+        assert!(out.contains("(11 rows total)"), "{out}");
+
+        let probes = write_keys("probes", &["00000030", "00000031", "00000033"]);
+        let out = cmd_query(&idx, &probes, false, "rtx3090").unwrap();
+        assert!(out.starts_with("2/3 hits"), "{out}");
+
+        let out = cmd_bench(&idx, "a100", 256, 2).unwrap();
+        assert!(out.contains("MOps/s"), "{out}");
+
+        for p in [keys, idx, probes] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(cmd_info(Path::new("/nonexistent.cuart")).is_err());
+        assert!(device_by_name("tpu").is_err());
+        let empty = tmp("empty");
+        std::fs::write(&empty, "").unwrap();
+        assert!(load_key_file(&empty, false).is_err());
+        std::fs::remove_file(empty).ok();
+        // Prefix-violating key set is rejected with a clear message.
+        let bad = write_keys("bad", &["ab", "abc"]);
+        let idx = tmp("bad-idx");
+        let err = cmd_build(&bad, &idx, false, 0).unwrap_err();
+        assert!(format!("{err}").contains("prefix"), "{err}");
+        std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn hex_mode_end_to_end() {
+        let keys = write_keys("hex", &["00010203\t5", "00010204\t6"]);
+        let idx = tmp("hex-idx");
+        cmd_build(&keys, &idx, true, 2).unwrap();
+        assert_eq!(cmd_get(&idx, "00010204", true).unwrap(), "6");
+        let out = cmd_range(&idx, "00010203", "00010204", true, 10).unwrap();
+        assert!(out.contains("00010203\t5"), "{out}");
+        std::fs::remove_file(keys).ok();
+        std::fs::remove_file(idx).ok();
+    }
+}

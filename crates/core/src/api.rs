@@ -1,0 +1,729 @@
+//! The public CuART index façade and the stateful device session.
+//!
+//! [`CuartIndex::build`] maps an ART into the structure of buffers;
+//! [`CuartIndex::device_session`] uploads it to a simulated device and
+//! keeps the L2 cache, hash table, free lists and staging buffers alive
+//! across batches — the steady-state regime the paper measures.
+
+use crate::buffers::{CuartBuffers, CuartConfig, LongKeyPolicy};
+use crate::cpu;
+use crate::insert::{insert_status, ArenaTails, CuartInsertKernel};
+use crate::kernels::{CuartLookupKernel, DeviceTree, HOST_SIGNAL};
+use crate::link::LinkType;
+use crate::mapper::{map_art, MAX_DEVICE_KEY};
+use crate::update::{status, CuartUpdateKernel, FreeLists, DEFAULT_TABLE_SLOTS, DELETE};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::{pack_keys, pack_keys_into, KeyBatchLayout, NOT_FOUND};
+use cuart_gpu_sim::cache::Cache;
+use cuart_gpu_sim::exec::{launch_with_cache, KernelReport};
+use cuart_gpu_sim::{BufferId, DeviceConfig, DeviceMemory};
+
+/// A built CuART index (host-side image of the device buffers).
+#[derive(Debug, Clone)]
+pub struct CuartIndex {
+    buffers: CuartBuffers,
+}
+
+impl CuartIndex {
+    /// Map `art` into CuART buffers under `config`.
+    pub fn build(art: &Art<u64>, config: &CuartConfig) -> Self {
+        CuartIndex {
+            buffers: map_art(art, config),
+        }
+    }
+
+    /// Assemble an index from deserialised buffers (see
+    /// [`persist`](crate::persist)).
+    pub(crate) fn from_buffers(buffers: CuartBuffers) -> Self {
+        CuartIndex { buffers }
+    }
+
+    /// The underlying buffers.
+    pub fn buffers(&self) -> &CuartBuffers {
+        &self.buffers
+    }
+
+    /// Number of keys stored (device + host side).
+    pub fn len(&self) -> usize {
+        self.buffers.entries
+    }
+
+    /// `true` if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.entries == 0
+    }
+
+    /// Device memory footprint in bytes (arenas + LUT).
+    pub fn device_bytes(&self) -> usize {
+        self.buffers.device_bytes()
+    }
+
+    /// CPU-engine point lookup (the Figure 7 fast path).
+    pub fn lookup_cpu(&self, key: &[u8]) -> Option<u64> {
+        cpu::lookup(&self.buffers, key)
+    }
+
+    /// CPU-engine batch lookup.
+    pub fn lookup_batch_cpu(&self, keys: &[Vec<u8>]) -> Vec<Option<u64>> {
+        cpu::lookup_batch(&self.buffers, keys)
+    }
+
+    /// Key stride for device query batches. Under the CpuRoute policy long
+    /// keys never reach the device, so the stride is capped at the device
+    /// maximum; the other policies ship full-length keys to the kernel
+    /// (host-leaf traversals and dynamic-leaf comparisons need them).
+    pub fn device_key_stride(&self) -> usize {
+        match self.buffers.config.long_key_policy {
+            LongKeyPolicy::CpuRoute => self.buffers.max_key_len.clamp(8, MAX_DEVICE_KEY),
+            LongKeyPolicy::HostLeafLink | LongKeyPolicy::DynamicLeaf => {
+                self.buffers.max_key_len.max(8)
+            }
+        }
+    }
+
+    /// Upload all buffers into `mem`; returns the device handles.
+    pub fn upload(&self, mem: &mut DeviceMemory) -> DeviceTree {
+        self.upload_with_headroom(mem, 0)
+    }
+
+    /// Upload with `leaf_headroom` extra zeroed record slots per leaf
+    /// class, so the device-side insert engine (§5.1 extension) can bump-
+    /// allocate new leaves.
+    pub fn upload_with_headroom(&self, mem: &mut DeviceMemory, leaf_headroom: usize) -> DeviceTree {
+        let b = &self.buffers;
+        let lut_bytes: Vec<u8> = b.lut.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut meta = [0u8; 8];
+        meta.copy_from_slice(&b.root.0.to_le_bytes());
+        let padded = |name: &str, data: &[u8], ty: LinkType, mem: &mut DeviceMemory| {
+            let extra = leaf_headroom * crate::layout::stride(ty);
+            let id = mem.alloc(name, data.len() + extra, 32);
+            mem.write_bytes(id, 0, data);
+            id
+        };
+        DeviceTree {
+            n4: mem.alloc_from("cuart-n4", &b.n4, 32),
+            n16: mem.alloc_from("cuart-n16", &b.n16, 32),
+            n48: mem.alloc_from("cuart-n48", &b.n48, 32),
+            n256: mem.alloc_from("cuart-n256", &b.n256, 32),
+            n2l: mem.alloc_from("cuart-n2l", &b.n2l, 32),
+            leaf8: padded("cuart-leaf8", &b.leaf8, LinkType::Leaf8, mem),
+            leaf16: padded("cuart-leaf16", &b.leaf16, LinkType::Leaf16, mem),
+            leaf32: padded("cuart-leaf32", &b.leaf32, LinkType::Leaf32, mem),
+            dyn_leaves: mem.alloc_from("cuart-dyn", &b.dyn_leaves, 32),
+            lut: mem.alloc_from("cuart-lut", &lut_bytes, 32),
+            meta: mem.alloc_from("cuart-meta", &meta, 16),
+            lut_span: b.config.lut_span,
+        }
+    }
+
+    /// One-shot device batch lookup with host-signal resolution (fresh
+    /// device memory and cold L2 — use [`device_session`](Self::device_session)
+    /// for steady-state measurements).
+    pub fn lookup_batch_device(
+        &self,
+        dev: &DeviceConfig,
+        queries: &[Vec<u8>],
+        stride: usize,
+    ) -> (Vec<u64>, KernelReport) {
+        let (raw, report) = self.lookup_batch_device_raw(dev, queries, stride);
+        let resolved = raw
+            .iter()
+            .zip(queries)
+            .map(|(&r, q)| self.resolve_host_signal(r, q))
+            .collect();
+        (resolved, report)
+    }
+
+    /// As [`lookup_batch_device`](Self::lookup_batch_device) but returning
+    /// raw kernel results (host signals unresolved).
+    pub fn lookup_batch_device_raw(
+        &self,
+        dev: &DeviceConfig,
+        queries: &[Vec<u8>],
+        stride: usize,
+    ) -> (Vec<u64>, KernelReport) {
+        let mut mem = DeviceMemory::new();
+        let tree = self.upload(&mut mem);
+        let (qbuf, layout) = pack_keys(&mut mem, "queries", queries, stride);
+        let results = cuart_gpu_sim::batch::alloc_results(&mut mem, "results", queries.len());
+        let kernel = CuartLookupKernel {
+            tree,
+            queries: qbuf,
+            layout,
+            results,
+            count: queries.len(),
+        };
+        let mut l2 = Cache::new(&dev.l2);
+        let report = launch_with_cache(dev, &mut mem, &kernel, queries.len(), &mut l2);
+        (
+            cuart_gpu_sim::batch::read_results(&mem, results, queries.len()),
+            report,
+        )
+    }
+
+    /// Resolve a raw kernel result: follow host-leaf signals into the host
+    /// table and finish the comparison on the CPU (§3.2.3 option 2).
+    pub fn resolve_host_signal(&self, raw: u64, key: &[u8]) -> u64 {
+        if raw != NOT_FOUND && raw & HOST_SIGNAL != 0 {
+            let idx = (raw & !HOST_SIGNAL) as usize;
+            let (stored, value) = &self.buffers.host_leaves[idx];
+            if stored.as_slice() == key {
+                *value
+            } else {
+                NOT_FOUND
+            }
+        } else {
+            raw
+        }
+    }
+
+    /// `true` if this key is served by the host rather than the device
+    /// (too short for the LUT, or long under the CpuRoute policy).
+    pub fn is_host_routed(&self, key: &[u8]) -> bool {
+        let span = self.buffers.config.lut_span;
+        (span > 0 && key.len() < span)
+            || (key.len() > MAX_DEVICE_KEY
+                && self.buffers.config.long_key_policy == LongKeyPolicy::CpuRoute)
+    }
+
+    /// Open a stateful device session with the default 1 Mi-slot update
+    /// hash table (§4.5).
+    pub fn device_session(&self, dev: &DeviceConfig) -> CuartSession<'_> {
+        self.device_session_with_table(dev, DEFAULT_TABLE_SLOTS)
+    }
+
+    /// Open a session with an explicit update hash-table capacity.
+    pub fn device_session_with_table(&self, dev: &DeviceConfig, table_slots: usize) -> CuartSession<'_> {
+        CuartSession::new(self, dev, table_slots)
+    }
+}
+
+/// Low-level: run one lookup batch against an already-uploaded tree,
+/// without a [`CuartSession`]. Used by the out-of-core partition manager
+/// (`cuart-host::oversized`), which juggles many resident trees in one
+/// device memory. Allocates fresh query/result staging per call.
+pub fn run_lookup_batch(
+    dev: &DeviceConfig,
+    mem: &mut DeviceMemory,
+    tree: &DeviceTree,
+    l2: &mut Cache,
+    queries: &[Vec<u8>],
+    stride: usize,
+) -> (Vec<u64>, KernelReport) {
+    let (qbuf, layout) = pack_keys(mem, "oversized-queries", queries, stride);
+    let results = cuart_gpu_sim::batch::alloc_results(mem, "oversized-results", queries.len());
+    let kernel = CuartLookupKernel {
+        tree: *tree,
+        queries: qbuf,
+        layout,
+        results,
+        count: queries.len(),
+    };
+    let report = launch_with_cache(dev, mem, &kernel, queries.len(), l2);
+    (
+        cuart_gpu_sim::batch::read_results(mem, results, queries.len()),
+        report,
+    )
+}
+
+/// Staging buffers reused across batches within a session.
+struct Staging {
+    queries: BufferId,
+    layout: KeyBatchLayout,
+    results: BufferId,
+    values: BufferId,
+    scratch_loc: BufferId,
+    scratch_parent: BufferId,
+    scratch_leaf: BufferId,
+    capacity: usize,
+}
+
+/// A stateful device session: uploaded tree + persistent L2, hash table,
+/// free lists, arena tails, host-side tables and staging buffers.
+pub struct CuartSession<'a> {
+    index: &'a CuartIndex,
+    dev: DeviceConfig,
+    mem: DeviceMemory,
+    tree: DeviceTree,
+    l2: Cache,
+    table_slots: usize,
+    hash_keys: BufferId,
+    hash_vals: BufferId,
+    free_lists: FreeLists,
+    tails: ArenaTails,
+    staging: Option<Staging>,
+    /// Session-private copies of the host-side tables so host-routed
+    /// updates stay coherent with device state.
+    short_keys: Vec<(Vec<u8>, u64)>,
+    host_leaves: Vec<(Vec<u8>, u64)>,
+    /// Structural inserts the device spilled (§5.1 extension): consulted
+    /// after device misses, folded back into the tree at the next remap.
+    overflow: std::collections::BTreeMap<Vec<u8>, u64>,
+}
+
+impl<'a> CuartSession<'a> {
+    fn new(index: &'a CuartIndex, dev: &DeviceConfig, table_slots: usize) -> Self {
+        let mut mem = DeviceMemory::new();
+        let headroom = (index.buffers.entries / 4).max(1024);
+        let tree = index.upload_with_headroom(&mut mem, headroom);
+        let hash_keys = mem.alloc("hash-keys", table_slots * 8, 32);
+        let hash_vals = mem.alloc("hash-vals", table_slots * 8, 32);
+        let fl_size = |ty: LinkType| 8 + (index.buffers.record_count(ty) + headroom) * 8 + 8;
+        let free_lists = FreeLists {
+            leaf8: mem.alloc("free-leaf8", fl_size(LinkType::Leaf8), 32),
+            leaf16: mem.alloc("free-leaf16", fl_size(LinkType::Leaf16), 32),
+            leaf32: mem.alloc("free-leaf32", fl_size(LinkType::Leaf32), 32),
+        };
+        let tails = ArenaTails(mem.alloc("arena-tails", 24, 32));
+        for ty in [LinkType::Leaf8, LinkType::Leaf16, LinkType::Leaf32] {
+            mem.write_u64(
+                tails.0,
+                ArenaTails::offset(ty),
+                index.buffers.record_count(ty) as u64,
+            );
+        }
+        CuartSession {
+            index,
+            dev: *dev,
+            l2: Cache::new(&dev.l2),
+            mem,
+            tree,
+            table_slots,
+            hash_keys,
+            hash_vals,
+            free_lists,
+            tails,
+            staging: None,
+            short_keys: index.buffers.short_keys.clone(),
+            host_leaves: index.buffers.host_leaves.clone(),
+            overflow: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The device configuration this session runs on.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.dev
+    }
+
+    fn ensure_staging(&mut self, batch: usize) {
+        let stride = self.index.device_key_stride();
+        let need_new = match &self.staging {
+            Some(s) => s.capacity < batch || s.layout.stride != stride,
+            None => true,
+        };
+        if need_new {
+            let cap = batch.next_power_of_two().max(64);
+            let blank = vec![Vec::new(); cap];
+            let (queries, layout) = pack_keys(&mut self.mem, "stage-queries", &blank, stride);
+            self.staging = Some(Staging {
+                queries,
+                layout,
+                results: self.mem.alloc("stage-results", cap * 8, 32),
+                values: self.mem.alloc("stage-values", cap * 8, 32),
+                scratch_loc: self.mem.alloc("stage-loc", cap * 8, 32),
+                scratch_parent: self.mem.alloc("stage-parent", cap * 8, 32),
+                scratch_leaf: self.mem.alloc("stage-leaf", cap * 8, 32),
+                capacity: cap,
+            });
+        }
+    }
+
+    fn host_lookup(&self, key: &[u8]) -> u64 {
+        let table = if key.len() > MAX_DEVICE_KEY {
+            &self.host_leaves
+        } else {
+            &self.short_keys
+        };
+        CuartBuffers::search_table(table, key).unwrap_or(NOT_FOUND)
+    }
+
+    /// Batch lookup: host-routed keys answered from the session tables,
+    /// device keys through the lookup kernel; results in query order.
+    pub fn lookup_batch(&mut self, keys: &[Vec<u8>]) -> (Vec<u64>, KernelReport) {
+        let mut results = vec![NOT_FOUND; keys.len()];
+        let mut device_idx = Vec::new();
+        let mut device_keys = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            if self.index.is_host_routed(k) || k.is_empty() {
+                results[i] = self.host_lookup(k);
+            } else {
+                device_idx.push(i);
+                device_keys.push(k.clone());
+            }
+        }
+        let report = if device_keys.is_empty() {
+            KernelReport::default()
+        } else {
+            self.ensure_staging(device_keys.len());
+            let s = self.staging.as_ref().expect("staging ready");
+            let (queries, layout, results_buf) = (s.queries, s.layout, s.results);
+            pack_keys_into(&mut self.mem, queries, &layout, &device_keys);
+            let kernel = CuartLookupKernel {
+                tree: self.tree,
+                queries,
+                layout,
+                results: results_buf,
+                count: device_keys.len(),
+            };
+            let report = launch_with_cache(
+                &self.dev,
+                &mut self.mem,
+                &kernel,
+                device_keys.len(),
+                &mut self.l2,
+            );
+            for (j, &i) in device_idx.iter().enumerate() {
+                let raw = self.mem.read_u64(results_buf, j * 8);
+                // Host-leaf signals finish on the CPU against the session
+                // table (which sees host-side updates).
+                results[i] = if raw != NOT_FOUND && raw & HOST_SIGNAL != 0 {
+                    let idx = (raw & !HOST_SIGNAL) as usize;
+                    let (stored, value) = &self.host_leaves[idx];
+                    if stored.as_slice() == keys[i] {
+                        *value
+                    } else {
+                        NOT_FOUND
+                    }
+                } else {
+                    raw
+                };
+            }
+            report
+        };
+        // Device misses may be structural inserts parked in the overflow.
+        if !self.overflow.is_empty() {
+            for (i, k) in keys.iter().enumerate() {
+                if results[i] == NOT_FOUND {
+                    if let Some(v) = self.overflow.get(k) {
+                        results[i] = *v;
+                    }
+                }
+            }
+        }
+        (results, report)
+    }
+
+    /// Batch update/delete through the two-stage kernel. `DELETE` as the
+    /// value deletes the key. Returns per-op statuses (see
+    /// [`status`](crate::update::status)) and the kernel report (which
+    /// includes the hash-table clear cost).
+    pub fn update_batch(&mut self, ops: &[(Vec<u8>, u64)]) -> (Vec<u64>, KernelReport) {
+        let mut statuses = vec![status::MISS; ops.len()];
+        let mut device_idx = Vec::new();
+        let mut device_keys = Vec::new();
+        let mut device_values = Vec::new();
+        for (i, (k, v)) in ops.iter().enumerate() {
+            if self.index.is_host_routed(k) || k.is_empty() {
+                statuses[i] = self.host_update(k, *v);
+            } else {
+                device_idx.push(i);
+                device_keys.push(k.clone());
+                device_values.push(*v);
+            }
+        }
+        let mut report = KernelReport::default();
+        if !device_keys.is_empty() {
+            self.clear_hash_table();
+            self.ensure_staging(device_keys.len());
+            let s = self.staging.as_ref().expect("staging ready");
+            let (queries, layout) = (s.queries, s.layout);
+            let (results_buf, values_buf) = (s.results, s.values);
+            let (loc, parent, leaf) = (s.scratch_loc, s.scratch_parent, s.scratch_leaf);
+            pack_keys_into(&mut self.mem, queries, &layout, &device_keys);
+            for (j, v) in device_values.iter().enumerate() {
+                self.mem.write_u64(values_buf, j * 8, *v);
+            }
+            let kernel = CuartUpdateKernel {
+                tree: self.tree,
+                queries,
+                layout,
+                values: values_buf,
+                results: results_buf,
+                count: device_keys.len(),
+                hash_keys: self.hash_keys,
+                hash_vals: self.hash_vals,
+                table_slots: self.table_slots,
+                scratch_loc: loc,
+                scratch_parent: parent,
+                scratch_leaf: leaf,
+                free_lists: self.free_lists,
+            };
+            report = launch_with_cache(
+                &self.dev,
+                &mut self.mem,
+                &kernel,
+                device_keys.len(),
+                &mut self.l2,
+            );
+            report.time_ns += crate::update::hash_clear_ns(&self.dev, self.table_slots);
+            for (j, &i) in device_idx.iter().enumerate() {
+                statuses[i] = self.mem.read_u64(results_buf, j * 8);
+            }
+        }
+        // Device misses may target keys parked in the overflow table.
+        if !self.overflow.is_empty() {
+            for (i, (k, v)) in ops.iter().enumerate() {
+                if statuses[i] == status::MISS && self.overflow.contains_key(k) {
+                    if *v == DELETE {
+                        self.overflow.remove(k);
+                    } else {
+                        self.overflow.insert(k.clone(), *v);
+                    }
+                    statuses[i] = status::APPLIED;
+                }
+            }
+        }
+        (statuses, report)
+    }
+
+    /// Batch **insert** through the device-side insert engine (the §5.1
+    /// future-work extension). Existing keys are updated (thread-id
+    /// priority, like [`update_batch`](Self::update_batch)); new keys are
+    /// attached on the device where a single-CAS attach point exists, and
+    /// spill to the session's host overflow table otherwise. Returns one
+    /// [`insert_status`](crate::insert::insert_status) per op.
+    pub fn insert_batch(&mut self, ops: &[(Vec<u8>, u64)]) -> (Vec<u64>, KernelReport) {
+        let mut statuses = vec![insert_status::REJECTED; ops.len()];
+        let mut device_idx = Vec::new();
+        let mut device_keys = Vec::new();
+        let mut device_values = Vec::new();
+        for (i, (k, v)) in ops.iter().enumerate() {
+            if k.is_empty() {
+                continue; // REJECTED
+            }
+            if self.index.is_host_routed(k) {
+                statuses[i] = self.host_insert(k, *v);
+            } else if let Some(slot) = self.overflow.get_mut(k) {
+                *slot = *v;
+                statuses[i] = insert_status::UPDATED;
+            } else {
+                device_idx.push(i);
+                device_keys.push(k.clone());
+                device_values.push(*v);
+            }
+        }
+        let mut report = KernelReport::default();
+        if !device_keys.is_empty() {
+            self.clear_hash_table();
+            self.ensure_staging(device_keys.len());
+            let s = self.staging.as_ref().expect("staging ready");
+            let (queries, layout) = (s.queries, s.layout);
+            let (results_buf, values_buf) = (s.results, s.values);
+            let (loc, parent, class_buf) = (s.scratch_loc, s.scratch_parent, s.scratch_leaf);
+            pack_keys_into(&mut self.mem, queries, &layout, &device_keys);
+            for (j, v) in device_values.iter().enumerate() {
+                self.mem.write_u64(values_buf, j * 8, *v);
+            }
+            let kernel = CuartInsertKernel {
+                tree: self.tree,
+                queries,
+                layout,
+                values: values_buf,
+                results: results_buf,
+                count: device_keys.len(),
+                hash_keys: self.hash_keys,
+                hash_vals: self.hash_vals,
+                table_slots: self.table_slots,
+                scratch_loc: loc,
+                scratch_parent: parent,
+                scratch_class: class_buf,
+                free_lists: self.free_lists,
+                tails: self.tails,
+            };
+            report = launch_with_cache(
+                &self.dev,
+                &mut self.mem,
+                &kernel,
+                device_keys.len(),
+                &mut self.l2,
+            );
+            report.time_ns += crate::update::hash_clear_ns(&self.dev, self.table_slots);
+            for (j, &i) in device_idx.iter().enumerate() {
+                statuses[i] = self.mem.read_u64(results_buf, j * 8);
+                if statuses[i] == insert_status::SPILLED {
+                    // Parked host-side; later spills of the same key win
+                    // naturally (ops are visited in thread-id order).
+                    self.overflow.insert(device_keys[j].clone(), device_values[j]);
+                }
+            }
+        }
+        (statuses, report)
+    }
+
+    fn host_insert(&mut self, key: &[u8], value: u64) -> u64 {
+        // Long keys only route here under CpuRoute, where host_leaves has
+        // no device links referencing it — sorted insertion is safe.
+        let table = if key.len() > MAX_DEVICE_KEY {
+            &mut self.host_leaves
+        } else {
+            &mut self.short_keys
+        };
+        match table.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                table[i].1 = value;
+                insert_status::UPDATED
+            }
+            Err(i) => {
+                table.insert(i, (key.to_vec(), value));
+                insert_status::INSERTED
+            }
+        }
+    }
+
+    /// Number of keys parked in the host overflow table.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    fn host_update(&mut self, key: &[u8], value: u64) -> u64 {
+        let table = if key.len() > MAX_DEVICE_KEY {
+            &mut self.host_leaves
+        } else {
+            &mut self.short_keys
+        };
+        match table.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                if value == DELETE {
+                    table.remove(i);
+                } else {
+                    table[i].1 = value;
+                }
+                status::APPLIED
+            }
+            Err(_) => status::MISS,
+        }
+    }
+
+    fn clear_hash_table(&mut self) {
+        let zeros = vec![0u8; self.table_slots * 8];
+        self.mem.write_bytes(self.hash_keys, 0, &zeros);
+        self.mem.write_bytes(self.hash_vals, 0, &zeros);
+    }
+
+    /// Number of freed slots currently on the free list of a leaf class.
+    pub fn free_count(&self, ty: LinkType) -> u64 {
+        self.mem.read_u64(self.free_lists.of(ty), 0)
+    }
+
+    /// The freed leaf indices of a class (for tests and future inserts).
+    pub fn free_entries(&self, ty: LinkType) -> Vec<u64> {
+        let n = self.free_count(ty) as usize;
+        (0..n)
+            .map(|i| self.mem.read_u64(self.free_lists.of(ty), 8 + i * 8))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(n: u64, cfg: &CuartConfig) -> CuartIndex {
+        let mut art = Art::new();
+        for i in 0..n {
+            art.insert(&(i * 2).to_be_bytes(), i).unwrap();
+        }
+        CuartIndex::build(&art, cfg)
+    }
+
+    #[test]
+    fn facade_basics() {
+        let idx = index(100, &CuartConfig::for_tests());
+        assert_eq!(idx.len(), 100);
+        assert!(!idx.is_empty());
+        assert!(idx.device_bytes() > 0);
+        assert_eq!(idx.lookup_cpu(&10u64.to_be_bytes()), Some(5));
+        assert_eq!(idx.device_key_stride(), 8);
+        assert_eq!(
+            idx.lookup_batch_cpu(&[4u64.to_be_bytes().to_vec(), 5u64.to_be_bytes().to_vec()]),
+            vec![Some(2), None]
+        );
+    }
+
+    #[test]
+    fn session_lookup_matches_cpu() {
+        let idx = index(1000, &CuartConfig::for_tests());
+        let dev = cuart_gpu_sim::devices::rtx3090();
+        let mut session = idx.device_session(&dev);
+        let keys: Vec<Vec<u8>> = (0..200u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let (results, report) = session.lookup_batch(&keys);
+        for (k, r) in keys.iter().zip(&results) {
+            assert_eq!(*r, idx.lookup_cpu(k).unwrap_or(NOT_FOUND));
+        }
+        assert!(report.time_ns > 0.0);
+    }
+
+    #[test]
+    fn session_reuses_staging_buffers() {
+        let idx = index(100, &CuartConfig::for_tests());
+        let dev = cuart_gpu_sim::devices::a100();
+        let mut session = idx.device_session(&dev);
+        let keys: Vec<Vec<u8>> = (0..64u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        session.lookup_batch(&keys);
+        let buffers_before = session.mem.buffer_count();
+        for _ in 0..5 {
+            session.lookup_batch(&keys);
+        }
+        assert_eq!(session.mem.buffer_count(), buffers_before, "staging must be reused");
+    }
+
+    #[test]
+    fn session_warm_l2_beats_cold() {
+        let idx = index(5000, &CuartConfig::for_tests());
+        let dev = cuart_gpu_sim::devices::rtx3090();
+        let mut session = idx.device_session(&dev);
+        let keys: Vec<Vec<u8>> = (0..2000u64).map(|i| (i * 2).to_be_bytes().to_vec()).collect();
+        let (_, cold) = session.lookup_batch(&keys);
+        let (_, warm) = session.lookup_batch(&keys);
+        assert!(warm.time_ns <= cold.time_ns);
+    }
+
+    #[test]
+    fn host_routed_keys_in_session() {
+        let mut art = Art::new();
+        art.insert(b"ab", 1).unwrap(); // shorter than 3-byte LUT span
+        art.insert(&[9u8; 40], 2).unwrap(); // longer than device max
+        art.insert(b"device_resident", 3).unwrap();
+        let idx = CuartIndex::build(
+            &art,
+            &CuartConfig {
+                lut_span: 3,
+                long_key_policy: LongKeyPolicy::CpuRoute,
+                multi_layer_nodes: false,
+                single_leaf_class: false,
+            },
+        );
+        let dev = cuart_gpu_sim::devices::a100();
+        let mut session = idx.device_session(&dev);
+        let keys = vec![b"ab".to_vec(), vec![9u8; 40], b"device_resident".to_vec()];
+        let (results, _) = session.lookup_batch(&keys);
+        assert_eq!(results, vec![1, 2, 3]);
+        // Host-side update + delete stay coherent.
+        let (st, _) = session.update_batch(&[(b"ab".to_vec(), 42), (vec![9u8; 40], DELETE)]);
+        assert_eq!(st, vec![status::APPLIED, status::APPLIED]);
+        let (results, _) = session.lookup_batch(&keys);
+        assert_eq!(results, vec![42, NOT_FOUND, 3]);
+    }
+
+    #[test]
+    fn one_shot_device_lookup() {
+        let idx = index(50, &CuartConfig::for_tests());
+        let dev = cuart_gpu_sim::devices::gtx1070();
+        let keys: Vec<Vec<u8>> = (0..50u64).map(|i| (i * 2).to_be_bytes().to_vec()).collect();
+        let (results, _) = idx.lookup_batch_device(&dev, &keys, 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_index_session() {
+        let idx = CuartIndex::build(&Art::new(), &CuartConfig::for_tests());
+        let dev = cuart_gpu_sim::devices::a100();
+        let mut session = idx.device_session(&dev);
+        let (results, _) = session.lookup_batch(&[b"anything".to_vec()]);
+        assert_eq!(results[0], NOT_FOUND);
+        let (st, _) = session.update_batch(&[(b"anything".to_vec(), 5)]);
+        assert_eq!(st[0], status::MISS);
+    }
+}

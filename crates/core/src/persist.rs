@@ -1,0 +1,285 @@
+//! Index persistence: save/load the mapped CuART buffers.
+//!
+//! Mapping a large ART into the structure of buffers is the expensive
+//! setup step of the paper's pipeline (§4.1). Persisting the mapped image
+//! lets a process restart skip both the ART build and the map: the format
+//! is a plain sectioned binary — magic, version, config, then each arena
+//! and table length-prefixed — written with std I/O only.
+//!
+//! ```
+//! use cuart::{CuartConfig, CuartIndex};
+//! use cuart_art::Art;
+//!
+//! let mut art = Art::new();
+//! art.insert(b"key-0001", 7u64).unwrap();
+//! let index = CuartIndex::build(&art, &CuartConfig::for_tests());
+//!
+//! let path = std::env::temp_dir().join("doc.cuart");
+//! index.save(&path).unwrap();
+//! let loaded = CuartIndex::load(&path).unwrap();
+//! assert_eq!(loaded.lookup_cpu(b"key-0001"), Some(7));
+//! ```
+
+use crate::buffers::{CuartBuffers, CuartConfig, LongKeyPolicy};
+use crate::link::NodeLink;
+use crate::CuartIndex;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"CUARTIDX";
+const VERSION: u32 = 1;
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_bytes(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    write_u64(w, data.len() as u64)?;
+    w.write_all(data)
+}
+
+fn read_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let len = read_u64(r)? as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn write_table(w: &mut impl Write, table: &[(Vec<u8>, u64)]) -> io::Result<()> {
+    write_u64(w, table.len() as u64)?;
+    for (k, v) in table {
+        write_bytes(w, k)?;
+        write_u64(w, *v)?;
+    }
+    Ok(())
+}
+
+fn read_table(r: &mut impl Read) -> io::Result<Vec<(Vec<u8>, u64)>> {
+    let n = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = read_bytes(r)?;
+        let v = read_u64(r)?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt CuART index file: {msg}"))
+}
+
+impl CuartIndex {
+    /// Serialise the mapped buffers to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+        let b = self.buffers();
+        w.write_all(MAGIC)?;
+        write_u64(&mut w, VERSION as u64)?;
+        // Config.
+        write_u64(&mut w, b.config.lut_span as u64)?;
+        write_u64(
+            &mut w,
+            match b.config.long_key_policy {
+                LongKeyPolicy::CpuRoute => 0,
+                LongKeyPolicy::HostLeafLink => 1,
+                LongKeyPolicy::DynamicLeaf => 2,
+            },
+        )?;
+        write_u64(&mut w, b.config.multi_layer_nodes as u64)?;
+        write_u64(&mut w, b.config.single_leaf_class as u64)?;
+        // Scalars.
+        write_u64(&mut w, b.root.0)?;
+        write_u64(&mut w, b.entries as u64)?;
+        write_u64(&mut w, b.max_key_len as u64)?;
+        // Arenas.
+        for arena in [
+            &b.n4, &b.n16, &b.n48, &b.n256, &b.n2l, &b.leaf8, &b.leaf16, &b.leaf32, &b.dyn_leaves,
+        ] {
+            write_bytes(&mut w, arena)?;
+        }
+        // LUT (stored sparsely: most slots of the 2^24 table are null).
+        let occupied: Vec<(u64, u64)> = b
+            .lut
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(i, &v)| (i as u64, v))
+            .collect();
+        write_u64(&mut w, occupied.len() as u64)?;
+        for (slot, v) in occupied {
+            write_u64(&mut w, slot)?;
+            write_u64(&mut w, v)?;
+        }
+        // Host tables.
+        write_table(&mut w, &b.short_keys)?;
+        write_table(&mut w, &b.host_leaves)?;
+        w.flush()
+    }
+
+    /// Load an index previously written by [`save`](Self::save).
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut r = io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if read_u64(&mut r)? != VERSION as u64 {
+            return Err(corrupt("unsupported version"));
+        }
+        let lut_span = read_u64(&mut r)? as usize;
+        if lut_span > 3 {
+            return Err(corrupt("lut_span out of range"));
+        }
+        let long_key_policy = match read_u64(&mut r)? {
+            0 => LongKeyPolicy::CpuRoute,
+            1 => LongKeyPolicy::HostLeafLink,
+            2 => LongKeyPolicy::DynamicLeaf,
+            _ => return Err(corrupt("unknown long-key policy")),
+        };
+        let multi_layer_nodes = read_u64(&mut r)? != 0;
+        let single_leaf_class = read_u64(&mut r)? != 0;
+        let config = CuartConfig {
+            lut_span,
+            long_key_policy,
+            multi_layer_nodes,
+            single_leaf_class,
+        };
+        let root = NodeLink(read_u64(&mut r)?);
+        let entries = read_u64(&mut r)? as usize;
+        let max_key_len = read_u64(&mut r)? as usize;
+        let mut b = CuartBuffers::new(config);
+        b.root = root;
+        b.entries = entries;
+        b.max_key_len = max_key_len;
+        b.n4 = read_bytes(&mut r)?;
+        b.n16 = read_bytes(&mut r)?;
+        b.n48 = read_bytes(&mut r)?;
+        b.n256 = read_bytes(&mut r)?;
+        b.n2l = read_bytes(&mut r)?;
+        b.leaf8 = read_bytes(&mut r)?;
+        b.leaf16 = read_bytes(&mut r)?;
+        b.leaf32 = read_bytes(&mut r)?;
+        b.dyn_leaves = read_bytes(&mut r)?;
+        let occupied = read_u64(&mut r)? as usize;
+        for _ in 0..occupied {
+            let slot = read_u64(&mut r)? as usize;
+            let v = read_u64(&mut r)?;
+            if slot >= b.lut.len() {
+                return Err(corrupt("LUT slot out of range"));
+            }
+            b.lut[slot] = v;
+        }
+        b.short_keys = read_table(&mut r)?;
+        b.host_leaves = read_table(&mut r)?;
+        Ok(CuartIndex::from_buffers(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuart_art::Art;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cuart-persist-{name}-{}", std::process::id()))
+    }
+
+    fn sample(cfg: &CuartConfig) -> CuartIndex {
+        let mut art = Art::new();
+        for i in 0..3000u64 {
+            art.insert(&(i * 7).to_be_bytes(), i).unwrap();
+        }
+        art.insert(&[3u8; 40], 999_999).unwrap(); // long key
+        CuartIndex::build(&art, cfg)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let idx = sample(&CuartConfig::for_tests());
+        let path = temp("roundtrip");
+        idx.save(&path).unwrap();
+        let loaded = CuartIndex::load(&path).unwrap();
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.device_bytes(), idx.device_bytes());
+        assert_eq!(loaded.buffers().config, idx.buffers().config);
+        for i in (0..3000u64).step_by(17) {
+            let k = (i * 7).to_be_bytes();
+            assert_eq!(loaded.lookup_cpu(&k), idx.lookup_cpu(&k));
+        }
+        assert_eq!(loaded.lookup_cpu(&[3u8; 40]), Some(999_999));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_all_policies_and_flags() {
+        for policy in [
+            LongKeyPolicy::CpuRoute,
+            LongKeyPolicy::HostLeafLink,
+            LongKeyPolicy::DynamicLeaf,
+        ] {
+            let cfg = CuartConfig {
+                lut_span: 2,
+                long_key_policy: policy,
+                multi_layer_nodes: true,
+                single_leaf_class: false,
+            };
+            let idx = sample(&cfg);
+            let path = temp("policies");
+            idx.save(&path).unwrap();
+            let loaded = CuartIndex::load(&path).unwrap();
+            assert_eq!(loaded.buffers().config, cfg);
+            assert_eq!(loaded.lookup_cpu(&[3u8; 40]), Some(999_999), "{policy:?}");
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn loaded_index_works_on_device() {
+        let idx = sample(&CuartConfig::for_tests());
+        let path = temp("device");
+        idx.save(&path).unwrap();
+        let loaded = CuartIndex::load(&path).unwrap();
+        let dev = cuart_gpu_sim::devices::a100();
+        let keys: Vec<Vec<u8>> = (0..100u64).map(|i| (i * 7).to_be_bytes().to_vec()).collect();
+        let (results, _) = loaded.lookup_batch_device(&dev, &keys, 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i as u64);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let path = temp("garbage");
+        std::fs::write(&path, b"definitely not an index").unwrap();
+        assert!(CuartIndex::load(&path).is_err());
+        std::fs::write(&path, b"CUARTIDX").unwrap(); // truncated after magic
+        assert!(CuartIndex::load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sparse_lut_encoding_is_compact() {
+        let idx = sample(&CuartConfig::for_tests());
+        let path = temp("sparse");
+        idx.save(&path).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len() as usize;
+        // The dense LUT alone would be 512 KiB; the file must be far below
+        // arenas + dense LUT.
+        assert!(
+            file_len < idx.device_bytes(),
+            "file {} !< device bytes {}",
+            file_len,
+            idx.device_bytes()
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

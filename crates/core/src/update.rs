@@ -1,0 +1,342 @@
+//! The two-stage device-side batch update/delete engine (§3.4, Figure 6).
+//!
+//! Updates arrive in batches over a one-dimensional grid, so **update
+//! priority increases with thread id**. Duplicate writes to the same key
+//! are eliminated with an atomic hash table (Farrell's simple GPU hash
+//! table, linear probing):
+//!
+//! * **Stage 1** — every thread traverses the tree to its key's leaf slot
+//!   ("returning the memory location instead of the actual value"), then
+//!   publishes `(location → max thread index)` into the hash table with
+//!   `atomicCAS` + `atomicMax`.
+//! * **grid-wide sync** —
+//! * **Stage 2** — every thread re-reads the winning index for its
+//!   location; only the winner performs the global-memory write.
+//!
+//! Deletions are the same kernel with the [`DELETE`] sentinel value
+//! (§3.3/§3.4: "signaling a deletion through setting a nil pointer"): the
+//! winner clears the leaf, removes the parent's reference to it, and pushes
+//! the leaf index onto a free list for future inserts. The tree structure
+//! is deliberately **not** collapsed — that is what makes device-side
+//! deletion fast.
+//!
+//! The hash-table size is a parameter: §4.5 shows throughput dropping once
+//! batches are large enough to fill the 1 Mi-slot table (Figure 15); the
+//! `figures` harness reproduces that droop with this engine.
+
+use crate::kernels::{device_traverse, slot_ref, DevHit, DeviceTree};
+use crate::layout::stride;
+use crate::link::LinkType;
+use cuart_gpu_sim::batch::KeyBatchLayout;
+use cuart_gpu_sim::{BufferId, DeviceConfig, PhasedKernel, ThreadCtx};
+
+/// Sentinel value meaning "delete this key" (the nil pointer of §3.4).
+pub const DELETE: u64 = u64::MAX;
+
+/// Default hash-table capacity used in the paper's evaluation (§4.5:
+/// "we used a hash table size of 1Mi entries").
+pub const DEFAULT_TABLE_SLOTS: usize = 1 << 20;
+
+/// Per-operation status written to the results buffer.
+pub mod status {
+    /// Key not found; nothing written.
+    pub const MISS: u64 = 0;
+    /// This thread won and performed the write/delete.
+    pub const APPLIED: u64 = 1;
+    /// A higher-priority thread updated the same key.
+    pub const SUPERSEDED: u64 = 2;
+}
+
+/// Free-list device buffer layout: `[count u64][leaf indices ...]`.
+#[derive(Debug, Clone, Copy)]
+pub struct FreeLists {
+    /// Free list for leaf8 records.
+    pub leaf8: BufferId,
+    /// Free list for leaf16 records.
+    pub leaf16: BufferId,
+    /// Free list for leaf32 records.
+    pub leaf32: BufferId,
+}
+
+impl FreeLists {
+    /// The free list for a leaf class.
+    pub fn of(&self, ty: LinkType) -> BufferId {
+        match ty {
+            LinkType::Leaf8 => self.leaf8,
+            LinkType::Leaf16 => self.leaf16,
+            LinkType::Leaf32 => self.leaf32,
+            _ => panic!("no free list for {ty:?}"),
+        }
+    }
+}
+
+/// The two-phase update kernel.
+pub struct CuartUpdateKernel {
+    /// Device tree handles.
+    pub tree: DeviceTree,
+    /// Packed update keys.
+    pub queries: BufferId,
+    /// Query record layout.
+    pub layout: KeyBatchLayout,
+    /// One u64 new value per operation ([`DELETE`] = delete).
+    pub values: BufferId,
+    /// One u64 status per operation (see [`status`]).
+    pub results: BufferId,
+    /// Number of operations.
+    pub count: usize,
+    /// Hash-table key slots (`table_slots` × u64), zero-initialised.
+    pub hash_keys: BufferId,
+    /// Hash-table winner slots (`table_slots` × u64, holding thread id + 1).
+    pub hash_vals: BufferId,
+    /// Number of hash-table slots.
+    pub table_slots: usize,
+    /// Stage-1 scratch: resolved value-slot location per thread.
+    pub scratch_loc: BufferId,
+    /// Stage-1 scratch: parent link slot per thread.
+    pub scratch_parent: BufferId,
+    /// Stage-1 scratch: leaf link per thread.
+    pub scratch_leaf: BufferId,
+    /// Free lists for deleted leaves.
+    pub free_lists: FreeLists,
+}
+
+fn hash_of(location: u64, slots: usize) -> usize {
+    (location.wrapping_mul(0x9E3779B97F4A7C15) >> 16) as usize % slots
+}
+
+impl PhasedKernel for CuartUpdateKernel {
+    fn phases(&self) -> usize {
+        2
+    }
+
+    fn execute_phase(&self, phase: usize, tid: usize, ctx: &mut ThreadCtx<'_>) {
+        if tid >= self.count {
+            return;
+        }
+        if phase == 0 {
+            self.stage1(tid, ctx);
+        } else {
+            self.stage2(tid, ctx);
+        }
+    }
+}
+
+impl CuartUpdateKernel {
+    /// Stage 1: resolve the leaf location and publish the claim.
+    fn stage1(&self, tid: usize, ctx: &mut ThreadCtx<'_>) {
+        let rec_off = self.layout.offset(tid);
+        let rec = ctx.read_bytes(self.queries, rec_off, self.layout.record_bytes());
+        let key_len = rec[0] as usize;
+        let key = &rec[1..1 + key_len];
+
+        let (location, parent, leaf_link) = match device_traverse(&self.tree, key, ctx) {
+            DevHit::Found {
+                value_slot,
+                parent_slot,
+                leaf_link,
+                ..
+            } => (value_slot, parent_slot, leaf_link.0),
+            // Host-leaf links cannot be updated on-device; treated as a
+            // miss here (the host pipeline routes such ops to the CPU).
+            DevHit::Miss { .. } | DevHit::Host(_) => (0, 0, 0),
+        };
+        ctx.write_u64(self.scratch_loc, tid * 8, location);
+        ctx.write_u64(self.scratch_parent, tid * 8, parent);
+        ctx.write_u64(self.scratch_leaf, tid * 8, leaf_link);
+        if location == 0 {
+            return;
+        }
+        // Linear-probing insert: claim a slot for `location`, then raise
+        // the winning thread index (stored as tid + 1 so 0 = empty).
+        let mut h = hash_of(location, self.table_slots);
+        for _probe in 0..self.table_slots {
+            let prev = ctx.atomic_cas_u64(self.hash_keys, h * 8, 0, location);
+            if prev == 0 || prev == location {
+                ctx.atomic_max_u64(self.hash_vals, h * 8, (tid + 1) as u64);
+                return;
+            }
+            h = (h + 1) % self.table_slots;
+        }
+        panic!("update hash table full: increase table_slots");
+    }
+
+    /// Stage 2: the winning thread applies the write (or delete).
+    fn stage2(&self, tid: usize, ctx: &mut ThreadCtx<'_>) {
+        let location = ctx.read_u64(self.scratch_loc, tid * 8);
+        if location == 0 {
+            ctx.write_u64(self.results, tid * 8, status::MISS);
+            return;
+        }
+        // Probe to our location's slot and read the winner.
+        let mut h = hash_of(location, self.table_slots);
+        let winner = loop {
+            let k = ctx.read_u64(self.hash_keys, h * 8);
+            if k == location {
+                break ctx.read_u64(self.hash_vals, h * 8);
+            }
+            debug_assert_ne!(k, 0, "location vanished from hash table");
+            h = (h + 1) % self.table_slots;
+        };
+        if winner != (tid + 1) as u64 {
+            ctx.write_u64(self.results, tid * 8, status::SUPERSEDED);
+            return;
+        }
+        let value = ctx.read_u64(self.values, tid * 8);
+        let (tag, value_off) = slot_ref::decode(location);
+        let buf = slot_ref::buffer(&self.tree, tag);
+        if value == DELETE {
+            self.delete_leaf(tid, value_off, ctx);
+        } else {
+            ctx.write_u64(buf, value_off, value);
+        }
+        ctx.write_u64(self.results, tid * 8, status::APPLIED);
+    }
+
+    /// Delete: clear the leaf record, null the parent's link, free the slot.
+    fn delete_leaf(&self, tid: usize, _value_off: usize, ctx: &mut ThreadCtx<'_>) {
+        let leaf_link = crate::link::NodeLink(ctx.read_u64(self.scratch_leaf, tid * 8));
+        let parent = ctx.read_u64(self.scratch_parent, tid * 8);
+        let ty = leaf_link.link_type().expect("leaf link");
+        // Clear the leaf contents (§3.3: "its contents are cleared").
+        if ty.is_device_leaf() {
+            let base = leaf_link.index() as usize * stride(ty);
+            ctx.write_bytes(self.tree.arena(ty), base, &vec![0u8; stride(ty)]);
+            // Push the slot onto the free list for future inserts.
+            let fl = self.free_lists.of(ty);
+            let pos = ctx.atomic_add_u64(fl, 0, 1);
+            ctx.write_u64(fl, 8 + pos as usize * 8, leaf_link.index());
+        } else if ty == LinkType::DynLeaf {
+            // Dynamic leaves are just unlinked (no slot reuse).
+        }
+        // Remove the reference from the last visited node / LUT / root.
+        let (ptag, poff) = slot_ref::decode(parent);
+        ctx.write_u64(slot_ref::buffer(&self.tree, ptag), poff, 0);
+    }
+}
+
+/// Host-side time to clear the hash table between batches (a device-side
+/// memset running at peak bandwidth).
+pub fn hash_clear_ns(dev: &DeviceConfig, table_slots: usize) -> f64 {
+    let bytes = (table_slots * 16) as f64;
+    bytes / dev.mem.peak_bandwidth_gbps() + 2_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::CuartIndex;
+    use crate::buffers::CuartConfig;
+    use cuart_art::Art;
+    use cuart_gpu_sim::devices;
+
+    fn index(n: u64) -> CuartIndex {
+        let mut art = Art::new();
+        for i in 0..n {
+            art.insert(&(i * 3).to_be_bytes(), i).unwrap();
+        }
+        CuartIndex::build(&art, &CuartConfig::for_tests())
+    }
+
+    #[test]
+    fn updates_apply_and_are_visible_to_lookups() {
+        let idx = index(500);
+        let dev = devices::rtx3090();
+        let mut session = idx.device_session(&dev);
+        let ops: Vec<(Vec<u8>, u64)> = (0..100u64)
+            .map(|i| ((i * 3).to_be_bytes().to_vec(), 7_000 + i))
+            .collect();
+        let (statuses, _) = session.update_batch(&ops);
+        assert!(statuses.iter().all(|&s| s == status::APPLIED));
+        let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
+        let (results, _) = session.lookup_batch(&keys);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, 7_000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_highest_thread_wins() {
+        let idx = index(100);
+        let dev = devices::a100();
+        let mut session = idx.device_session(&dev);
+        let key = (30u64).to_be_bytes().to_vec();
+        // Three conflicting updates to the same key in one batch.
+        let ops = vec![
+            (key.clone(), 111),
+            (key.clone(), 222),
+            (key.clone(), 333),
+        ];
+        let (statuses, report) = session.update_batch(&ops);
+        assert_eq!(statuses[0], status::SUPERSEDED);
+        assert_eq!(statuses[1], status::SUPERSEDED);
+        assert_eq!(statuses[2], status::APPLIED);
+        let (results, _) = session.lookup_batch(&[key]);
+        assert_eq!(results[0], 333, "highest thread id must win (§3.4)");
+        assert!(report.atomic_conflicts > 0, "conflicting claims must serialize");
+    }
+
+    #[test]
+    fn missing_keys_report_miss() {
+        let idx = index(10);
+        let dev = devices::a100();
+        let mut session = idx.device_session(&dev);
+        let ops = vec![(vec![0xEEu8; 8], 1u64)];
+        let (statuses, _) = session.update_batch(&ops);
+        assert_eq!(statuses[0], status::MISS);
+    }
+
+    #[test]
+    fn delete_clears_leaf_and_frees_slot() {
+        let idx = index(100);
+        let dev = devices::a100();
+        let mut session = idx.device_session(&dev);
+        let key = (60u64).to_be_bytes().to_vec();
+        let (statuses, _) = session.update_batch(&[(key.clone(), DELETE)]);
+        assert_eq!(statuses[0], status::APPLIED);
+        // Deleted key now misses.
+        let (results, _) = session.lookup_batch(&[key.clone()]);
+        assert_eq!(results[0], cuart_gpu_sim::batch::NOT_FOUND);
+        // Other keys survive.
+        let (alive, _) = session.lookup_batch(&[(63u64).to_be_bytes().to_vec()]);
+        assert_eq!(alive[0], 21);
+        // The slot landed on the free list.
+        assert_eq!(session.free_count(LinkType::Leaf8), 1);
+    }
+
+    #[test]
+    fn delete_then_update_same_key_in_one_batch() {
+        // The delete (lower tid) is superseded by the update (higher tid).
+        let idx = index(50);
+        let dev = devices::a100();
+        let mut session = idx.device_session(&dev);
+        let key = (30u64).to_be_bytes().to_vec();
+        let (statuses, _) = session.update_batch(&[(key.clone(), DELETE), (key.clone(), 42)]);
+        assert_eq!(statuses, vec![status::SUPERSEDED, status::APPLIED]);
+        let (results, _) = session.lookup_batch(&[key]);
+        assert_eq!(results[0], 42);
+    }
+
+    #[test]
+    fn small_table_survives_collisions() {
+        // Table barely larger than the batch: long probe chains but correct.
+        let idx = index(300);
+        let dev = devices::a100();
+        let mut session = idx.device_session_with_table(&dev, 512);
+        let ops: Vec<(Vec<u8>, u64)> = (0..300u64)
+            .map(|i| ((i * 3).to_be_bytes().to_vec(), i + 1))
+            .collect();
+        let (statuses, _) = session.update_batch(&ops);
+        assert!(statuses.iter().all(|&s| s == status::APPLIED));
+        let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
+        let (results, _) = session.lookup_batch(&keys);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn hash_clear_cost_scales_with_table() {
+        let dev = devices::a100();
+        assert!(hash_clear_ns(&dev, 1 << 20) > hash_clear_ns(&dev, 1 << 10));
+    }
+}

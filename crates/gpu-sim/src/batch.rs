@@ -1,0 +1,139 @@
+//! Query-batch packing helpers.
+//!
+//! Both GRT and CuART kernels consume batches of query keys packed at a
+//! fixed stride in a device buffer and produce one 64-bit result per query.
+//! Keys shorter than the stride are zero-padded; their true length is
+//! prepended so kernels can compare exactly.
+
+use crate::memory::{BufferId, DeviceMemory};
+
+/// Sentinel returned for queries whose key is not in the index.
+pub const NOT_FOUND: u64 = u64::MAX;
+
+/// Per-key record layout inside a packed batch: one length byte followed by
+/// `stride` key bytes (zero-padded).
+#[derive(Debug, Clone, Copy)]
+pub struct KeyBatchLayout {
+    /// Maximum key bytes per record.
+    pub stride: usize,
+}
+
+impl KeyBatchLayout {
+    /// Bytes occupied by one record.
+    pub fn record_bytes(&self) -> usize {
+        // Length byte + key bytes, rounded to 8 for aligned kernel reads.
+        (1 + self.stride).next_multiple_of(8)
+    }
+
+    /// Byte offset of record `i`.
+    pub fn offset(&self, i: usize) -> usize {
+        i * self.record_bytes()
+    }
+}
+
+/// Pack `keys` into a new device buffer with the given per-record stride.
+/// Panics if any key exceeds the stride.
+pub fn pack_keys(
+    mem: &mut DeviceMemory,
+    name: &str,
+    keys: &[Vec<u8>],
+    stride: usize,
+) -> (BufferId, KeyBatchLayout) {
+    let layout = KeyBatchLayout { stride };
+    let rec = layout.record_bytes();
+    let mut data = vec![0u8; keys.len() * rec];
+    for (i, key) in keys.iter().enumerate() {
+        assert!(
+            key.len() <= stride,
+            "key of {} bytes exceeds batch stride {}",
+            key.len(),
+            stride
+        );
+        assert!(key.len() <= u8::MAX as usize, "key too long for length byte");
+        let off = layout.offset(i);
+        data[off] = key.len() as u8;
+        data[off + 1..off + 1 + key.len()].copy_from_slice(key);
+    }
+    let id = mem.alloc_from(name, &data, 32);
+    (id, layout)
+}
+
+/// Re-pack `keys` into an existing batch buffer (allocated by
+/// [`pack_keys`] with at least as many records). The host pipeline reuses
+/// one staging buffer per stream instead of allocating per batch.
+pub fn pack_keys_into(
+    mem: &mut DeviceMemory,
+    buf: BufferId,
+    layout: &KeyBatchLayout,
+    keys: &[Vec<u8>],
+) {
+    let rec = layout.record_bytes();
+    assert!(keys.len() * rec <= mem.buffer(buf).len(), "batch buffer too small");
+    for (i, key) in keys.iter().enumerate() {
+        assert!(key.len() <= layout.stride, "key exceeds batch stride");
+        let off = layout.offset(i);
+        let mut record = vec![0u8; rec];
+        record[0] = key.len() as u8;
+        record[1..1 + key.len()].copy_from_slice(key);
+        mem.write_bytes(buf, off, &record);
+    }
+}
+
+/// Allocate a result buffer of one u64 per query, initialised to
+/// [`NOT_FOUND`].
+pub fn alloc_results(mem: &mut DeviceMemory, name: &str, queries: usize) -> BufferId {
+    let id = mem.alloc(name, queries * 8, 32);
+    for i in 0..queries {
+        mem.write_u64(id, i * 8, NOT_FOUND);
+    }
+    id
+}
+
+/// Read back all results.
+pub fn read_results(mem: &DeviceMemory, results: BufferId, queries: usize) -> Vec<u64> {
+    (0..queries).map(|i| mem.read_u64(results, i * 8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_layout_is_aligned() {
+        let l = KeyBatchLayout { stride: 32 };
+        assert_eq!(l.record_bytes(), 40);
+        assert_eq!(l.offset(3), 120);
+        let l8 = KeyBatchLayout { stride: 8 };
+        assert_eq!(l8.record_bytes(), 16);
+    }
+
+    #[test]
+    fn pack_and_inspect() {
+        let mut mem = DeviceMemory::new();
+        let keys = vec![b"abc".to_vec(), b"".to_vec(), vec![0xFF; 8]];
+        let (buf, layout) = pack_keys(&mut mem, "q", &keys, 8);
+        for (i, key) in keys.iter().enumerate() {
+            let off = layout.offset(i);
+            assert_eq!(mem.read_u8(buf, off) as usize, key.len());
+            assert_eq!(mem.read_bytes(buf, off + 1, key.len()), &key[..]);
+        }
+        // Padding is zeroed.
+        assert_eq!(mem.read_u8(buf, layout.offset(0) + 1 + 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds batch stride")]
+    fn oversized_key_rejected() {
+        let mut mem = DeviceMemory::new();
+        pack_keys(&mut mem, "q", &[vec![0u8; 9]], 8);
+    }
+
+    #[test]
+    fn results_roundtrip() {
+        let mut mem = DeviceMemory::new();
+        let res = alloc_results(&mut mem, "r", 4);
+        assert_eq!(read_results(&mem, res, 4), vec![NOT_FOUND; 4]);
+        mem.write_u64(res, 8, 42);
+        assert_eq!(read_results(&mem, res, 4)[1], 42);
+    }
+}

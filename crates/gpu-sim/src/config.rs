@@ -1,0 +1,195 @@
+//! Device configuration: compute, memory system, cache and PCIe parameters.
+//!
+//! The presets in [`devices`](crate::devices) instantiate these for the three
+//! machines of the paper's §4.1. All timing in the simulator derives from
+//! these numbers, so a "what if" experiment (e.g. HBM2 with a faster command
+//! clock) is a one-field change — see the `device_explorer` example.
+
+/// Memory technology, determining how the per-channel data rate relates to
+/// the command clock. §4.6 of the paper builds its HBM2-vs-GDDR6X argument
+/// on exactly this distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// High Bandwidth Memory 2: very wide (128-bit) channels, low clock.
+    Hbm2,
+    /// GDDR6X: narrow (16-bit) channels, PAM4 signalling, high clock.
+    Gddr6x,
+    /// GDDR5: 32-bit channels, DDR signalling.
+    Gddr5,
+}
+
+/// DRAM subsystem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MemConfig {
+    /// Memory technology.
+    pub kind: MemKind,
+    /// Number of independent channels (A100: 40, RTX 3090: 24, GTX 1070: 8).
+    pub channels: usize,
+    /// Width of one channel in bits (HBM2: 128, GDDR6X: 16, GDDR5: 32).
+    pub channel_width_bits: usize,
+    /// Command clock in MHz. The paper quotes 1215 MHz for the A100's HBM2
+    /// and 2500 MHz for the RTX 3090's GDDR6X.
+    pub command_clock_mhz: f64,
+    /// Data transfers per command clock (DDR = 2, GDDR5 quad = 4,
+    /// GDDR6X PAM4 ≈ 8). `channels × width/8 × data_rate × clock` gives the
+    /// peak bandwidth.
+    pub data_rate: f64,
+    /// Command/row overhead per random transaction, in command-clock cycles
+    /// (ACT + RD + PRE on a row miss). This is the term that makes a high
+    /// command clock win for random access.
+    pub random_overhead_cycles: f64,
+    /// Unloaded DRAM access latency seen by a warp, in nanoseconds.
+    pub access_latency_ns: f64,
+}
+
+impl MemConfig {
+    /// Peak sequential bandwidth in bytes per nanosecond (== GB/s).
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.channels as f64 * (self.channel_width_bits as f64 / 8.0) * self.data_rate
+            * self.command_clock_mhz
+            / 1000.0
+    }
+
+    /// Time one channel is busy serving a random transaction of `bytes`, in
+    /// nanoseconds: command overhead plus the data burst.
+    pub fn transaction_ns(&self, bytes: usize) -> f64 {
+        let clock_ghz = self.command_clock_mhz / 1000.0;
+        let overhead = self.random_overhead_cycles / clock_ghz;
+        let bytes_per_cycle = (self.channel_width_bits as f64 / 8.0) * self.data_rate;
+        let burst = bytes as f64 / bytes_per_cycle / clock_ghz;
+        overhead + burst
+    }
+
+    /// Aggregate random-transaction throughput (transactions per ns) for
+    /// sector-sized (32 B) accesses across all channels.
+    pub fn random_rate_per_ns(&self) -> f64 {
+        self.channels as f64 / self.transaction_ns(32)
+    }
+}
+
+/// L2 cache parameters (sectored, set-associative, shared by all SMs).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (128 on all modeled devices).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency in nanoseconds.
+    pub hit_latency_ns: f64,
+}
+
+/// PCIe link parameters for host↔device transfers.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieConfig {
+    /// Effective unidirectional bandwidth in GB/s (gen3 x16 ≈ 12, gen4 x16 ≈ 24).
+    pub bandwidth_gbps: f64,
+    /// Per-transfer latency (driver + DMA setup) in microseconds.
+    pub latency_us: f64,
+}
+
+impl PcieConfig {
+    /// Time to move `bytes` across the link, in nanoseconds.
+    pub fn transfer_ns(&self, bytes: usize) -> f64 {
+        self.latency_us * 1000.0 + bytes as f64 / self.bandwidth_gbps
+    }
+}
+
+/// A complete device model.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceConfig {
+    /// Marketing name, e.g. `"NVIDIA A100"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Maximum resident warps per SM (occupancy ceiling).
+    pub warps_per_sm: usize,
+    /// Threads per warp (32 on all NVIDIA hardware).
+    pub warp_size: usize,
+    /// Core clock in MHz (used to convert compute cycles to time).
+    pub core_clock_mhz: f64,
+    /// Instructions issued per SM per core cycle (rough IPC for the integer
+    /// /control-flow mix of tree traversal).
+    pub issue_per_cycle: f64,
+    /// Kernel launch overhead in microseconds (CUDA ≈ 5 µs; the OpenCL GRT
+    /// variant uses a larger value, see §4.1's API comparison).
+    pub launch_overhead_us: f64,
+    /// DRAM subsystem.
+    pub mem: MemConfig,
+    /// L2 cache.
+    pub l2: CacheConfig,
+    /// PCIe link.
+    pub pcie: PcieConfig,
+}
+
+impl DeviceConfig {
+    /// Maximum concurrently resident warps on the whole device.
+    pub fn resident_warps(&self) -> usize {
+        self.sm_count * self.warps_per_sm
+    }
+
+    /// Convert core cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: f64) -> f64 {
+        cycles / (self.core_clock_mhz / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::devices;
+
+    #[test]
+    fn peak_bandwidths_match_spec_sheets() {
+        // A100 40 GB: 1555 GB/s; RTX 3090: ~936 GB/s; GTX 1070: 256 GB/s.
+        let a100 = devices::a100().mem.peak_bandwidth_gbps();
+        assert!((a100 - 1555.0).abs() < 50.0, "A100 bw {a100}");
+        let rtx = devices::rtx3090().mem.peak_bandwidth_gbps();
+        assert!((rtx - 936.0).abs() < 80.0, "3090 bw {rtx}");
+        let gtx = devices::gtx1070().mem.peak_bandwidth_gbps();
+        assert!((gtx - 256.0).abs() < 20.0, "1070 bw {gtx}");
+    }
+
+    #[test]
+    fn gddr6x_beats_hbm2_for_random_sectors() {
+        // The paper's §4.6 claim: for small random transactions the RTX 3090
+        // outperforms the A100 despite lower peak bandwidth, because command
+        // overhead at the higher clock is cheaper.
+        let a100 = devices::a100().mem;
+        let rtx = devices::rtx3090().mem;
+        assert!(a100.peak_bandwidth_gbps() > rtx.peak_bandwidth_gbps());
+        assert!(rtx.random_rate_per_ns() > a100.random_rate_per_ns());
+    }
+
+    #[test]
+    fn gtx1070_is_slowest_for_random_access() {
+        let gtx = devices::gtx1070().mem;
+        assert!(gtx.random_rate_per_ns() < devices::a100().mem.random_rate_per_ns());
+        assert!(gtx.random_rate_per_ns() < devices::rtx3090().mem.random_rate_per_ns());
+    }
+
+    #[test]
+    fn transaction_time_grows_with_size() {
+        let mem = devices::a100().mem;
+        assert!(mem.transaction_ns(128) > mem.transaction_ns(32));
+        // But sub-linearly: the overhead dominates small transactions.
+        assert!(mem.transaction_ns(128) < 4.0 * mem.transaction_ns(32));
+    }
+
+    #[test]
+    fn pcie_transfer_time() {
+        let pcie = devices::a100().pcie;
+        let one_mb = pcie.transfer_ns(1 << 20);
+        // 1 MB at 24 GB/s ≈ 43.7 µs + latency.
+        assert!(one_mb > 40_000.0 && one_mb < 80_000.0, "1MB transfer {one_mb} ns");
+        // Latency floor for tiny transfers.
+        assert!(pcie.transfer_ns(64) >= pcie.latency_us * 1000.0);
+    }
+
+    #[test]
+    fn cycles_to_ns() {
+        let dev = devices::rtx3090();
+        let ns = dev.cycles_to_ns(dev.core_clock_mhz); // 1e6 cycles... no: MHz cycles
+        assert!((ns - 1000.0).abs() < 1e-6); // clock MHz cycles == 1000 ns worth
+    }
+}

@@ -1,0 +1,138 @@
+//! Preset device models for the three machines of the paper's §4.1.
+//!
+//! * **Server** — 2× AMD Epyc 7752, NVIDIA **A100** 40 GB HBM2
+//! * **Workstation** — AMD Ryzen 5800X, NVIDIA **RTX 3090** 24 GB GDDR6X
+//! * **Notebook** — Intel i7-8750H, NVIDIA **GTX 1070** 8 GB GDDR5
+//!
+//! Channel counts and clocks are the ones §4.6 quotes: 40 × 128-bit HBM2
+//! channels at 1215 MHz on the A100 vs 24 × 16-bit GDDR6X channels at
+//! 2500 MHz on the RTX 3090.
+
+use crate::config::{CacheConfig, DeviceConfig, MemConfig, MemKind, PcieConfig};
+
+/// NVIDIA A100 40 GB (HBM2) — the paper's "server" GPU.
+pub fn a100() -> DeviceConfig {
+    DeviceConfig {
+        name: "NVIDIA A100 (HBM2)",
+        sm_count: 108,
+        warps_per_sm: 64,
+        warp_size: 32,
+        core_clock_mhz: 1410.0,
+        issue_per_cycle: 1.0,
+        launch_overhead_us: 5.0,
+        mem: MemConfig {
+            kind: MemKind::Hbm2,
+            channels: 40,
+            channel_width_bits: 128,
+            command_clock_mhz: 1215.0,
+            data_rate: 2.0,
+            // Wide channel finishes a 32 B sector in a single clock, so the
+            // fixed command sequence dominates — the "increased command
+            // overhead" §4.6 describes.
+            random_overhead_cycles: 42.0,
+            access_latency_ns: 404.0,
+        },
+        l2: CacheConfig {
+            size_bytes: 40 << 20,
+            line_bytes: 128,
+            ways: 16,
+            hit_latency_ns: 140.0,
+        },
+        pcie: PcieConfig {
+            bandwidth_gbps: 24.0,
+            latency_us: 8.0,
+        },
+    }
+}
+
+/// NVIDIA RTX 3090 24 GB (GDDR6X) — the paper's "workstation" GPU.
+pub fn rtx3090() -> DeviceConfig {
+    DeviceConfig {
+        name: "NVIDIA RTX 3090 (GDDR6X)",
+        sm_count: 82,
+        warps_per_sm: 48,
+        warp_size: 32,
+        core_clock_mhz: 1695.0,
+        issue_per_cycle: 1.0,
+        launch_overhead_us: 5.0,
+        mem: MemConfig {
+            kind: MemKind::Gddr6x,
+            channels: 24,
+            channel_width_bits: 16,
+            command_clock_mhz: 2500.0,
+            data_rate: 7.8,
+            random_overhead_cycles: 42.0,
+            access_latency_ns: 380.0,
+        },
+        l2: CacheConfig {
+            size_bytes: 6 << 20,
+            line_bytes: 128,
+            ways: 16,
+            hit_latency_ns: 120.0,
+        },
+        pcie: PcieConfig {
+            bandwidth_gbps: 24.0,
+            latency_us: 8.0,
+        },
+    }
+}
+
+/// NVIDIA GTX 1070 8 GB (GDDR5) — the paper's "notebook" GPU.
+pub fn gtx1070() -> DeviceConfig {
+    DeviceConfig {
+        name: "NVIDIA GTX 1070 (GDDR5)",
+        sm_count: 15,
+        warps_per_sm: 64,
+        warp_size: 32,
+        core_clock_mhz: 1645.0,
+        issue_per_cycle: 1.0,
+        launch_overhead_us: 6.0,
+        mem: MemConfig {
+            kind: MemKind::Gddr5,
+            channels: 8,
+            channel_width_bits: 32,
+            command_clock_mhz: 2002.0,
+            data_rate: 4.0,
+            random_overhead_cycles: 46.0,
+            access_latency_ns: 430.0,
+        },
+        l2: CacheConfig {
+            size_bytes: 2 << 20,
+            line_bytes: 128,
+            ways: 16,
+            hit_latency_ns: 110.0,
+        },
+        pcie: PcieConfig {
+            bandwidth_gbps: 12.0,
+            latency_us: 10.0,
+        },
+    }
+}
+
+/// All three paper devices, in the order of Figure 18.
+pub fn all() -> Vec<DeviceConfig> {
+    vec![a100(), rtx3090(), gtx1070()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        for dev in all() {
+            assert!(dev.sm_count > 0);
+            assert!(dev.resident_warps() >= dev.sm_count);
+            assert!(dev.mem.channels > 0);
+            assert!(dev.mem.peak_bandwidth_gbps() > 100.0);
+            assert!(dev.l2.size_bytes >= 1 << 20);
+        }
+        assert_eq!(all().len(), 3);
+    }
+
+    #[test]
+    fn a100_has_most_channels_1070_fewest() {
+        assert!(a100().mem.channels > rtx3090().mem.channels);
+        assert!(rtx3090().mem.channels > gtx1070().mem.channels);
+    }
+}

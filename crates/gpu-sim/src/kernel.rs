@@ -1,0 +1,230 @@
+//! Kernels and the per-thread execution context.
+//!
+//! A [`Kernel`] is executed once per thread id, like a CUDA `__global__`
+//! function over a one-dimensional grid (§3.4 of the paper uses exactly such
+//! a grid for its update engine). All device-memory traffic flows through
+//! [`ThreadCtx`], which performs the access *and* records it for the timing
+//! model.
+//!
+//! [`PhasedKernel`] adds grid-wide synchronisation between phases — the
+//! cooperative-groups `grid.sync()` the two-stage update engine needs
+//! between publishing claims to the hash table and applying the winning
+//! writes.
+
+use crate::memory::{BufferId, DeviceMemory};
+use crate::trace::{Access, AccessKind, Dep, ThreadTrace};
+
+/// Per-thread execution context: performs device-memory accesses and
+/// records them for the timing model.
+pub struct ThreadCtx<'a> {
+    mem: &'a mut DeviceMemory,
+    trace: ThreadTrace,
+}
+
+impl<'a> ThreadCtx<'a> {
+    pub(crate) fn new(mem: &'a mut DeviceMemory) -> Self {
+        ThreadCtx {
+            mem,
+            trace: ThreadTrace::default(),
+        }
+    }
+
+    pub(crate) fn into_trace(self) -> ThreadTrace {
+        self.trace
+    }
+
+    fn log(&mut self, id: BufferId, offset: usize, len: usize, kind: AccessKind, dep: Dep) {
+        let addr = self.mem.address(id, offset);
+        self.trace.record(
+            Access {
+                addr,
+                len: len as u32,
+                kind,
+            },
+            dep,
+        );
+    }
+
+    /// Read raw bytes (dependent access — opens a new step).
+    pub fn read_bytes(&mut self, id: BufferId, offset: usize, len: usize) -> Vec<u8> {
+        self.read_bytes_dep(id, offset, len, Dep::Dependent)
+    }
+
+    /// Read raw bytes with an explicit dependency marker.
+    pub fn read_bytes_dep(&mut self, id: BufferId, offset: usize, len: usize, dep: Dep) -> Vec<u8> {
+        self.log(id, offset, len, AccessKind::Read, dep);
+        self.mem.read_bytes(id, offset, len).to_vec()
+    }
+
+    /// Read a u64 (dependent).
+    pub fn read_u64(&mut self, id: BufferId, offset: usize) -> u64 {
+        self.read_u64_dep(id, offset, Dep::Dependent)
+    }
+
+    /// Read a u64 with an explicit dependency marker.
+    pub fn read_u64_dep(&mut self, id: BufferId, offset: usize, dep: Dep) -> u64 {
+        self.log(id, offset, 8, AccessKind::Read, dep);
+        self.mem.read_u64(id, offset)
+    }
+
+    /// Read a u32 (dependent).
+    pub fn read_u32(&mut self, id: BufferId, offset: usize) -> u32 {
+        self.log(id, offset, 4, AccessKind::Read, Dep::Dependent);
+        self.mem.read_u32(id, offset)
+    }
+
+    /// Read one byte (dependent).
+    pub fn read_u8(&mut self, id: BufferId, offset: usize) -> u8 {
+        self.read_u8_dep(id, offset, Dep::Dependent)
+    }
+
+    /// Read one byte with an explicit dependency marker.
+    pub fn read_u8_dep(&mut self, id: BufferId, offset: usize, dep: Dep) -> u8 {
+        self.log(id, offset, 1, AccessKind::Read, dep);
+        self.mem.read_u8(id, offset)
+    }
+
+    /// Write raw bytes (dependent).
+    pub fn write_bytes(&mut self, id: BufferId, offset: usize, bytes: &[u8]) {
+        self.log(id, offset, bytes.len(), AccessKind::Write, Dep::Dependent);
+        self.mem.write_bytes(id, offset, bytes);
+    }
+
+    /// Write a u64 (dependent).
+    pub fn write_u64(&mut self, id: BufferId, offset: usize, value: u64) {
+        self.log(id, offset, 8, AccessKind::Write, Dep::Dependent);
+        self.mem.write_u64(id, offset, value);
+    }
+
+    /// Atomic compare-and-swap on a u64; returns the previous value.
+    pub fn atomic_cas_u64(&mut self, id: BufferId, offset: usize, expected: u64, new: u64) -> u64 {
+        self.log(id, offset, 8, AccessKind::Atomic, Dep::Dependent);
+        self.mem.atomic_cas_u64(id, offset, expected, new)
+    }
+
+    /// Atomic max on a u64; returns the previous value.
+    pub fn atomic_max_u64(&mut self, id: BufferId, offset: usize, value: u64) -> u64 {
+        self.log(id, offset, 8, AccessKind::Atomic, Dep::Dependent);
+        self.mem.atomic_max_u64(id, offset, value)
+    }
+
+    /// Atomic add on a u64; returns the previous value.
+    pub fn atomic_add_u64(&mut self, id: BufferId, offset: usize, value: u64) -> u64 {
+        self.log(id, offset, 8, AccessKind::Atomic, Dep::Dependent);
+        self.mem.atomic_add_u64(id, offset, value)
+    }
+
+    /// Attribute `cycles` of arithmetic/control work at the current point
+    /// (e.g. the key-comparison loops whose byte-vs-word orientation drives
+    /// the Figure 11 crossover).
+    pub fn compute(&mut self, cycles: u32) {
+        self.trace.record_compute(cycles);
+    }
+
+    /// Immutable access to device memory for address arithmetic (not
+    /// recorded — use the `read_*` methods for actual data access).
+    pub fn memory(&self) -> &DeviceMemory {
+        self.mem
+    }
+}
+
+/// A single-phase device kernel over a 1-D grid.
+pub trait Kernel {
+    /// Execute the kernel body for thread `tid`.
+    fn execute(&self, tid: usize, ctx: &mut ThreadCtx<'_>);
+}
+
+/// A kernel with grid-wide barriers between phases (cooperative launch).
+pub trait PhasedKernel {
+    /// Number of phases (≥ 1); a grid-wide sync separates consecutive phases.
+    fn phases(&self) -> usize;
+    /// Execute `phase` for thread `tid`.
+    fn execute_phase(&self, phase: usize, tid: usize, ctx: &mut ThreadCtx<'_>);
+}
+
+impl<K: Kernel> PhasedKernel for K {
+    fn phases(&self) -> usize {
+        1
+    }
+
+    fn execute_phase(&self, _phase: usize, tid: usize, ctx: &mut ThreadCtx<'_>) {
+        self.execute(tid, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DeviceMemory;
+
+    #[test]
+    fn ctx_reads_are_functional_and_traced() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc("b", 64, 16);
+        mem.write_u64(buf, 8, 777);
+        let mut ctx = ThreadCtx::new(&mut mem);
+        assert_eq!(ctx.read_u64(buf, 8), 777);
+        ctx.compute(12);
+        let trace = ctx.into_trace();
+        assert_eq!(trace.depth(), 1);
+        assert_eq!(trace.total_compute(), 12);
+    }
+
+    #[test]
+    fn ctx_writes_mutate_memory() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc("b", 64, 16);
+        {
+            let mut ctx = ThreadCtx::new(&mut mem);
+            ctx.write_u64(buf, 0, 123);
+            ctx.write_bytes(buf, 8, b"xyz");
+        }
+        assert_eq!(mem.read_u64(buf, 0), 123);
+        assert_eq!(mem.read_bytes(buf, 8, 3), b"xyz");
+    }
+
+    #[test]
+    fn independent_reads_share_step() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc("b", 64, 16);
+        let mut ctx = ThreadCtx::new(&mut mem);
+        ctx.read_u64_dep(buf, 0, Dep::Dependent);
+        ctx.read_u64_dep(buf, 16, Dep::Independent);
+        ctx.read_u64_dep(buf, 32, Dep::Dependent);
+        let trace = ctx.into_trace();
+        assert_eq!(trace.depth(), 2);
+        assert_eq!(trace.steps[0].accesses.len(), 2);
+    }
+
+    #[test]
+    fn atomics_work_through_ctx() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc("b", 8, 16);
+        {
+            let mut ctx = ThreadCtx::new(&mut mem);
+            assert_eq!(ctx.atomic_max_u64(buf, 0, 9), 0);
+            assert_eq!(ctx.atomic_add_u64(buf, 0, 1), 9);
+            assert_eq!(ctx.atomic_cas_u64(buf, 0, 10, 20), 10);
+        }
+        assert_eq!(mem.read_u64(buf, 0), 20);
+    }
+
+    struct TouchKernel(BufferId);
+    impl Kernel for TouchKernel {
+        fn execute(&self, tid: usize, ctx: &mut ThreadCtx<'_>) {
+            ctx.write_u64(self.0, tid * 8, tid as u64);
+        }
+    }
+
+    #[test]
+    fn single_phase_kernel_is_a_phased_kernel() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc("b", 8, 16);
+        let k = TouchKernel(buf);
+        assert_eq!(PhasedKernel::phases(&k), 1);
+        let mut ctx = ThreadCtx::new(&mut mem);
+        k.execute_phase(0, 0, &mut ctx);
+        drop(ctx);
+        assert_eq!(mem.read_u64(buf, 0), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Host↔device transfer model.
+//!
+//! The paper measures throughput **end-to-end**, "including CPU overhead for
+//! processing the lookups afterwards, PCIe transfer times and pipelining"
+//! (§4.1). This module prices the PCIe legs of that pipeline; the
+//! [`pipeline`](crate::pipeline) module composes them with kernel execution.
+
+use crate::config::PcieConfig;
+
+/// A host→device or device→host transfer of a query batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Transfer {
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Modeled duration in nanoseconds.
+    pub time_ns: f64,
+}
+
+/// Price an upload of `batch_items` keys of `key_bytes` each (host→device).
+pub fn upload(pcie: &PcieConfig, batch_items: usize, key_bytes: usize) -> Transfer {
+    let bytes = batch_items * key_bytes;
+    Transfer {
+        bytes,
+        time_ns: pcie.transfer_ns(bytes),
+    }
+}
+
+/// Price a download of `batch_items` results of `result_bytes` each
+/// (device→host). Lookups return one 64-bit value per query.
+pub fn download(pcie: &PcieConfig, batch_items: usize, result_bytes: usize) -> Transfer {
+    let bytes = batch_items * result_bytes;
+    Transfer {
+        bytes,
+        time_ns: pcie.transfer_ns(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices;
+
+    #[test]
+    fn upload_scales_with_batch_and_key_size() {
+        let pcie = devices::a100().pcie;
+        let small = upload(&pcie, 1024, 8);
+        let big = upload(&pcie, 32768, 32);
+        assert_eq!(small.bytes, 8192);
+        assert_eq!(big.bytes, 1 << 20);
+        assert!(big.time_ns > small.time_ns);
+    }
+
+    #[test]
+    fn tiny_transfers_pay_the_latency_floor() {
+        let pcie = devices::gtx1070().pcie;
+        let t = upload(&pcie, 1, 8);
+        assert!(t.time_ns >= pcie.latency_us * 1000.0);
+    }
+
+    #[test]
+    fn download_prices_results() {
+        let pcie = devices::rtx3090().pcie;
+        let d = download(&pcie, 32768, 8);
+        assert_eq!(d.bytes, 32768 * 8);
+        // A result batch is smaller than its 32-byte-key upload.
+        let u = upload(&pcie, 32768, 32);
+        assert!(d.time_ns < u.time_ns);
+    }
+}

@@ -1,0 +1,222 @@
+//! Multi-stream software-pipelining model.
+//!
+//! The host code of both GRT and CuART (§4.1/§4.3) dispatches query batches
+//! from several host threads over several command streams, so host
+//! preparation, the host→device copy, kernel execution and the device→host
+//! copy of different batches overlap. This module computes the resulting
+//! makespan with a small deterministic event model:
+//!
+//! * each **host thread** prepares (and post-processes) its batches
+//!   serially,
+//! * one **copy-up engine** and one **copy-down engine** serve transfers
+//!   FCFS (discrete GPUs have independent DMA engines per direction),
+//! * the **compute engine** runs kernels FCFS, paying the launch overhead
+//!   per dispatch,
+//! * a batch occupies its **stream slot** from upload start to download
+//!   end, so at most `streams` batches are in flight on the device.
+//!
+//! The figures 8 (batch-size sweep) and 9 (host-thread sweep) come directly
+//! out of this model combined with per-batch kernel times from
+//! [`exec`](crate::exec).
+
+/// Input to the pipeline model; all per-batch times in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineParams {
+    /// Number of batches in the stream.
+    pub batches: usize,
+    /// Queries per batch.
+    pub items_per_batch: usize,
+    /// Host threads feeding the GPU.
+    pub host_threads: usize,
+    /// Command streams (in-flight batches on the device).
+    pub streams: usize,
+    /// Host CPU time per batch (batch assembly + result handling).
+    pub host_ns_per_batch: f64,
+    /// Host→device transfer time per batch.
+    pub h2d_ns: f64,
+    /// Kernel execution time per batch.
+    pub kernel_ns: f64,
+    /// Device→host transfer time per batch.
+    pub d2h_ns: f64,
+    /// Driver launch overhead per kernel dispatch.
+    pub launch_overhead_ns: f64,
+}
+
+/// Pipeline stage names, for bottleneck reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Host-side batch preparation / result processing.
+    Host,
+    /// Host→device DMA.
+    CopyUp,
+    /// Kernel execution (incl. launch overhead).
+    Compute,
+    /// Device→host DMA.
+    CopyDown,
+}
+
+/// Result of the pipeline simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineReport {
+    /// End-to-end time for all batches.
+    pub makespan_ns: f64,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// The stage with the largest aggregate demand.
+    pub bottleneck: Stage,
+}
+
+/// Run the event model.
+pub fn simulate(p: &PipelineParams) -> PipelineReport {
+    assert!(p.host_threads > 0 && p.streams > 0);
+    let mut host_avail = vec![0.0f64; p.host_threads];
+    let mut stream_avail = vec![0.0f64; p.streams];
+    let mut copy_up_avail = 0.0f64;
+    let mut compute_avail = 0.0f64;
+    let mut copy_down_avail = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    for b in 0..p.batches {
+        let t = b % p.host_threads;
+        let s = b % p.streams;
+        // Host prepares the batch (serial per thread).
+        let submit = host_avail[t] + p.host_ns_per_batch;
+        host_avail[t] = submit;
+        // Wait for the stream slot, then the copy-up engine.
+        let ready = submit.max(stream_avail[s]);
+        let h2d_start = ready.max(copy_up_avail);
+        let h2d_end = h2d_start + p.h2d_ns;
+        copy_up_avail = h2d_end;
+        // Kernel on the compute engine.
+        let k_start = h2d_end.max(compute_avail);
+        let k_end = k_start + p.launch_overhead_ns + p.kernel_ns;
+        compute_avail = k_end;
+        // Results home on the copy-down engine.
+        let d_start = k_end.max(copy_down_avail);
+        let d_end = d_start + p.d2h_ns;
+        copy_down_avail = d_end;
+        stream_avail[s] = d_end;
+        makespan = makespan.max(d_end);
+    }
+
+    let total_items = (p.batches * p.items_per_batch) as f64;
+    let mops = if makespan > 0.0 {
+        total_items / makespan * 1000.0
+    } else {
+        0.0
+    };
+
+    // Aggregate demand per stage determines the nominal bottleneck.
+    let n = p.batches as f64;
+    let demands = [
+        (Stage::Host, n * p.host_ns_per_batch / p.host_threads as f64),
+        (Stage::CopyUp, n * p.h2d_ns),
+        (Stage::Compute, n * (p.kernel_ns + p.launch_overhead_ns)),
+        (Stage::CopyDown, n * p.d2h_ns),
+    ];
+    let bottleneck = demands
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty")
+        .0;
+
+    PipelineReport {
+        makespan_ns: makespan,
+        mops,
+        bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PipelineParams {
+        PipelineParams {
+            batches: 64,
+            items_per_batch: 32768,
+            host_threads: 8,
+            streams: 4,
+            host_ns_per_batch: 50_000.0,
+            h2d_ns: 45_000.0,
+            kernel_ns: 100_000.0,
+            d2h_ns: 12_000.0,
+            launch_overhead_ns: 5_000.0,
+        }
+    }
+
+    #[test]
+    fn steady_state_is_bounded_by_slowest_stage() {
+        let p = base();
+        let r = simulate(&p);
+        // Compute dominates: makespan ≈ batches * (kernel + launch) + ramp.
+        let compute_total = p.batches as f64 * (p.kernel_ns + p.launch_overhead_ns);
+        assert!(r.makespan_ns >= compute_total);
+        assert!(r.makespan_ns < compute_total * 1.3, "too much pipeline bubble");
+        assert_eq!(r.bottleneck, Stage::Compute);
+    }
+
+    #[test]
+    fn more_host_threads_help_when_host_bound() {
+        let mut p = base();
+        p.host_ns_per_batch = 500_000.0; // host dominates
+        p.host_threads = 1;
+        let one = simulate(&p);
+        assert_eq!(one.bottleneck, Stage::Host);
+        p.host_threads = 8;
+        let eight = simulate(&p);
+        assert!(eight.mops > 4.0 * one.mops, "1t {} vs 8t {}", one.mops, eight.mops);
+    }
+
+    #[test]
+    fn extra_host_threads_plateau_when_gpu_bound() {
+        let p8 = PipelineParams { host_threads: 8, ..base() };
+        let p32 = PipelineParams { host_threads: 32, ..base() };
+        let r8 = simulate(&p8);
+        let r32 = simulate(&p32);
+        assert!((r32.mops - r8.mops) / r8.mops < 0.1, "GPU-bound pipeline should plateau");
+    }
+
+    #[test]
+    fn single_stream_serializes_copies_and_compute() {
+        let mut p = base();
+        p.streams = 1;
+        p.host_threads = 16;
+        let serial = simulate(&p);
+        p.streams = 8;
+        let parallel = simulate(&p);
+        assert!(parallel.mops > serial.mops);
+        // With one stream each batch is h2d + kernel + d2h end to end.
+        let per_batch = p.h2d_ns + p.launch_overhead_ns + p.kernel_ns + p.d2h_ns;
+        assert!(serial.makespan_ns >= p.batches as f64 * per_batch * 0.99);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_batches() {
+        let mut p = base();
+        p.items_per_batch = 128;
+        p.host_ns_per_batch = 1_000.0;
+        p.h2d_ns = 10_100.0; // latency floor
+        p.kernel_ns = 1_500.0;
+        p.d2h_ns = 10_000.0;
+        let tiny = simulate(&p);
+        let big = simulate(&base());
+        assert!(big.mops > 20.0 * tiny.mops, "big batches must amortize overhead");
+    }
+
+    #[test]
+    fn throughput_is_items_over_makespan() {
+        let p = base();
+        let r = simulate(&p);
+        let expect = (p.batches * p.items_per_batch) as f64 / r.makespan_ns * 1000.0;
+        assert!((r.mops - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let mut p = base();
+        p.host_threads = 0;
+        simulate(&p);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-thread execution traces: the raw material of the timing model.
+//!
+//! A thread's trace is a sequence of [`Step`]s. One step bundles the memory
+//! accesses a thread can have in flight simultaneously (memory-level
+//! parallelism); consecutive steps are **dependent** — the address of step
+//! *n+1* was computed from data loaded in step *n*. Pointer chasing through
+//! a radix tree is exactly a chain of dependent steps, which is why latency,
+//! not bandwidth, bounds tree traversal on GPUs (§3.1 of the paper).
+
+/// Dependency marker for an access issued through
+/// [`ThreadCtx`](crate::ThreadCtx).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dep {
+    /// Opens a new step: the address depends on previously loaded data.
+    Dependent,
+    /// Joins the current step: the address was independently computable, so
+    /// the hardware can overlap it with the other accesses of the step.
+    Independent,
+}
+
+/// Kind of memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Global-memory read.
+    Read,
+    /// Global-memory write.
+    Write,
+    /// Read-modify-write with conflict serialisation.
+    Atomic,
+}
+
+/// One memory access: device address range + kind.
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// Flat device address of the first byte.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u32,
+    /// Read / write / atomic.
+    pub kind: AccessKind,
+}
+
+/// A group of accesses a thread has in flight at once, plus the compute
+/// cycles spent before issuing the *next* step.
+#[derive(Debug, Clone, Default)]
+pub struct Step {
+    /// Concurrent accesses of this step.
+    pub accesses: Vec<Access>,
+    /// Compute cycles attributed after this step's data arrived.
+    pub compute_cycles: u32,
+}
+
+/// The full trace of one simulated thread.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTrace {
+    /// Dependent steps in program order.
+    pub steps: Vec<Step>,
+    /// Compute cycles before the first memory access.
+    pub lead_compute_cycles: u32,
+}
+
+impl ThreadTrace {
+    /// Record an access.
+    pub fn record(&mut self, access: Access, dep: Dep) {
+        match dep {
+            Dep::Dependent => self.steps.push(Step {
+                accesses: vec![access],
+                compute_cycles: 0,
+            }),
+            Dep::Independent => match self.steps.last_mut() {
+                Some(step) => step.accesses.push(access),
+                None => self.steps.push(Step {
+                    accesses: vec![access],
+                    compute_cycles: 0,
+                }),
+            },
+        }
+    }
+
+    /// Attribute compute cycles at the current position.
+    pub fn record_compute(&mut self, cycles: u32) {
+        match self.steps.last_mut() {
+            Some(step) => step.compute_cycles += cycles,
+            None => self.lead_compute_cycles += cycles,
+        }
+    }
+
+    /// Total compute cycles in the trace.
+    pub fn total_compute(&self) -> u64 {
+        self.lead_compute_cycles as u64 + self.steps.iter().map(|s| s.compute_cycles as u64).sum::<u64>()
+    }
+
+    /// Number of dependent steps (the pointer-chase depth).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total bytes touched.
+    pub fn bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .flat_map(|s| &s.accesses)
+            .map(|a| a.len as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(addr: u64, len: u32) -> Access {
+        Access {
+            addr,
+            len,
+            kind: AccessKind::Read,
+        }
+    }
+
+    #[test]
+    fn dependent_accesses_open_steps() {
+        let mut t = ThreadTrace::default();
+        t.record(read(0, 8), Dep::Dependent);
+        t.record(read(100, 8), Dep::Dependent);
+        t.record(read(200, 8), Dep::Dependent);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.bytes(), 24);
+    }
+
+    #[test]
+    fn independent_accesses_share_a_step() {
+        let mut t = ThreadTrace::default();
+        t.record(read(0, 16), Dep::Dependent);
+        t.record(read(64, 8), Dep::Independent);
+        t.record(read(128, 8), Dep::Independent);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.steps[0].accesses.len(), 3);
+    }
+
+    #[test]
+    fn leading_independent_access_still_creates_step() {
+        let mut t = ThreadTrace::default();
+        t.record(read(0, 8), Dep::Independent);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn compute_attribution() {
+        let mut t = ThreadTrace::default();
+        t.record_compute(10); // before any access
+        t.record(read(0, 8), Dep::Dependent);
+        t.record_compute(20);
+        t.record_compute(5);
+        assert_eq!(t.lead_compute_cycles, 10);
+        assert_eq!(t.steps[0].compute_cycles, 25);
+        assert_eq!(t.total_compute(), 35);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests of the simulator's invariants: coalescing algebra,
+//! cache bounds, DRAM accounting, pipeline monotonicity.
+
+use cuart_gpu_sim::cache::Cache;
+use cuart_gpu_sim::coalesce::{sectors, sectors_of_access, SECTOR_BYTES};
+use cuart_gpu_sim::config::CacheConfig;
+use cuart_gpu_sim::devices;
+use cuart_gpu_sim::dram::DramModel;
+use cuart_gpu_sim::pipeline::{simulate, PipelineParams};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sector_count_bounds(accesses in prop::collection::vec((0u64..1_000_000, 1u32..256), 1..64)) {
+        let secs = sectors(accesses.iter().copied());
+        // At least 1, at most the sum of per-access spans.
+        let upper: u64 = accesses.iter().map(|&(a, l)| sectors_of_access(a, l)).sum();
+        prop_assert!(!secs.is_empty());
+        prop_assert!(secs.len() as u64 <= upper);
+        // Sorted and unique.
+        prop_assert!(secs.windows(2).all(|w| w[0] < w[1]));
+        // Every access's bytes are covered by the sector set.
+        for &(addr, len) in &accesses {
+            for b in [addr, addr + len as u64 - 1] {
+                prop_assert!(secs.contains(&(b / SECTOR_BYTES)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_access_span_formula(addr in 0u64..10_000_000, len in 1u32..4096) {
+        let n = sectors_of_access(addr, len);
+        // Between ceil(len/32) and ceil(len/32)+1 sectors.
+        let min = (len as u64).div_ceil(SECTOR_BYTES);
+        prop_assert!(n >= min && n <= min + 1, "addr {addr} len {len} -> {n}");
+    }
+
+    #[test]
+    fn cache_hits_never_exceed_accesses(addrs in prop::collection::vec(0u64..100_000, 1..500)) {
+        let mut cache = Cache::new(&CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 128,
+            ways: 4,
+            hit_latency_ns: 1.0,
+        });
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        prop_assert!(cache.hit_rate() <= 1.0);
+        // Distinct lines lower-bound the misses (each needs one cold miss).
+        let mut lines: Vec<u64> = addrs.iter().map(|a| a / 128).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert!(cache.misses() >= lines.len() as u64);
+    }
+
+    #[test]
+    fn dram_busy_is_sum_of_service_times(
+        txs in prop::collection::vec((0u64..1_000_000, 32usize..129), 1..200)
+    ) {
+        let mut dram = DramModel::new(devices::a100().mem);
+        let mut total = 0.0f64;
+        for &(addr, bytes) in &txs {
+            total += dram.issue(addr, bytes);
+        }
+        prop_assert_eq!(dram.transactions(), txs.len() as u64);
+        // Max channel busy <= total service <= channels * max busy.
+        prop_assert!(dram.max_channel_busy_ns() <= total + 1e-9);
+        prop_assert!(total <= dram.max_channel_busy_ns() * 40.0 + 1e-9);
+        prop_assert!(dram.imbalance() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn pipeline_makespan_monotone_in_work(
+        batches in 1usize..40,
+        kernel_us in 1.0f64..500.0,
+    ) {
+        let base = PipelineParams {
+            batches,
+            items_per_batch: 1024,
+            host_threads: 4,
+            streams: 4,
+            host_ns_per_batch: 10_000.0,
+            h2d_ns: 20_000.0,
+            kernel_ns: kernel_us * 1000.0,
+            d2h_ns: 10_000.0,
+            launch_overhead_ns: 5_000.0,
+        };
+        let r1 = simulate(&base);
+        // More batches cannot shrink the makespan.
+        let r2 = simulate(&PipelineParams { batches: batches + 1, ..base });
+        prop_assert!(r2.makespan_ns >= r1.makespan_ns);
+        // A slower kernel cannot raise throughput.
+        let r3 = simulate(&PipelineParams { kernel_ns: base.kernel_ns * 2.0, ..base });
+        prop_assert!(r3.mops <= r1.mops + 1e-9);
+        // Makespan is at least the best possible serial floor of any stage.
+        let floor = base.batches as f64 * base.kernel_ns;
+        prop_assert!(r1.makespan_ns >= floor.min(r1.makespan_ns));
+    }
+
+    #[test]
+    fn pipeline_threads_never_hurt(threads in 1usize..16) {
+        let mk = |t: usize| {
+            simulate(&PipelineParams {
+                batches: 32,
+                items_per_batch: 4096,
+                host_threads: t,
+                streams: 4,
+                host_ns_per_batch: 200_000.0,
+                h2d_ns: 10_000.0,
+                kernel_ns: 50_000.0,
+                d2h_ns: 5_000.0,
+                launch_overhead_ns: 5_000.0,
+            })
+            .mops
+        };
+        prop_assert!(mk(threads + 1) >= mk(threads) * 0.999);
+    }
+}

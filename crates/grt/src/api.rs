@@ -1,0 +1,220 @@
+//! High-level GRT index façade and the CUDA/OpenCL host-API profiles.
+//!
+//! §4.1 of the paper: "To prove that our improvements are not only caused
+//! by using a different API, we compare CuART against both a CUDA and an
+//! OpenCL variant of GRT." The two variants run the *same* kernel; they
+//! differ in host-side dispatch cost and in how well multiple command
+//! streams overlap — which is exactly what [`ApiProfile`] captures.
+
+use crate::kernels::GrtLookupKernel;
+use crate::layout::GrtBuffer;
+use crate::mapper::map_art;
+use crate::update::{apply_batch, UpdateOutcome};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::{alloc_results, pack_keys, read_results};
+use cuart_gpu_sim::{launch, BufferId, DeviceConfig, DeviceMemory, KernelReport};
+
+/// Host-API flavour of the GRT baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiProfile {
+    /// The CUDA variant: cheap dispatch, streams map efficiently onto the
+    /// device ("the inherent asynchronousity of the CUDA API", §4.3).
+    Cuda,
+    /// The OpenCL variant: heavier dispatch, command queues overlap poorly.
+    OpenCl,
+}
+
+impl ApiProfile {
+    /// Kernel dispatch overhead on `dev`, in nanoseconds.
+    pub fn launch_overhead_ns(&self, dev: &DeviceConfig) -> f64 {
+        let base = dev.launch_overhead_us * 1000.0;
+        match self {
+            ApiProfile::Cuda => base,
+            ApiProfile::OpenCl => base * 3.5,
+        }
+    }
+
+    /// Maximum command streams that overlap effectively.
+    pub fn stream_cap(&self) -> usize {
+        match self {
+            ApiProfile::Cuda => usize::MAX,
+            ApiProfile::OpenCl => 2,
+        }
+    }
+
+    /// Display label used by the figure harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ApiProfile::Cuda => "GRT-CUDA",
+            ApiProfile::OpenCl => "GRT-OpenCL",
+        }
+    }
+}
+
+/// A GRT index: a packed buffer plus the bookkeeping to run lookups on the
+/// simulated device or on the host.
+#[derive(Debug, Clone)]
+pub struct GrtIndex {
+    buffer: GrtBuffer,
+}
+
+/// Handle to a GRT index uploaded to device memory.
+#[derive(Debug, Clone, Copy)]
+pub struct GrtDevice {
+    /// Device buffer holding the packed tree.
+    pub tree: BufferId,
+    /// Root offset.
+    pub root: u64,
+}
+
+impl GrtIndex {
+    /// Map an ART into the packed GRT layout.
+    pub fn build(art: &Art<u64>) -> Self {
+        GrtIndex { buffer: map_art(art) }
+    }
+
+    /// The underlying packed buffer.
+    pub fn buffer(&self) -> &GrtBuffer {
+        &self.buffer
+    }
+
+    /// Mutable access for the host-side update engine.
+    pub fn buffer_mut(&mut self) -> &mut GrtBuffer {
+        &mut self.buffer
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.buffer.entries
+    }
+
+    /// `true` if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.entries == 0
+    }
+
+    /// Device memory consumed by the packed tree.
+    pub fn device_bytes(&self) -> usize {
+        self.buffer.bytes.len()
+    }
+
+    /// Host-side lookup (reference path; also the hybrid pipeline's CPU leg).
+    pub fn lookup_cpu(&self, key: &[u8]) -> Option<u64> {
+        crate::cpu::lookup(&self.buffer, key)
+    }
+
+    /// Upload the packed tree into `mem`. GRT guarantees no alignment for
+    /// the nodes inside the buffer; the buffer itself gets page alignment.
+    pub fn upload(&self, mem: &mut DeviceMemory) -> GrtDevice {
+        let tree = mem.alloc_from("grt-tree", &self.buffer.padded_bytes(), 16);
+        GrtDevice {
+            tree,
+            root: self.buffer.root,
+        }
+    }
+
+    /// Convenience: run one batch of lookups on a fresh simulated device.
+    /// Returns the results (one per query, [`NOT_FOUND`] on miss) and the
+    /// kernel report. `stride` is the per-record key capacity.
+    ///
+    /// [`NOT_FOUND`]: cuart_gpu_sim::batch::NOT_FOUND
+    pub fn lookup_batch_device(
+        &self,
+        dev: &DeviceConfig,
+        queries: &[Vec<u8>],
+        stride: usize,
+    ) -> (Vec<u64>, KernelReport) {
+        let mut mem = DeviceMemory::new();
+        let handle = self.upload(&mut mem);
+        let (qbuf, layout) = pack_keys(&mut mem, "queries", queries, stride);
+        let results = alloc_results(&mut mem, "results", queries.len());
+        let kernel = GrtLookupKernel {
+            tree: handle.tree,
+            root: handle.root,
+            queries: qbuf,
+            layout,
+            results,
+            count: queries.len(),
+        };
+        let report = launch(dev, &mut mem, &kernel, queries.len());
+        (read_results(&mem, results, queries.len()), report)
+    }
+
+    /// Apply a host-side update batch (see [`update`](crate::update)).
+    pub fn update_batch(
+        &mut self,
+        updates: &[(Vec<u8>, u64)],
+        dev: &DeviceConfig,
+    ) -> UpdateOutcome {
+        apply_batch(&mut self.buffer, updates, &dev.pcie)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuart_gpu_sim::batch::NOT_FOUND;
+    use cuart_gpu_sim::devices;
+
+    fn index(n: u64) -> GrtIndex {
+        let mut art = Art::new();
+        for i in 0..n {
+            art.insert(&(i * 7).to_be_bytes(), i).unwrap();
+        }
+        GrtIndex::build(&art)
+    }
+
+    #[test]
+    fn facade_roundtrip() {
+        let idx = index(200);
+        assert_eq!(idx.len(), 200);
+        assert!(!idx.is_empty());
+        assert!(idx.device_bytes() > 200 * 19);
+        assert_eq!(idx.lookup_cpu(&(7u64 * 7).to_be_bytes()), Some(7));
+        assert_eq!(idx.lookup_cpu(&3u64.to_be_bytes()), None);
+    }
+
+    #[test]
+    fn device_lookup_batch() {
+        let idx = index(300);
+        let queries: Vec<Vec<u8>> = (0..300u64).map(|i| (i * 7).to_be_bytes().to_vec()).collect();
+        let (results, report) = idx.lookup_batch_device(&devices::rtx3090(), &queries, 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i as u64);
+        }
+        assert!(report.time_ns > 0.0);
+        assert!(report.dram_transactions > 0);
+    }
+
+    #[test]
+    fn update_then_lookup_on_device() {
+        let mut idx = index(100);
+        let dev = devices::a100();
+        let key = (7u64 * 7).to_be_bytes().to_vec();
+        let out = idx.update_batch(&[(key.clone(), 424242)], &dev);
+        assert_eq!(out.applied, 1);
+        let (results, _) = idx.lookup_batch_device(&dev, &[key], 8);
+        assert_eq!(results[0], 424242);
+        let (miss, _) = idx.lookup_batch_device(&dev, &[vec![9u8; 8]], 8);
+        assert_eq!(miss[0], NOT_FOUND);
+    }
+
+    #[test]
+    fn opencl_profile_costs_more() {
+        let dev = devices::a100();
+        assert!(
+            ApiProfile::OpenCl.launch_overhead_ns(&dev) > 2.0 * ApiProfile::Cuda.launch_overhead_ns(&dev)
+        );
+        assert!(ApiProfile::OpenCl.stream_cap() < ApiProfile::Cuda.stream_cap());
+        assert_eq!(ApiProfile::Cuda.label(), "GRT-CUDA");
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GrtIndex::build(&Art::new());
+        assert!(idx.is_empty());
+        assert_eq!(idx.lookup_cpu(b"x"), None);
+        let (results, _) = idx.lookup_batch_device(&devices::gtx1070(), &[b"x".to_vec()], 8);
+        assert_eq!(results[0], NOT_FOUND);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cuart-grt — the GRT baseline (single packed-buffer GPU radix tree)
+//!
+//! Reimplementation of the GRT of Alam, Yoginath and Perumalla,
+//! *"Performance of Point and Range Queries for In-memory Databases Using
+//! Radix Trees on GPUs"* (HPCC 2016), as described in §2.1/§3.1 of the
+//! CuART paper. GRT is the baseline CuART is measured against; its defining
+//! properties — and the ones this crate reproduces structurally — are:
+//!
+//! * the whole tree lives in **one untyped, tightly packed buffer**
+//!   ([`layout`]); nodes have no alignment guarantee,
+//! * the **node type is encoded inside the node header**, so a traversal
+//!   step must read the header first and only then knows how much more to
+//!   read — at least two *dependent* memory transactions per node (§3.1),
+//! * child pointers are **64-bit byte offsets** into the buffer,
+//! * leaves are **dynamically sized** (3-byte header + key + value),
+//! * key comparison is **byte-oriented** with early exit, which §4.4 credits
+//!   for GRT's edge on very short keys (Figure 11),
+//! * updates are applied **host-side** into the mapped buffer and the dirty
+//!   regions are made visible to the device again — the consistency cost
+//!   §3.1 describes ("preparing the buffers for the GPU needs to happen for
+//!   almost every update"); this is what keeps GRT's update throughput
+//!   around 13 MOps/s regardless of GPU in Figures 17/18.
+//!
+//! The crate offers both a CPU reference lookup over the packed buffer
+//! ([`cpu`]) and the GPU lookup kernel ([`kernels`]) for the
+//! `cuart-gpu-sim` simulator, plus the "CUDA vs OpenCL" host-API profiles
+//! the paper compares in §4.1 ([`api`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod cpu;
+pub mod kernels;
+pub mod layout;
+pub mod mapper;
+pub mod update;
+
+pub use api::{ApiProfile, GrtIndex};
+pub use layout::GrtBuffer;
+pub use mapper::map_art;

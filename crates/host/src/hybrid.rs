@@ -1,0 +1,149 @@
+//! The hybrid CPU/GPU query split (§3.2.3 option 1, Figures 13/14).
+//!
+//! Each batch is split: keys the device cannot serve (longer than the
+//! 32-byte maximum — or, in the Figure 14 control experiment, an arbitrary
+//! fraction of short keys) go to a pool of host threads walking the classic
+//! ART; the rest go to the GPU. The batch completes when **both** legs
+//! finish, so the slower leg sets the pace — which is how 3 % of CPU keys
+//! can halve overall throughput (Figure 13).
+
+use crate::gpu_runner::E2eReport;
+
+/// Effective per-operation CPU cost for a long-key lookup in the host ART
+/// (nanoseconds). This is deliberately large: the CPU leg chases pointers
+/// through a cache-cold multi-million-entry tree *and* sits on the batch
+/// critical path (scatter, straggler wait, merge). Figure 13's observed
+/// collapse — ~50 % throughput at 3 % CPU keys with 56 host threads —
+/// implies exactly this order of magnitude.
+pub const CPU_LONG_KEY_NS: f64 = 20_000.0;
+/// Per-batch synchronisation cost of the split/merge (scatter the batch,
+/// gather and re-order both legs' results).
+pub const SPLIT_SYNC_NS: f64 = 50_000.0;
+
+/// Result of a hybrid run.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridReport {
+    /// Overall end-to-end throughput (MOps/s).
+    pub mops: f64,
+    /// Time of the GPU leg per batch (ns).
+    pub gpu_leg_ns: f64,
+    /// Time of the CPU leg per batch (ns).
+    pub cpu_leg_ns: f64,
+    /// `true` when the CPU leg is the bottleneck.
+    pub cpu_bound: bool,
+}
+
+/// Compose a hybrid run:
+/// * `gpu` — the end-to-end report of the GPU engine over the device-
+///   servable keys,
+/// * `batch_size` — total keys per batch before the split,
+/// * `cpu_fraction` — fraction of each batch routed to the CPU,
+/// * `cpu_threads` — host threads working the CPU leg,
+/// * `cpu_ns_per_op` — per-op CPU cost (see [`CPU_LONG_KEY_NS`]).
+pub fn hybrid_throughput(
+    gpu: &E2eReport,
+    batch_size: usize,
+    cpu_fraction: f64,
+    cpu_threads: usize,
+    cpu_ns_per_op: f64,
+) -> HybridReport {
+    assert!((0.0..=1.0).contains(&cpu_fraction));
+    assert!(cpu_threads > 0);
+    let cpu_keys = batch_size as f64 * cpu_fraction;
+    // GPU leg: the engine's steady-state batch time. Removing a few keys
+    // does not shrink it — transfer latency, dispatch and pipeline
+    // occupancy are per-batch costs, so the leg is charged at full batch
+    // size.
+    let gpu_ns_per_key = 1000.0 / gpu.mops; // MOps -> ns per key
+    let gpu_leg_ns = batch_size as f64 * gpu_ns_per_key;
+    let cpu_leg_ns = if cpu_keys > 0.0 {
+        SPLIT_SYNC_NS + cpu_keys * cpu_ns_per_op / cpu_threads as f64
+    } else {
+        0.0
+    };
+    let batch_ns = gpu_leg_ns.max(cpu_leg_ns);
+    HybridReport {
+        mops: batch_size as f64 / batch_ns * 1000.0,
+        gpu_leg_ns,
+        cpu_leg_ns,
+        cpu_bound: cpu_leg_ns > gpu_leg_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuart_gpu_sim::exec::KernelReport;
+    use cuart_gpu_sim::pipeline::{simulate, PipelineParams};
+
+    fn gpu_report(mops: f64) -> E2eReport {
+        E2eReport {
+            mops,
+            kernel_ns_per_batch: 0.0,
+            kernel: KernelReport::default(),
+            pipeline: simulate(&PipelineParams {
+                batches: 1,
+                items_per_batch: 1,
+                host_threads: 1,
+                streams: 1,
+                host_ns_per_batch: 1.0,
+                h2d_ns: 0.0,
+                kernel_ns: 0.0,
+                d2h_ns: 0.0,
+                launch_overhead_ns: 0.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn zero_cpu_fraction_matches_gpu_rate() {
+        let gpu = gpu_report(170.0);
+        let r = hybrid_throughput(&gpu, 32768, 0.0, 56, CPU_LONG_KEY_NS);
+        assert!((r.mops - 170.0).abs() < 1.0);
+        assert!(!r.cpu_bound);
+    }
+
+    #[test]
+    fn three_percent_cpu_keys_roughly_halve_throughput() {
+        // The headline observation of Figure 13: "around 50% performance
+        // impact for only 3% of the keys processed on the CPU".
+        let gpu = gpu_report(170.0);
+        let r = hybrid_throughput(&gpu, 32768, 0.03, 56, CPU_LONG_KEY_NS);
+        let impact = r.mops / 170.0;
+        assert!(
+            impact > 0.35 && impact < 0.75,
+            "3% CPU keys should cost ~half: got factor {impact}"
+        );
+        assert!(r.cpu_bound);
+    }
+
+    #[test]
+    fn throughput_monotonically_drops_with_cpu_fraction() {
+        let gpu = gpu_report(170.0);
+        let mut last = f64::INFINITY;
+        for pct in [0.0, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50] {
+            let r = hybrid_throughput(&gpu, 32768, pct, 56, CPU_LONG_KEY_NS);
+            assert!(r.mops <= last + 1e-9, "not monotone at {pct}");
+            last = r.mops;
+        }
+    }
+
+    #[test]
+    fn cpu_bound_plateau_is_engine_independent() {
+        // Figure 14: with 5% of keys on the CPU, all GPU engines plateau at
+        // (almost) the same level — the CPU leg dominates.
+        let fast = hybrid_throughput(&gpu_report(200.0), 32768, 0.05, 56, CPU_LONG_KEY_NS);
+        let slow = hybrid_throughput(&gpu_report(90.0), 32768, 0.05, 56, CPU_LONG_KEY_NS);
+        assert!(fast.cpu_bound && slow.cpu_bound);
+        let gap = (fast.mops - slow.mops).abs() / fast.mops;
+        assert!(gap < 0.05, "CPU-bound engines should converge: gap {gap}");
+    }
+
+    #[test]
+    fn more_cpu_threads_relieve_the_bottleneck() {
+        let gpu = gpu_report(170.0);
+        let few = hybrid_throughput(&gpu, 32768, 0.10, 8, CPU_LONG_KEY_NS);
+        let many = hybrid_throughput(&gpu, 32768, 0.10, 112, CPU_LONG_KEY_NS);
+        assert!(many.mops > few.mops);
+    }
+}

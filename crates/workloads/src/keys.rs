@@ -1,0 +1,147 @@
+//! Key-set generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashSet;
+
+/// `n` unique uniformly random keys of exactly `key_len` bytes.
+///
+/// Fixed-length keys are prefix-free by construction, matching the paper's
+/// evaluation (4–32-byte keys, §4.4). Deterministic in `seed`.
+pub fn uniform_keys(n: usize, key_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    assert!(key_len >= 1, "keys must be non-empty");
+    if key_len < 8 {
+        let space = 256f64.powi(key_len as i32);
+        assert!(
+            (n as f64) <= space * 0.8,
+            "cannot draw {n} unique keys of {key_len} bytes"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut key = vec![0u8; key_len];
+        rng.fill_bytes(&mut key);
+        if seen.insert(key.clone()) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// `n` dense big-endian integer keys of `key_len` bytes (≥ 8): the
+/// "primary key of a growing table" scenario of §4.4 / Figure 10.
+pub fn dense_keys(n: usize, key_len: usize) -> Vec<Vec<u8>> {
+    assert!(key_len >= 8, "dense keys need at least 8 bytes");
+    (0..n as u64)
+        .map(|i| {
+            let mut k = vec![0u8; key_len];
+            k[key_len - 8..].copy_from_slice(&i.to_be_bytes());
+            k
+        })
+        .collect()
+}
+
+/// A key set in which a `long_fraction` of keys exceed the 32-byte device
+/// maximum (length `long_len`), the rest being `short_len` bytes — the
+/// workload of the hybrid experiments (Fig. 13: "a tree with a controlled
+/// percentage of long keys").
+pub fn long_key_mix(
+    n: usize,
+    short_len: usize,
+    long_len: usize,
+    long_fraction: f64,
+    seed: u64,
+) -> Vec<Vec<u8>> {
+    assert!(long_len > short_len, "long keys must be longer than short ones");
+    assert!((0.0..=1.0).contains(&long_fraction));
+    let n_long = (n as f64 * long_fraction).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    // Distinct leading byte spaces keep the mixture prefix-free: short keys
+    // start 0x00-0x7F, long keys 0x80-0xFF.
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n - n_long {
+        let mut key = vec![0u8; short_len];
+        rng.fill_bytes(&mut key);
+        key[0] &= 0x7F;
+        if seen.insert(key.clone()) {
+            out.push(key);
+        }
+    }
+    while out.len() < n {
+        let mut key = vec![0u8; long_len];
+        rng.fill_bytes(&mut key);
+        key[0] |= 0x80;
+        if seen.insert(key.clone()) {
+            out.push(key);
+        }
+    }
+    // Interleave deterministically so batches mix short and long keys.
+    let mut mixed = out;
+    for i in (1..mixed.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        mixed.swap(i, j);
+    }
+    mixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_are_unique_and_sized() {
+        let keys = uniform_keys(5000, 16, 1);
+        assert_eq!(keys.len(), 5000);
+        assert!(keys.iter().all(|k| k.len() == 16));
+        let set: HashSet<_> = keys.iter().collect();
+        assert_eq!(set.len(), 5000);
+    }
+
+    #[test]
+    fn uniform_keys_deterministic_in_seed() {
+        assert_eq!(uniform_keys(100, 8, 7), uniform_keys(100, 8, 7));
+        assert_ne!(uniform_keys(100, 8, 7), uniform_keys(100, 8, 8));
+    }
+
+    #[test]
+    fn short_keyspace_guard() {
+        // 4-byte keys: 2^32 space, drawing 1000 is fine.
+        let keys = uniform_keys(1000, 4, 2);
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique keys")]
+    fn oversubscribed_keyspace_rejected() {
+        uniform_keys(300, 1, 3);
+    }
+
+    #[test]
+    fn dense_keys_are_sorted_and_unique() {
+        let keys = dense_keys(1000, 8);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let keys32 = dense_keys(10, 32);
+        assert!(keys32.iter().all(|k| k.len() == 32));
+        assert_eq!(&keys32[3][24..], &3u64.to_be_bytes());
+    }
+
+    #[test]
+    fn long_key_mix_fraction() {
+        let keys = long_key_mix(2000, 16, 48, 0.25, 42);
+        assert_eq!(keys.len(), 2000);
+        let long = keys.iter().filter(|k| k.len() == 48).count();
+        assert_eq!(long, 500);
+        // Prefix-free across the two families.
+        assert!(keys.iter().filter(|k| k.len() == 48).all(|k| k[0] & 0x80 != 0));
+        assert!(keys.iter().filter(|k| k.len() == 16).all(|k| k[0] & 0x80 == 0));
+    }
+
+    #[test]
+    fn long_key_mix_zero_and_full() {
+        assert!(long_key_mix(100, 8, 40, 0.0, 1).iter().all(|k| k.len() == 8));
+        assert!(long_key_mix(100, 8, 40, 1.0, 1).iter().all(|k| k.len() == 40));
+    }
+}

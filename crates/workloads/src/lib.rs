@@ -1,0 +1,29 @@
+//! # cuart-workloads — deterministic workload generation
+//!
+//! The paper's evaluation framework (§4.1) "is capable of generating
+//! reproducible trees with data of different characteristics and afterwards
+//! generate update, delete, range and exact lookup queries". This crate is
+//! that framework:
+//!
+//! * [`keys`] — unique random keys of any length, dense integer keys,
+//!   controlled long-key mixtures for the hybrid experiments (Fig. 13/14),
+//! * [`btc`] — a synthetic stand-in for the BTC-2019 dataset (Fig. 12):
+//!   32-byte RDF-term keys with long shared URI prefixes, duplicate
+//!   segments and skewed fan-out — the properties §4.4 blames for the
+//!   lower absolute throughput on real data,
+//! * [`queries`] — lookup/update/delete/range query streams with
+//!   configurable hit rates, duplicate-key rates and batch shapes.
+//!
+//! Everything is seeded and deterministic; the same seed reproduces the
+//! same tree and query stream on every run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod btc;
+pub mod keys;
+pub mod queries;
+
+pub use btc::btc_keys;
+pub use keys::{dense_keys, long_key_mix, uniform_keys};
+pub use queries::{QueryStream, UpdateStream, ZipfQueryStream};

@@ -1,0 +1,256 @@
+//! Query-stream generation: lookups, updates, deletes, ranges.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible stream of point-lookup queries over a key population.
+#[derive(Debug)]
+pub struct QueryStream {
+    keys: Vec<Vec<u8>>,
+    hit_rate: f64,
+    rng: StdRng,
+    miss_counter: u64,
+}
+
+impl QueryStream {
+    /// Queries drawn uniformly from `keys`; a `hit_rate` fraction are
+    /// stored keys, the rest are guaranteed misses.
+    pub fn new(keys: Vec<Vec<u8>>, hit_rate: f64, seed: u64) -> Self {
+        assert!(!keys.is_empty(), "query population must not be empty");
+        assert!((0.0..=1.0).contains(&hit_rate));
+        QueryStream {
+            keys,
+            hit_rate,
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED),
+            miss_counter: 0,
+        }
+    }
+
+    /// Produce the next batch of `n` query keys.
+    pub fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|_| {
+                if self.rng.gen_bool(self.hit_rate) {
+                    let i = self.rng.gen_range(0..self.keys.len());
+                    self.keys[i].clone()
+                } else {
+                    // A guaranteed miss: mangle a stored key's tail with a
+                    // counter (stored keys are unique, so the mangled key
+                    // collides with none of them except astronomically).
+                    self.miss_counter += 1;
+                    let i = self.rng.gen_range(0..self.keys.len());
+                    let mut k = self.keys[i].clone();
+                    let n = k.len();
+                    k[n - 1] ^= 0xA5;
+                    k[n.saturating_sub(2)] ^= (self.miss_counter & 0xFF) as u8;
+                    k
+                }
+            })
+            .collect()
+    }
+}
+
+/// A reproducible stream of update/delete operations.
+#[derive(Debug)]
+pub struct UpdateStream {
+    keys: Vec<Vec<u8>>,
+    delete_rate: f64,
+    duplicate_rate: f64,
+    rng: StdRng,
+    next_value: u64,
+}
+
+impl UpdateStream {
+    /// Updates drawn from `keys`. `delete_rate` of operations are deletes
+    /// (the sentinel value is supplied by the caller); `duplicate_rate`
+    /// forces repeated keys *within* a batch to exercise the conflict
+    /// resolution of §3.4.
+    pub fn new(keys: Vec<Vec<u8>>, delete_rate: f64, duplicate_rate: f64, seed: u64) -> Self {
+        assert!(!keys.is_empty());
+        UpdateStream {
+            keys,
+            delete_rate,
+            duplicate_rate,
+            rng: StdRng::seed_from_u64(seed ^ 0x0BDA7E),
+            next_value: 1,
+        }
+    }
+
+    /// Produce the next batch of `(key, value)` operations;
+    /// `delete_sentinel` marks deletions.
+    pub fn next_batch(&mut self, n: usize, delete_sentinel: u64) -> Vec<(Vec<u8>, u64)> {
+        let mut batch: Vec<(Vec<u8>, u64)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = if !batch.is_empty() && self.rng.gen_bool(self.duplicate_rate) {
+                batch[self.rng.gen_range(0..batch.len())].0.clone()
+            } else {
+                self.keys[self.rng.gen_range(0..self.keys.len())].clone()
+            };
+            let value = if self.rng.gen_bool(self.delete_rate) {
+                delete_sentinel
+            } else {
+                self.next_value += 1;
+                self.next_value
+            };
+            batch.push((key, value));
+        }
+        batch
+    }
+}
+
+/// Generate `n` inclusive range bounds over a sorted key population, each
+/// spanning roughly `span` consecutive stored keys.
+pub fn range_queries(keys: &[Vec<u8>], n: usize, span: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    assert!(!keys.is_empty());
+    let mut sorted: Vec<Vec<u8>> = keys.to_vec();
+    sorted.sort();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A67E5);
+    (0..n)
+        .map(|_| {
+            let i = rng.gen_range(0..sorted.len());
+            let j = (i + span).min(sorted.len() - 1);
+            (sorted[i].clone(), sorted[j].clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::uniform_keys;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hit_rate_respected() {
+        let keys = uniform_keys(1000, 8, 1);
+        let stored: HashSet<_> = keys.iter().cloned().collect();
+        let mut qs = QueryStream::new(keys, 0.8, 42);
+        let batch = qs.next_batch(4000);
+        let hits = batch.iter().filter(|k| stored.contains(*k)).count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.8).abs() < 0.05, "hit rate {rate}");
+    }
+
+    #[test]
+    fn all_hits_and_all_misses() {
+        let keys = uniform_keys(100, 8, 2);
+        let stored: HashSet<_> = keys.iter().cloned().collect();
+        let mut all_hit = QueryStream::new(keys.clone(), 1.0, 1);
+        assert!(all_hit.next_batch(500).iter().all(|k| stored.contains(k)));
+        let mut all_miss = QueryStream::new(keys, 0.0, 1);
+        assert!(all_miss.next_batch(500).iter().all(|k| !stored.contains(k)));
+    }
+
+    #[test]
+    fn query_stream_deterministic() {
+        let keys = uniform_keys(100, 8, 3);
+        let mut a = QueryStream::new(keys.clone(), 0.5, 9);
+        let mut b = QueryStream::new(keys, 0.5, 9);
+        assert_eq!(a.next_batch(100), b.next_batch(100));
+    }
+
+    #[test]
+    fn update_stream_duplicates_and_deletes() {
+        let keys = uniform_keys(50, 8, 4);
+        let mut us = UpdateStream::new(keys, 0.3, 0.5, 7);
+        let batch = us.next_batch(2000, u64::MAX);
+        let deletes = batch.iter().filter(|(_, v)| *v == u64::MAX).count();
+        let rate = deletes as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "delete rate {rate}");
+        let distinct: HashSet<_> = batch.iter().map(|(k, _)| k).collect();
+        assert!(distinct.len() < 2000, "duplicates must occur");
+        // Non-delete values are unique and monotone.
+        let values: Vec<u64> = batch.iter().map(|(_, v)| *v).filter(|&v| v != u64::MAX).collect();
+        let vset: HashSet<_> = values.iter().collect();
+        assert_eq!(vset.len(), values.len());
+    }
+
+    #[test]
+    fn range_queries_are_ordered_pairs() {
+        let keys = uniform_keys(500, 8, 5);
+        let ranges = range_queries(&keys, 50, 10, 6);
+        assert_eq!(ranges.len(), 50);
+        assert!(ranges.iter().all(|(lo, hi)| lo <= hi));
+    }
+}
+
+/// A Zipf-skewed point-lookup stream: rank-1 keys dominate, matching the
+/// hot-key behaviour of KV caches and monitoring stores. `s` is the Zipf
+/// exponent (≈1.0 for web-like skew).
+#[derive(Debug)]
+pub struct ZipfQueryStream {
+    /// Keys sorted by popularity rank (index 0 = hottest).
+    keys: Vec<Vec<u8>>,
+    /// Precomputed cumulative distribution over ranks.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfQueryStream {
+    /// Build over `keys` with exponent `s > 0`.
+    pub fn new(keys: Vec<Vec<u8>>, s: f64, seed: u64) -> Self {
+        assert!(!keys.is_empty());
+        assert!(s > 0.0);
+        let mut cdf = Vec::with_capacity(keys.len());
+        let mut acc = 0.0;
+        for rank in 1..=keys.len() {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfQueryStream {
+            keys,
+            cdf,
+            rng: StdRng::seed_from_u64(seed ^ 0x21BF),
+        }
+    }
+
+    /// Next batch of `n` keys drawn by popularity.
+    pub fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|_| {
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                let idx = self.cdf.partition_point(|&c| c < u).min(self.keys.len() - 1);
+                self.keys[idx].clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod zipf_tests {
+    use super::*;
+    use crate::keys::uniform_keys;
+
+    #[test]
+    fn zipf_is_rank_skewed_and_deterministic() {
+        let keys = uniform_keys(1000, 8, 9);
+        let mut a = ZipfQueryStream::new(keys.clone(), 1.0, 5);
+        let mut b = ZipfQueryStream::new(keys.clone(), 1.0, 5);
+        let batch = a.next_batch(20_000);
+        assert_eq!(batch, b.next_batch(20_000));
+        // Rank-0 key dominates any mid-rank key.
+        let count = |k: &Vec<u8>| batch.iter().filter(|x| *x == k).count();
+        let hot = count(&keys[0]);
+        let mid = count(&keys[500]);
+        assert!(hot > 10 * mid.max(1), "hot {hot} vs mid {mid}");
+        // All drawn keys come from the population.
+        assert!(batch.iter().all(|k| keys.contains(k)));
+    }
+
+    #[test]
+    fn high_exponent_concentrates_harder() {
+        let keys = uniform_keys(500, 8, 10);
+        let mut soft = ZipfQueryStream::new(keys.clone(), 0.5, 1);
+        let mut hard = ZipfQueryStream::new(keys.clone(), 2.0, 1);
+        let top_share = |batch: &[Vec<u8>]| {
+            batch.iter().filter(|k| **k == keys[0]).count() as f64 / batch.len() as f64
+        };
+        let soft_share = top_share(&soft.next_batch(10_000));
+        let hard_share = top_share(&hard.next_batch(10_000));
+        assert!(hard_share > 2.0 * soft_share, "{hard_share} vs {soft_share}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Semantic-web indexing with long keys — the workload §3.2.3 motivates
+//! ("the need for handling keys longer than the CuART maximum can arise in
+//! some specific workloads such as semantic web indexing").
+//!
+//! Builds an index over BTC-like RDF terms where a fraction of keys exceed
+//! the 32-byte device maximum, and compares the three long-key policies:
+//! CPU routing (option 1), host-leaf links (option 2) and dynamic leaves
+//! (option 3).
+//!
+//! ```text
+//! cargo run -p cuart-examples --release --bin semantic_web
+//! ```
+
+use cuart::{CuartConfig, CuartIndex, LongKeyPolicy};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::NOT_FOUND;
+use cuart_gpu_sim::devices;
+use cuart_host::hybrid::{hybrid_throughput, CPU_LONG_KEY_NS};
+use cuart_host::gpu_runner::{run_cuart_lookups, RunConfig};
+use cuart_workloads::{btc_keys, QueryStream};
+
+fn main() {
+    // RDF terms: 32-byte BTC keys plus 5% long IRIs (64 bytes).
+    let mut keys = btc_keys(80_000, 1);
+    for (i, k) in keys.iter_mut().enumerate() {
+        if i % 20 == 0 {
+            k.extend_from_slice(format!("/fragment#{i:027}").as_bytes());
+            assert!(k.len() > 32);
+        }
+    }
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let long_count = keys.iter().filter(|k| k.len() > 32).count();
+    println!(
+        "RDF term index: {} keys, {} long (> 32 B, {:.1}%)",
+        keys.len(),
+        long_count,
+        100.0 * long_count as f64 / keys.len() as f64
+    );
+
+    let dev = devices::a100();
+    for policy in [
+        LongKeyPolicy::CpuRoute,
+        LongKeyPolicy::HostLeafLink,
+        LongKeyPolicy::DynamicLeaf,
+    ] {
+        let cfg = CuartConfig {
+            long_key_policy: policy,
+            ..CuartConfig::default()
+        };
+        let index = CuartIndex::build(&art, &cfg);
+        let mut session = index.device_session(&dev);
+        let probes: Vec<Vec<u8>> = keys.iter().take(8192).cloned().collect();
+        let (results, report) = session.lookup_batch(&probes);
+        let correct = probes
+            .iter()
+            .zip(&results)
+            .filter(|(k, &r)| {
+                let want = art.get(k).copied().unwrap_or(NOT_FOUND);
+                r == want
+            })
+            .count();
+        println!(
+            "{policy:?}: {}/{} correct, host-side entries {}, device {:.1} MiB, kernel {:.1} µs",
+            correct,
+            probes.len(),
+            index.buffers().host_entries(),
+            index.device_bytes() as f64 / (1 << 20) as f64,
+            report.time_ns / 1e3
+        );
+        assert_eq!(correct, probes.len());
+    }
+
+    // The Figure 13 consequence for CpuRoute: long-key fraction sets the pace.
+    let cfg_idx = CuartConfig::default();
+    let short_only: Vec<Vec<u8>> = keys.iter().filter(|k| k.len() <= 32).cloned().collect();
+    let mut short_art = Art::new();
+    for (i, k) in short_only.iter().enumerate() {
+        short_art.insert(k, i as u64 + 1).unwrap();
+    }
+    let index = CuartIndex::build(&short_art, &cfg_idx);
+    let mut qs = QueryStream::new(short_only, 1.0, 2);
+    let run_cfg = RunConfig {
+        batch_size: 8192,
+        total_queries: 1 << 17,
+        sample_batches: 2,
+        ..RunConfig::default()
+    };
+    let gpu = run_cuart_lookups(&index, &dev, &run_cfg, &mut qs);
+    println!("\nhybrid throughput as the long-key share grows (56 CPU threads):");
+    for pct in [0.0, 1.0, 3.0, 5.0, 10.0] {
+        let h = hybrid_throughput(&gpu, run_cfg.batch_size, pct / 100.0, 56, CPU_LONG_KEY_NS);
+        println!(
+            "  {pct:>4.1}% long keys -> {:>7.1} MOps/s{}",
+            h.mops,
+            if h.cpu_bound { "  (CPU-bound)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate agreement: every engine — classic ART, the GRT buffer (CPU
+//! and GPU kernel), the CuART buffers (CPU engine and GPU kernel) — must
+//! return identical answers on identical data.
+
+use cuart::{CuartConfig, CuartIndex, LongKeyPolicy};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::NOT_FOUND;
+use cuart_gpu_sim::devices;
+use cuart_grt::GrtIndex;
+use cuart_workloads::{btc_keys, uniform_keys, QueryStream};
+use proptest::prelude::*;
+
+fn build_all(keys: &[Vec<u8>], cfg: &CuartConfig) -> (Art<u64>, GrtIndex, CuartIndex) {
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let grt = GrtIndex::build(&art);
+    let cuart = CuartIndex::build(&art, cfg);
+    (art, grt, cuart)
+}
+
+fn check_agreement(art: &Art<u64>, grt: &GrtIndex, cuart: &CuartIndex, probes: &[Vec<u8>]) {
+    let stride = probes.iter().map(|k| k.len()).max().unwrap_or(8).max(8);
+    let dev = devices::a100();
+    let (grt_dev, _) = grt.lookup_batch_device(&dev, &probes.to_vec(), stride);
+    let mut session = cuart.device_session(&dev);
+    let (cuart_dev, _) = session.lookup_batch(&probes.to_vec());
+    for (i, key) in probes.iter().enumerate() {
+        let want = art.get(key).copied();
+        assert_eq!(grt.lookup_cpu(key), want, "GRT CPU, key {key:x?}");
+        assert_eq!(cuart.lookup_cpu(key), want, "CuART CPU, key {key:x?}");
+        assert_eq!(grt_dev[i], want.unwrap_or(NOT_FOUND), "GRT kernel, key {key:x?}");
+        assert_eq!(cuart_dev[i], want.unwrap_or(NOT_FOUND), "CuART kernel, key {key:x?}");
+    }
+}
+
+#[test]
+fn agreement_on_uniform_keys_all_lengths() {
+    for kl in [4usize, 8, 12, 16, 24, 32] {
+        let keys = uniform_keys(3000, kl, kl as u64);
+        let (art, grt, cuart) = build_all(&keys, &CuartConfig::for_tests());
+        let mut probes = keys[..300].to_vec();
+        // Misses of the same length.
+        let mut qs = QueryStream::new(keys.clone(), 0.0, 5);
+        probes.extend(qs.next_batch(100));
+        check_agreement(&art, &grt, &cuart, &probes);
+    }
+}
+
+#[test]
+fn agreement_on_btc_keys() {
+    let keys = btc_keys(4000, 77);
+    let (art, grt, cuart) = build_all(&keys, &CuartConfig::default());
+    check_agreement(&art, &grt, &cuart, &keys[..500].to_vec());
+}
+
+#[test]
+fn agreement_with_every_long_key_policy() {
+    // Mixed lengths incl. > 32-byte keys.
+    let keys = cuart_workloads::long_key_mix(1500, 16, 48, 0.2, 3);
+    for policy in [
+        LongKeyPolicy::CpuRoute,
+        LongKeyPolicy::HostLeafLink,
+        LongKeyPolicy::DynamicLeaf,
+    ] {
+        let cfg = CuartConfig {
+            lut_span: 2,
+            long_key_policy: policy,
+            multi_layer_nodes: false,
+            single_leaf_class: false,
+        };
+        let mut art = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64 + 1).unwrap();
+        }
+        let cuart = CuartIndex::build(&art, &cfg);
+        for key in keys.iter().take(400) {
+            assert_eq!(
+                cuart.lookup_cpu(key),
+                art.get(key).copied(),
+                "policy {policy:?}, key len {}",
+                key.len()
+            );
+        }
+        // Device session answers (host-routing included) must also agree.
+        let mut session = cuart.device_session(&devices::rtx3090());
+        let probes: Vec<Vec<u8>> = keys.iter().take(200).cloned().collect();
+        let (results, _) = session.lookup_batch(&probes);
+        for (key, got) in probes.iter().zip(&results) {
+            assert_eq!(*got, art.get(key).copied().unwrap_or(NOT_FOUND), "policy {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn agreement_on_range_queries() {
+    let keys = uniform_keys(2000, 8, 55);
+    let (art, _, cuart) = build_all(&keys, &CuartConfig::for_tests());
+    let mut sorted = keys.clone();
+    sorted.sort();
+    for (lo_i, hi_i) in [(0usize, 1999), (100, 200), (500, 501), (1999, 1999)] {
+        let (lo, hi) = (&sorted[lo_i], &sorted[hi_i]);
+        let want: Vec<(Vec<u8>, u64)> = art.range(lo, hi).map(|(k, &v)| (k, v)).collect();
+        let got = cuart::range::range_query(cuart.buffers(), lo, hi);
+        assert_eq!(got, want, "range [{lo_i}, {hi_i}]");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn engines_agree_on_random_key_sets(
+        keys in prop::collection::hash_set(prop::collection::vec(any::<u8>(), 8), 10..200),
+    ) {
+        let keys: Vec<Vec<u8>> = keys.into_iter().collect();
+        let (art, grt, cuart) = build_all(&keys, &CuartConfig::for_tests());
+        prop_assert_eq!(art.len(), keys.len());
+        for key in &keys {
+            let want = art.get(key).copied();
+            prop_assert_eq!(grt.lookup_cpu(key), want);
+            prop_assert_eq!(cuart.lookup_cpu(key), want);
+        }
+        // A probe that differs in the last byte must agree too (hit or miss).
+        let mut probe = keys[0].clone();
+        probe[7] ^= 0x55;
+        prop_assert_eq!(grt.lookup_cpu(&probe), art.get(&probe).copied());
+        prop_assert_eq!(cuart.lookup_cpu(&probe), art.get(&probe).copied());
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end hybrid pipeline: long keys answered by the host, short keys
+//! by the (simulated) device, and the combined throughput model (§3.2.3
+//! option 1, Figures 13/14).
+
+use cuart::{CuartConfig, CuartIndex, LongKeyPolicy};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::NOT_FOUND;
+use cuart_gpu_sim::devices;
+use cuart_grt::ApiProfile;
+use cuart_host::gpu_runner::{run_cuart_lookups, run_grt_lookups, RunConfig};
+use cuart_host::hybrid::{hybrid_throughput, CPU_LONG_KEY_NS};
+use cuart_grt::GrtIndex;
+use cuart_workloads::{long_key_mix, QueryStream};
+
+fn mixed_index(n: usize, long_fraction: f64) -> (Art<u64>, CuartIndex, Vec<Vec<u8>>) {
+    let keys = long_key_mix(n, 16, 48, long_fraction, 4242);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let cuart = CuartIndex::build(
+        &art,
+        &CuartConfig {
+            lut_span: 2,
+            long_key_policy: LongKeyPolicy::CpuRoute,
+            multi_layer_nodes: false,
+            single_leaf_class: false,
+        },
+    );
+    (art, cuart, keys)
+}
+
+#[test]
+fn session_routes_long_keys_correctly_end_to_end() {
+    let (art, cuart, keys) = mixed_index(3000, 0.15);
+    let mut session = cuart.device_session(&devices::a100());
+    let (results, report) = session.lookup_batch(&keys);
+    for (k, got) in keys.iter().zip(&results) {
+        assert_eq!(*got, art.get(k).copied().unwrap_or(NOT_FOUND), "key len {}", k.len());
+    }
+    // The kernel only saw the short keys.
+    assert!(report.threads <= keys.iter().filter(|k| k.len() <= 32).count());
+    // Long keys really are host-resident, not device leaves.
+    assert_eq!(
+        cuart.buffers().host_leaves.len(),
+        keys.iter().filter(|k| k.len() > 32).count()
+    );
+}
+
+#[test]
+fn throughput_drops_as_long_key_fraction_grows() {
+    // Figure 13's mechanism, driven through the real GPU e2e report.
+    let (art, cuart, keys) = mixed_index(60_000, 0.0);
+    let _ = art;
+    let dev = devices::a100();
+    let cfg = RunConfig {
+        batch_size: 4096,
+        total_queries: 1 << 16,
+        sample_batches: 2,
+        ..RunConfig::default()
+    };
+    let mut qs = QueryStream::new(keys, 1.0, 7);
+    let gpu = run_cuart_lookups(&cuart, &dev, &cfg, &mut qs);
+    let mut last = f64::INFINITY;
+    for frac in [0.0, 0.03, 0.10, 0.30] {
+        let h = hybrid_throughput(&gpu, cfg.batch_size, frac, 56, CPU_LONG_KEY_NS);
+        assert!(h.mops <= last + 1e-9, "throughput must not rise with CPU share");
+        last = h.mops;
+    }
+    // The collapse is severe: 30% on CPU costs > 2x overall.
+    let h30 = hybrid_throughput(&gpu, cfg.batch_size, 0.30, 56, CPU_LONG_KEY_NS);
+    assert!(h30.mops < gpu.mops / 2.0);
+    assert!(h30.cpu_bound);
+}
+
+#[test]
+fn all_gpu_engines_converge_when_cpu_bound() {
+    // Figure 14: with a fixed CPU share, CuART / GRT-CUDA / GRT-OpenCL all
+    // plateau at the CPU-leg level.
+    let keys = cuart_workloads::uniform_keys(60_000, 16, 9);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let cuart = CuartIndex::build(&art, &CuartConfig::for_tests());
+    let grt = GrtIndex::build(&art);
+    let dev = devices::a100();
+    let cfg = RunConfig {
+        batch_size: 4096,
+        total_queries: 1 << 16,
+        sample_batches: 2,
+        ..RunConfig::default()
+    };
+    let mut qs = QueryStream::new(keys.clone(), 1.0, 3);
+    let cu = run_cuart_lookups(&cuart, &dev, &cfg, &mut qs);
+    let mut qs = QueryStream::new(keys.clone(), 1.0, 3);
+    let gc = run_grt_lookups(&grt, ApiProfile::Cuda, &dev, &cfg, &mut qs);
+    let mut qs = QueryStream::new(keys, 1.0, 3);
+    let go = run_grt_lookups(&grt, ApiProfile::OpenCl, &dev, &cfg, &mut qs);
+    let hybrids: Vec<f64> = [&cu, &gc, &go]
+        .iter()
+        .map(|r| hybrid_throughput(r, cfg.batch_size, 0.20, 16, CPU_LONG_KEY_NS).mops)
+        .collect();
+    let spread = (hybrids.iter().copied().fold(0.0, f64::max)
+        - hybrids.iter().copied().fold(f64::MAX, f64::min))
+        / hybrids[0];
+    assert!(spread < 0.10, "CPU-bound engines must converge: {hybrids:?}");
+}

@@ -1,0 +1,124 @@
+//! Simulator-level invariants checked through the real index kernels:
+//! transaction accounting, the §3.1 access-pattern claims, and the §4.6
+//! memory-architecture ordering.
+
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_gpu_sim::devices;
+use cuart_grt::GrtIndex;
+use cuart_workloads::uniform_keys;
+use proptest::prelude::*;
+
+fn build(n: usize, kl: usize) -> (Art<u64>, Vec<Vec<u8>>) {
+    let keys = uniform_keys(n, kl, 1234);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    (art, keys)
+}
+
+#[test]
+fn grt_issues_more_dependent_steps_than_cuart() {
+    // §3.1: GRT needs ≥ 2 dependent transactions per node (type inside the
+    // node); CuART §3.2.1 needs one known-size read for most node types.
+    let (art, keys) = build(20_000, 32);
+    let cuart = CuartIndex::build(&art, &CuartConfig::default());
+    let grt = GrtIndex::build(&art);
+    let dev = devices::a100();
+    let probes = keys[..2048].to_vec();
+    let (_, cu) = cuart.lookup_batch_device(&dev, &probes, 32);
+    let (_, gr) = grt.lookup_batch_device(&dev, &probes, 32);
+    assert!(
+        gr.max_chain_steps as f64 >= 1.5 * cu.max_chain_steps as f64,
+        "GRT chain {} vs CuART chain {}",
+        gr.max_chain_steps,
+        cu.max_chain_steps
+    );
+    assert!(gr.sectors > cu.sectors, "GRT must touch more sectors");
+}
+
+#[test]
+fn transaction_accounting_is_consistent() {
+    let (art, keys) = build(5_000, 16);
+    let cuart = CuartIndex::build(&art, &CuartConfig::for_tests());
+    for dev in devices::all() {
+        let (_, r) = cuart.lookup_batch_device(&dev, &keys[..512].to_vec(), 16);
+        assert_eq!(r.l2_hits + r.dram_transactions, r.sectors, "{}", dev.name);
+        assert_eq!(r.dram_bytes, r.dram_transactions * 32, "{}", dev.name);
+        assert!(r.time_ns >= r.bandwidth_bound_ns.max(r.compute_bound_ns) - 1e-6);
+        assert!(r.threads == 512);
+    }
+}
+
+#[test]
+fn memory_architecture_ordering_for_random_lookups() {
+    // §4.6: at equal structure, the GDDR6X 3090 serves this random-access
+    // workload fastest, the GTX 1070 slowest — once the tree exceeds L2.
+    let (art, keys) = build(120_000, 32);
+    let cuart = CuartIndex::build(&art, &CuartConfig::default());
+    let mut times = Vec::new();
+    for mut dev in devices::all() {
+        // Scale L2 like the figure harness so mid-levels miss.
+        dev.l2.size_bytes = (dev.l2.size_bytes / 128).max(32 << 10);
+        let (_, r) = cuart.lookup_batch_device(&dev, &keys[..8192].to_vec(), 32);
+        times.push((dev.name, r.time_ns));
+    }
+    let a100 = times[0].1;
+    let rtx = times[1].1;
+    let gtx = times[2].1;
+    assert!(rtx < a100, "RTX 3090 must beat the A100: {times:?}");
+    assert!(gtx > rtx && gtx > a100, "GTX 1070 must be slowest: {times:?}");
+}
+
+#[test]
+fn lut_ablation_reduces_chain_length() {
+    // §3.2.2: the compacted root merges the top layers. Disabling it must
+    // lengthen the dependent chain and slow the kernel.
+    let (art, keys) = build(50_000, 16);
+    let with_lut = CuartIndex::build(
+        &art,
+        &CuartConfig {
+            lut_span: 3,
+            ..CuartConfig::for_tests()
+        },
+    );
+    let without = CuartIndex::build(
+        &art,
+        &CuartConfig {
+            lut_span: 0,
+            ..CuartConfig::for_tests()
+        },
+    );
+    let dev = devices::rtx3090();
+    let probes = keys[..4096].to_vec();
+    let (r1, with_report) = with_lut.lookup_batch_device(&dev, &probes, 16);
+    let (r2, without_report) = without.lookup_batch_device(&dev, &probes, 16);
+    assert_eq!(r1, r2, "ablation must not change results");
+    assert!(
+        with_report.max_chain_steps < without_report.max_chain_steps,
+        "LUT {} !< no-LUT {}",
+        with_report.max_chain_steps,
+        without_report.max_chain_steps
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn kernel_reports_scale_sanely_with_batch(batch in 32usize..2048) {
+        let keys = uniform_keys(4096, 8, 5);
+        let mut art = Art::new();
+        for (i, k) in keys.iter().enumerate() {
+            art.insert(k, i as u64 + 1).unwrap();
+        }
+        let cuart = CuartIndex::build(&art, &CuartConfig::for_tests());
+        let dev = devices::gtx1070();
+        let (results, r) = cuart.lookup_batch_device(&dev, &keys[..batch].to_vec(), 8);
+        prop_assert_eq!(results.len(), batch);
+        prop_assert_eq!(r.threads, batch);
+        prop_assert!(r.time_ns > 0.0);
+        // Every query does at least a LUT/root read + result write.
+        prop_assert!(r.steps_total >= 2 * batch as u64);
+    }
+}

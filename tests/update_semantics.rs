@@ -1,0 +1,136 @@
+//! Update/delete semantics across engines: the two-stage device kernel
+//! must behave exactly like applying the batch in thread-id order to a
+//! reference map (§3.4's priority rule), and GRT's host-side updates must
+//! converge to the same final state for conflict-free batches.
+
+use cuart::update::status;
+use cuart::{CuartConfig, CuartIndex, DELETE};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::NOT_FOUND;
+use cuart_gpu_sim::devices;
+use cuart_grt::GrtIndex;
+use cuart_workloads::{uniform_keys, UpdateStream};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn build(keys: &[Vec<u8>]) -> (Art<u64>, CuartIndex) {
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let cuart = CuartIndex::build(&art, &CuartConfig::for_tests());
+    (art, cuart)
+}
+
+/// Apply a batch to a reference map with the paper's semantics (§3.4):
+/// stage 1 resolves every key against the *pre-batch* state, then only the
+/// highest-thread-id operation per key performs its write — so per key the
+/// **last** op in the batch wins, and ops on keys absent at batch start
+/// are no-ops (even if another op in the same batch would have deleted or
+/// created them).
+fn reference_apply(model: &mut BTreeMap<Vec<u8>, u64>, ops: &[(Vec<u8>, u64)]) {
+    let mut winners: BTreeMap<&[u8], u64> = BTreeMap::new();
+    for (k, v) in ops {
+        winners.insert(k.as_slice(), *v); // later ops overwrite = max tid
+    }
+    for (k, v) in winners {
+        if !model.contains_key(k) {
+            continue;
+        }
+        if v == DELETE {
+            model.remove(k);
+        } else {
+            model.insert(k.to_vec(), v);
+        }
+    }
+}
+
+#[test]
+fn batched_updates_match_reference_over_many_rounds() {
+    let keys = uniform_keys(2000, 8, 21);
+    let (art, cuart) = build(&keys);
+    let mut model: BTreeMap<Vec<u8>, u64> =
+        art.iter().map(|(k, v)| (k, *v)).collect();
+    let dev = devices::a100();
+    let mut session = cuart.device_session_with_table(&dev, 1 << 14);
+    let mut us = UpdateStream::new(keys.clone(), 0.2, 0.3, 99);
+    for round in 0..5 {
+        let ops = us.next_batch(512, DELETE);
+        session.update_batch(&ops);
+        reference_apply(&mut model, &ops);
+        // Verify every key's state through the device lookup kernel.
+        let (results, _) = session.lookup_batch(&keys);
+        for (k, got) in keys.iter().zip(&results) {
+            let want = model.get(k).copied().unwrap_or(NOT_FOUND);
+            assert_eq!(*got, want, "round {round}, key {k:x?}");
+        }
+    }
+}
+
+#[test]
+fn deleted_keys_free_slots_and_stay_deleted() {
+    let keys = uniform_keys(500, 16, 31);
+    let (_, cuart) = build(&keys);
+    let dev = devices::rtx3090();
+    let mut session = cuart.device_session(&dev);
+    let victims: Vec<(Vec<u8>, u64)> = keys[..100].iter().map(|k| (k.clone(), DELETE)).collect();
+    let (statuses, _) = session.update_batch(&victims);
+    assert!(statuses.iter().all(|&s| s == status::APPLIED));
+    assert_eq!(session.free_count(cuart::link::LinkType::Leaf16), 100);
+    // Deleted keys miss; survivors unaffected.
+    let (results, _) = session.lookup_batch(&keys);
+    for (i, r) in results.iter().enumerate() {
+        if i < 100 {
+            assert_eq!(*r, NOT_FOUND, "victim {i} still visible");
+        } else {
+            assert_eq!(*r, i as u64 + 1, "survivor {i} damaged");
+        }
+    }
+    // Deleting again is a miss, not a double-free.
+    let (statuses, _) = session.update_batch(&victims[..10].to_vec());
+    assert!(statuses.iter().all(|&s| s == status::MISS));
+    assert_eq!(session.free_count(cuart::link::LinkType::Leaf16), 100);
+}
+
+#[test]
+fn grt_and_cuart_converge_on_conflict_free_batches() {
+    let keys = uniform_keys(800, 8, 41);
+    let (art, cuart) = build(&keys);
+    let mut grt = GrtIndex::build(&art);
+    let dev = devices::a100();
+    let mut session = cuart.device_session(&dev);
+    // Conflict-free value updates (each key once).
+    let ops: Vec<(Vec<u8>, u64)> = keys.iter().enumerate().map(|(i, k)| (k.clone(), 10_000 + i as u64)).collect();
+    session.update_batch(&ops);
+    grt.update_batch(&ops, &dev);
+    let (cu_results, _) = session.lookup_batch(&keys);
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(cu_results[i], 10_000 + i as u64);
+        assert_eq!(grt.lookup_cpu(k), Some(10_000 + i as u64));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn update_kernel_matches_reference_semantics(
+        ops_spec in prop::collection::vec((0usize..60, prop::option::of(0u64..1000)), 1..120),
+    ) {
+        // 60 fixed keys; ops pick (key index, Some(value) | None=delete).
+        let keys = uniform_keys(60, 8, 77);
+        let (art, cuart) = build(&keys);
+        let mut model: BTreeMap<Vec<u8>, u64> = art.iter().map(|(k, v)| (k, *v)).collect();
+        let ops: Vec<(Vec<u8>, u64)> = ops_spec
+            .iter()
+            .map(|(i, v)| (keys[*i].clone(), v.unwrap_or(DELETE)))
+            .collect();
+        let dev = devices::a100();
+        let mut session = cuart.device_session_with_table(&dev, 1 << 10);
+        session.update_batch(&ops);
+        reference_apply(&mut model, &ops);
+        let (results, _) = session.lookup_batch(&keys);
+        for (k, got) in keys.iter().zip(&results) {
+            prop_assert_eq!(*got, model.get(k).copied().unwrap_or(NOT_FOUND));
+        }
+    }
+}
