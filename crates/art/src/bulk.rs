@@ -115,8 +115,11 @@ mod tests {
             .collect();
         keys.sort();
         keys.dedup();
-        let pairs: Vec<(Vec<u8>, u64)> =
-            keys.iter().enumerate().map(|(i, k)| (k.clone(), i as u64)).collect();
+        let pairs: Vec<(Vec<u8>, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as u64))
+            .collect();
         let bulk = Art::from_sorted(pairs.clone()).unwrap();
         let mut incremental = Art::new();
         for (k, v) in &pairs {
@@ -148,7 +151,10 @@ mod tests {
     #[test]
     fn prefix_violation_rejected() {
         let pairs = vec![(b"ab".to_vec(), 1u64), (b"abc".to_vec(), 2)];
-        assert_eq!(Art::from_sorted(pairs).unwrap_err(), ArtError::PrefixViolation);
+        assert_eq!(
+            Art::from_sorted(pairs).unwrap_err(),
+            ArtError::PrefixViolation
+        );
     }
 
     #[test]

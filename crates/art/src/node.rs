@@ -122,9 +122,9 @@ impl<V> Children<V> {
 
     pub fn len(&self) -> usize {
         match self {
-            Children::Node4 { len, .. } | Children::Node16 { len, .. } | Children::Node48 { len, .. } => {
-                *len as usize
-            }
+            Children::Node4 { len, .. }
+            | Children::Node16 { len, .. }
+            | Children::Node48 { len, .. } => *len as usize,
             Children::Node256 { len, .. } => *len as usize,
         }
     }
@@ -264,7 +264,11 @@ impl<V> Children<V> {
     pub fn grow(&mut self) {
         let old = std::mem::replace(self, Children::new4());
         *self = match old {
-            Children::Node4 { len, keys, mut ptrs } => {
+            Children::Node4 {
+                len,
+                keys,
+                mut ptrs,
+            } => {
                 let mut nkeys = [0u8; 16];
                 let mut nptrs = [const { None }; 16];
                 for i in 0..len as usize {
@@ -277,7 +281,11 @@ impl<V> Children<V> {
                     ptrs: nptrs,
                 }
             }
-            Children::Node16 { len, keys, mut ptrs } => {
+            Children::Node16 {
+                len,
+                keys,
+                mut ptrs,
+            } => {
                 let mut index = [EMPTY48; 256];
                 let mut nptrs = Box::new([const { None }; 48]);
                 for i in 0..len as usize {
@@ -290,7 +298,11 @@ impl<V> Children<V> {
                     ptrs: nptrs,
                 }
             }
-            Children::Node48 { len, index, mut ptrs } => {
+            Children::Node48 {
+                len,
+                index,
+                mut ptrs,
+            } => {
                 let mut nptrs = Box::new([const { None }; 256]);
                 for (byte, &slot) in index.iter().enumerate() {
                     if slot != EMPTY48 {
@@ -315,7 +327,11 @@ impl<V> Children<V> {
         }
         let old = std::mem::replace(self, Children::new4());
         *self = match old {
-            Children::Node16 { len, keys, mut ptrs } => {
+            Children::Node16 {
+                len,
+                keys,
+                mut ptrs,
+            } => {
                 let mut nkeys = [0u8; 4];
                 let mut nptrs = [const { None }; 4];
                 for i in 0..len as usize {
@@ -328,7 +344,11 @@ impl<V> Children<V> {
                     ptrs: nptrs,
                 }
             }
-            Children::Node48 { len, index, mut ptrs } => {
+            Children::Node48 {
+                len,
+                index,
+                mut ptrs,
+            } => {
                 let mut nkeys = [0u8; 16];
                 let mut nptrs = [const { None }; 16];
                 let mut n = 0;
@@ -385,7 +405,10 @@ impl<V> Children<V> {
             Children::Node48 { index, ptrs, .. } => {
                 for (byte, &slot) in index.iter().enumerate() {
                     if slot != EMPTY48 {
-                        f(byte as u8, ptrs[slot as usize].as_deref().expect("occupied slot"));
+                        f(
+                            byte as u8,
+                            ptrs[slot as usize].as_deref().expect("occupied slot"),
+                        );
                     }
                 }
             }
@@ -410,18 +433,21 @@ impl<V> Children<V> {
     /// Remove the single remaining child (used when collapsing a path).
     /// Panics unless exactly one child remains.
     pub fn take_only_child(&mut self) -> (u8, Child<V>) {
-        assert_eq!(self.len(), 1, "take_only_child on node with {} children", self.len());
+        assert_eq!(
+            self.len(),
+            1,
+            "take_only_child on node with {} children",
+            self.len()
+        );
         let byte = match self {
             Children::Node4 { keys, .. } => keys[0],
             Children::Node16 { keys, .. } => keys[0],
-            Children::Node48 { index, .. } => index
-                .iter()
-                .position(|&s| s != EMPTY48)
-                .expect("one child") as u8,
-            Children::Node256 { ptrs, .. } => ptrs
-                .iter()
-                .position(|p| p.is_some())
-                .expect("one child") as u8,
+            Children::Node48 { index, .. } => {
+                index.iter().position(|&s| s != EMPTY48).expect("one child") as u8
+            }
+            Children::Node256 { ptrs, .. } => {
+                ptrs.iter().position(|p| p.is_some()).expect("one child") as u8
+            }
         };
         let child = self.remove(byte).expect("child present");
         (byte, child)
@@ -476,7 +502,12 @@ mod tests {
     fn assert_sorted(c: &Children<u64>) {
         let e = c.entries();
         for w in e.windows(2) {
-            assert!(w[0].0 < w[1].0, "children not sorted: {} !< {}", w[0].0, w[1].0);
+            assert!(
+                w[0].0 < w[1].0,
+                "children not sorted: {} !< {}",
+                w[0].0,
+                w[1].0
+            );
         }
     }
 

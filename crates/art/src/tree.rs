@@ -17,7 +17,10 @@ impl std::fmt::Display for ArtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArtError::PrefixViolation => {
-                write!(f, "key set must be prefix-free (one key is a prefix of another)")
+                write!(
+                    f,
+                    "key set must be prefix-free (one key is a prefix of another)"
+                )
             }
             ArtError::EmptyKey => write!(f, "the empty key cannot be stored"),
         }
@@ -307,7 +310,10 @@ impl<V> Art<V> {
     }
 
     /// All entries whose key starts with `prefix`, in order.
-    pub fn scan_prefix<'a>(&'a self, prefix: &'a [u8]) -> impl Iterator<Item = (Vec<u8>, &'a V)> + 'a {
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (Vec<u8>, &'a V)> + 'a {
         self.iter()
             .skip_while(move |(k, _)| k.as_slice() < prefix)
             .take_while(move |(k, _)| k.starts_with(prefix))

@@ -95,7 +95,11 @@ impl<V> Art<V> {
     /// key-byte order, so leaves appear in lexicographic key order — the
     /// property CuART's leaf buffers rely on for range queries.
     pub fn walk<'a>(&'a self, mut f: impl FnMut(&NodeView<'a, V>, usize)) {
-        fn rec<'a, V>(node: &'a Node<V>, depth: usize, f: &mut impl FnMut(&NodeView<'a, V>, usize)) {
+        fn rec<'a, V>(
+            node: &'a Node<V>,
+            depth: usize,
+            f: &mut impl FnMut(&NodeView<'a, V>, usize),
+        ) {
             let view = NodeView::new(node);
             f(&view, depth);
             if let Node::Inner(inner) = node {

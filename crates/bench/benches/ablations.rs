@@ -17,7 +17,7 @@ use std::hint::black_box;
 fn modeled_time(index: &CuartIndex, batch: &[Vec<u8>]) -> (f64, u64, usize) {
     let mut dev = devices::rtx3090();
     dev.l2.size_bytes = 256 << 10;
-    let (_, r) = index.lookup_batch_device(&dev, &batch.to_vec(), 16);
+    let (_, r) = index.lookup_batch_device(&dev, batch, 16);
     (r.time_ns, r.dram_transactions, r.max_chain_steps)
 }
 
@@ -55,8 +55,9 @@ fn ablation_report(c: &mut Criterion) {
         println!(
             "single_leaf_class={single}: {:.1} µs / 4Ki batch, {tx} DRAM tx, {:.1} MiB leaves",
             t / 1e3,
-            (index.buffers().leaf8.len() + index.buffers().leaf16.len() + index.buffers().leaf32.len())
-                as f64
+            (index.buffers().leaf8.len()
+                + index.buffers().leaf16.len()
+                + index.buffers().leaf32.len()) as f64
                 / (1 << 20) as f64
         );
     }

@@ -36,9 +36,11 @@ fn bench_lookup_kernels(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simulate_lookup_batch");
     group.throughput(Throughput::Elements(batch.len() as u64));
-    group.bench_with_input(BenchmarkId::new("cuart", batch.len()), &batch, |b, batch| {
-        b.iter(|| black_box(cuart.lookup_batch_device(&dev, batch, 32)))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("cuart", batch.len()),
+        &batch,
+        |b, batch| b.iter(|| black_box(cuart.lookup_batch_device(&dev, batch, 32))),
+    );
     group.bench_with_input(BenchmarkId::new("grt", batch.len()), &batch, |b, batch| {
         b.iter(|| black_box(grt.lookup_batch_device(&dev, batch, 32)))
     });

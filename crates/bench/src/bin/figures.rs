@@ -6,9 +6,12 @@
 //! figures all --scale 64         # smaller/faster
 //! figures all --full             # paper-scale (needs a big machine)
 //! figures all --out results/     # output directory (default: results/)
+//! figures all --telemetry        # also dump results/telemetry.json
 //! ```
 
 use cuart_bench::{figures, RunCtx};
+use cuart_telemetry::Telemetry;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -16,6 +19,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut scale = 16usize;
     let mut out_dir = "results".to_string();
+    let mut want_telemetry = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -28,19 +32,27 @@ fn main() {
                 i += 1;
                 out_dir = args[i].clone();
             }
+            "--telemetry" => want_telemetry = true,
             "all" => ids.extend(figures::ALL.iter().map(|s| s.to_string())),
             id => ids.push(id.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: figures <all|figN ...> [--scale N] [--full] [--out DIR]");
+        eprintln!("usage: figures <all|figN ...> [--scale N] [--full] [--out DIR] [--telemetry]");
         eprintln!("known figures: {:?}", figures::ALL);
         std::process::exit(2);
     }
     ids.dedup();
 
-    let ctx = RunCtx::new(scale, &out_dir);
+    let telemetry = want_telemetry.then(|| Arc::new(Telemetry::new()));
+    let mut ctx = RunCtx::new(scale, &out_dir);
+    if let Some(t) = &telemetry {
+        if !t.is_enabled() {
+            eprintln!("warning: built without the `telemetry` feature; snapshot will be empty");
+        }
+        ctx = ctx.with_telemetry(t.clone());
+    }
     println!("# CuART figure regeneration (scale 1/{scale}, output {out_dir}/)\n");
     let mut summary = String::new();
     for id in &ids {
@@ -57,4 +69,9 @@ fn main() {
     std::fs::create_dir_all(&ctx.out_dir).expect("create output dir");
     std::fs::write(ctx.out_dir.join("SUMMARY.md"), summary).expect("write summary");
     println!("wrote {out_dir}/SUMMARY.md");
+    if let Some(t) = &telemetry {
+        let path = ctx.out_dir.join("telemetry.json");
+        std::fs::write(&path, t.snapshot().to_json()).expect("write telemetry snapshot");
+        println!("wrote {}", path.display());
+    }
 }

@@ -4,8 +4,10 @@ use cuart::{CuartConfig, CuartIndex};
 use cuart_art::Art;
 use cuart_gpu_sim::{devices, DeviceConfig};
 use cuart_grt::GrtIndex;
+use cuart_telemetry::Telemetry;
 use cuart_workloads::uniform_keys;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Context shared by all figure modules.
 #[derive(Debug, Clone)]
@@ -14,6 +16,9 @@ pub struct RunCtx {
     pub scale: usize,
     /// Output directory for CSVs.
     pub out_dir: PathBuf,
+    /// Optional telemetry sink; when set, every index the context builds
+    /// records its batches into it (`figures --telemetry`).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl RunCtx {
@@ -23,7 +28,20 @@ impl RunCtx {
         RunCtx {
             scale,
             out_dir: out_dir.into(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry registry: indexes built through [`cuart`](Self::cuart)
+    /// and [`grt`](Self::grt) will record every batch into it.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// A paper tree size scaled down, floored at 4 Ki entries.
@@ -59,7 +77,8 @@ impl RunCtx {
         let keys = uniform_keys(n, key_len, seed);
         let mut art = Art::new();
         for (i, k) in keys.iter().enumerate() {
-            art.insert(k, i as u64 + 1).expect("unique fixed-length keys");
+            art.insert(k, i as u64 + 1)
+                .expect("unique fixed-length keys");
         }
         (art, keys)
     }
@@ -75,12 +94,20 @@ impl RunCtx {
 
     /// Map to CuART with the paper's configuration (3-byte LUT).
     pub fn cuart(&self, art: &Art<u64>) -> CuartIndex {
-        CuartIndex::build(art, &CuartConfig::default())
+        let index = CuartIndex::build(art, &CuartConfig::default());
+        match &self.telemetry {
+            Some(t) => index.with_telemetry(t.clone()),
+            None => index,
+        }
     }
 
     /// Map to the GRT baseline.
     pub fn grt(&self, art: &Art<u64>) -> GrtIndex {
-        GrtIndex::build(art)
+        let index = GrtIndex::build(art);
+        match &self.telemetry {
+            Some(t) => index.with_telemetry(t.clone()),
+            None => index,
+        }
     }
 }
 
@@ -104,6 +131,26 @@ mod tests {
     fn l2_floor() {
         let ctx = RunCtx::new(10_000, "/tmp/x");
         assert_eq!(ctx.notebook().l2.size_bytes, 32 << 10);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn attached_telemetry_flows_into_built_indexes() {
+        use cuart_telemetry::names;
+        let telemetry = Arc::new(Telemetry::new());
+        let ctx = RunCtx::new(16, "/tmp/x").with_telemetry(telemetry.clone());
+        let (art, keys) = ctx.build_art(4096, 8, 7);
+        let cuart = ctx.cuart(&art);
+        let grt = ctx.grt(&art);
+        let dev = ctx.server();
+        let mut session = cuart.device_session(&dev);
+        session.lookup_batch(&keys[..256]);
+        grt.lookup_batch_device(&dev, &keys[..256], 8);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters[names::LOOKUP_BATCHES], 1);
+        assert_eq!(snap.counters[names::GRT_LOOKUP_BATCHES], 1);
+        assert!(snap.gauges[names::DEVICE_BYTES] > 0.0);
+        assert!(snap.gauges[names::GRT_DEVICE_BYTES] > 0.0);
     }
 
     #[test]

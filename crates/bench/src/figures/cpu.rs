@@ -38,7 +38,10 @@ pub fn fig7(ctx: &RunCtx) -> Figure {
                 .flat_map(|_| qs.next_batch(BATCH))
                 .collect();
             art_series.push(n as f64, measure_art_lookups(&art, &queries, THREADS));
-            cuart_series.push(n as f64, measure_cuart_cpu_lookups(&index, &queries, THREADS));
+            cuart_series.push(
+                n as f64,
+                measure_cuart_cpu_lookups(&index, &queries, THREADS),
+            );
         }
         fig.series.push(art_series);
         fig.series.push(cuart_series);

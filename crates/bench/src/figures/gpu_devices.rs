@@ -41,7 +41,10 @@ pub fn fig18(ctx: &RunCtx) -> Figure {
         cu_lookup.push(x, run_cuart_lookups(&cuart, dev, &cfg, &mut qs).mops);
         let grt = ctx.grt(&art);
         let mut qs = QueryStream::new(keys.clone(), 1.0, 18);
-        grt_lookup.push(x, run_grt_lookups(&grt, ApiProfile::Cuda, dev, &cfg, &mut qs).mops);
+        grt_lookup.push(
+            x,
+            run_grt_lookups(&grt, ApiProfile::Cuda, dev, &cfg, &mut qs).mops,
+        );
         let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 18);
         cu_update.push(x, run_cuart_updates(&cuart, dev, &cfg, &mut us, slots).mops);
         let mut grt = ctx.grt(&art);

@@ -4,7 +4,7 @@ use crate::context::RunCtx;
 use crate::series::{Figure, Series};
 use cuart_grt::ApiProfile;
 use cuart_host::gpu_runner::{run_cuart_lookups, run_grt_lookups, E2eReport, RunConfig};
-use cuart_host::hybrid::{hybrid_throughput, CPU_LONG_KEY_NS};
+use cuart_host::hybrid::{hybrid_throughput_traced, CPU_LONG_KEY_NS};
 use cuart_workloads::QueryStream;
 
 const CPU_THREADS: usize = 56; // the paper's server: 2x Epyc 7752
@@ -40,7 +40,14 @@ pub fn fig13(ctx: &RunCtx) -> Figure {
     let (cu, _, _) = gpu_baseline(ctx);
     let mut s = Series::new("CuART hybrid");
     for pct in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 25.0, 50.0] {
-        let r = hybrid_throughput(&cu, BATCH, pct / 100.0, CPU_THREADS, CPU_LONG_KEY_NS);
+        let r = hybrid_throughput_traced(
+            &cu,
+            BATCH,
+            pct / 100.0,
+            CPU_THREADS,
+            CPU_LONG_KEY_NS,
+            ctx.telemetry().map(|t| &**t),
+        );
         s.push(pct, r.mops);
     }
     fig.series.push(s);
@@ -64,7 +71,14 @@ pub fn fig14(ctx: &RunCtx) -> Figure {
     let mut with_cpu = Series::new("5% keys on CPU");
     for (i, r) in [&cu, &gc, &go].iter().enumerate() {
         gpu_only.push(i as f64, r.mops);
-        let h = hybrid_throughput(r, BATCH, 0.05, CPU_THREADS, CPU_LONG_KEY_NS);
+        let h = hybrid_throughput_traced(
+            r,
+            BATCH,
+            0.05,
+            CPU_THREADS,
+            CPU_LONG_KEY_NS,
+            ctx.telemetry().map(|t| &**t),
+        );
         with_cpu.push(i as f64, h.mops);
     }
     fig.series.push(gpu_only);
@@ -87,7 +101,10 @@ mod tests {
         let base = s.y_at(0.0).unwrap();
         let at3 = s.y_at(3.0).unwrap();
         let at50 = s.y_at(50.0).unwrap();
-        assert!(at3 < 0.75 * base, "3% CPU keys must hurt badly: {at3} vs {base}");
+        assert!(
+            at3 < 0.75 * base,
+            "3% CPU keys must hurt badly: {at3} vs {base}"
+        );
         assert!(at50 < at3);
         // Monotone non-increasing.
         for w in s.points.windows(2) {

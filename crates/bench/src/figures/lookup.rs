@@ -4,9 +4,9 @@ use crate::context::RunCtx;
 use crate::series::{Figure, Series};
 use cuart::CuartIndex;
 use cuart_art::Art;
+use cuart_gpu_sim::DeviceConfig;
 use cuart_grt::{ApiProfile, GrtIndex};
 use cuart_host::gpu_runner::{run_cuart_lookups, run_grt_lookups, RunConfig};
-use cuart_gpu_sim::DeviceConfig;
 use cuart_workloads::{btc_keys, QueryStream};
 
 /// The three lookup engines compared throughout §4.3/§4.4. Indexes are

@@ -11,8 +11,8 @@ use crate::series::Figure;
 
 /// All figure ids in paper order.
 pub const ALL: &[&str] = &[
-    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18",
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    "fig18",
 ];
 
 /// Run one figure by id.

@@ -5,7 +5,7 @@ use crate::series::{Figure, Series};
 use cuart_host::cpu_runner::measure_art_atomic_updates;
 use cuart_host::gpu_runner::{run_cuart_updates, run_grt_updates, RunConfig};
 use cuart_workloads::UpdateStream;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// The paper's hash table: 1 Mi entries (§4.5), scaled with the context so
 /// the batch-vs-table load factors — which drive the Figure 15 droop —
@@ -113,7 +113,10 @@ pub fn fig17(ctx: &RunCtx) -> Figure {
 
     let index = ctx.cuart(&art);
     let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 17);
-    s.push(0.0, run_cuart_updates(&index, &dev, &cfg, &mut us, table_slots(ctx)).mops);
+    s.push(
+        0.0,
+        run_cuart_updates(&index, &dev, &cfg, &mut us, table_slots(ctx)).mops,
+    );
 
     let mut grt = ctx.grt(&art);
     let mut us = UpdateStream::new(keys.clone(), 0.0, 0.0, 17);

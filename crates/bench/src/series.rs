@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// One line of a figure: a labelled sequence of (x, y) points.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (e.g. `"CuART"`, `"GRT-OpenCL"`).
     pub label: String,
@@ -41,7 +41,7 @@ impl Series {
 }
 
 /// A complete regenerated figure.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. `"fig10"`.
     pub id: String,

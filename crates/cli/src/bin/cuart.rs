@@ -12,11 +12,15 @@ USAGE:
   cuart info   INDEX
   cuart get    INDEX KEY [--hex]
   cuart range  INDEX LO HI [--hex] [--limit N]
-  cuart query  INDEX --keys FILE [--hex] [--device NAME]
-  cuart bench  INDEX [--device NAME] [--batch N] [--batches N]
+  cuart query  INDEX --keys FILE [--hex] [--device NAME] [--metrics-out FILE]
+  cuart bench  INDEX [--device NAME] [--batch N] [--batches N] [--metrics-out FILE]
+  cuart metrics INDEX [--keys FILE] [--hex] [--device NAME] [--batch N]
+                [--batches N] [--format json|prom] [--metrics-out FILE]
 
 DEVICES: a100 (server), rtx3090 (workstation), gtx1070 (notebook)
-KEY FILES: one key per line; optional 'key<TAB>value'; --hex for hex keys";
+KEY FILES: one key per line; optional 'key<TAB>value'; --hex for hex keys
+METRICS: counters, gauges, histograms and the per-batch event trace of the
+run, as JSON (default) or Prometheus text";
 
 struct Args {
     positional: Vec<String>,
@@ -111,7 +115,14 @@ fn main() {
         "query" => {
             let idx = required_path(&args, "INDEX", args.pos(0));
             let keys = required_path(&args, "--keys FILE", args.flag("keys"));
-            cmd_query(&idx, &keys, hex, args.flag("device").unwrap_or("rtx3090"))
+            let metrics_out = args.flag("metrics-out").map(PathBuf::from);
+            cmd_query(
+                &idx,
+                &keys,
+                hex,
+                args.flag("device").unwrap_or("rtx3090"),
+                metrics_out.as_deref(),
+            )
         }
         "bench" => {
             let idx = required_path(&args, "INDEX", args.pos(0));
@@ -123,7 +134,37 @@ fn main() {
                 .flag("batches")
                 .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batches")))
                 .unwrap_or(8);
-            cmd_bench(&idx, args.flag("device").unwrap_or("rtx3090"), batch, batches)
+            let metrics_out = args.flag("metrics-out").map(PathBuf::from);
+            cmd_bench(
+                &idx,
+                args.flag("device").unwrap_or("rtx3090"),
+                batch,
+                batches,
+                metrics_out.as_deref(),
+            )
+        }
+        "metrics" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let keys = args.flag("keys").map(PathBuf::from);
+            let batch = args
+                .flag("batch")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch")))
+                .unwrap_or(4096);
+            let batches = args
+                .flag("batches")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batches")))
+                .unwrap_or(4);
+            let metrics_out = args.flag("metrics-out").map(PathBuf::from);
+            cmd_metrics(
+                &idx,
+                keys.as_deref(),
+                hex,
+                args.flag("device").unwrap_or("rtx3090"),
+                batch,
+                batches,
+                args.flag("format").unwrap_or("json"),
+                metrics_out.as_deref(),
+            )
         }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

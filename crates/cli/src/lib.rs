@@ -5,8 +5,10 @@
 //! cuart info   idx.cuart
 //! cuart get    idx.cuart <key> [--hex]
 //! cuart range  idx.cuart <lo> <hi> [--hex] [--limit 20]
-//! cuart query  idx.cuart --keys probes.txt [--hex] [--device rtx3090]
-//! cuart bench  idx.cuart [--device a100] [--batch 32768] [--batches 8]
+//! cuart query  idx.cuart --keys probes.txt [--hex] [--device rtx3090] [--metrics-out m.json]
+//! cuart bench  idx.cuart [--device a100] [--batch 32768] [--batches 8] [--metrics-out m.json]
+//! cuart metrics idx.cuart [--keys probes.txt] [--hex] [--device NAME]
+//!               [--batch N] [--batches N] [--format json|prom] [--metrics-out FILE]
 //! ```
 //!
 //! Key files hold one key per line — raw text by default, or hex pairs
@@ -23,8 +25,10 @@ use cuart::{CuartConfig, CuartIndex};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
 use cuart_gpu_sim::{devices, DeviceConfig};
+use cuart_telemetry::{Snapshot, Telemetry};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -78,9 +82,10 @@ pub fn load_key_file(path: &Path, hex: bool) -> Result<Vec<(Vec<u8>, u64)>, CliE
         }
         let (key_part, value) = match line.split_once('\t') {
             Some((k, v)) => {
-                let value = v.trim().parse::<u64>().map_err(|_| {
-                    CliError::Input(format!("line {}: bad value {v:?}", i + 1))
-                })?;
+                let value = v
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Input(format!("line {}: bad value {v:?}", i + 1)))?;
                 (k, value)
             }
             None => (line, i as u64 + 1),
@@ -201,15 +206,36 @@ pub fn device_by_name(name: &str) -> Result<DeviceConfig, CliError> {
     })
 }
 
+/// Render a telemetry snapshot in the requested format (`json` or `prom`).
+pub fn render_metrics(snapshot: &Snapshot, format: &str) -> Result<String, CliError> {
+    match format {
+        "json" => Ok(snapshot.to_json()),
+        "prom" | "prometheus" | "text" => Ok(snapshot.to_prometheus()),
+        other => Err(CliError::Input(format!(
+            "unknown metrics format {other:?} (json | prom)"
+        ))),
+    }
+}
+
+/// Write a JSON metrics snapshot to `out`; returns the trailing status line.
+fn spill_metrics(telemetry: &Telemetry, out: &Path) -> Result<String, CliError> {
+    std::fs::write(out, telemetry.snapshot().to_json())?;
+    Ok(format!("\nmetrics -> {}", out.display()))
+}
+
 /// Batch lookups on the simulated device; prints hit statistics.
+/// With `metrics_out`, a JSON telemetry snapshot of the run is written too.
 pub fn cmd_query(
     path: &Path,
     keys_path: &Path,
     hex: bool,
     device: &str,
+    metrics_out: Option<&Path>,
 ) -> Result<String, CliError> {
     let index = CuartIndex::load(path)?;
     let dev = device_by_name(device)?;
+    let telemetry = Arc::new(Telemetry::new());
+    let index = index.with_telemetry(telemetry.clone());
     let probes: Vec<Vec<u8>> = load_key_file(keys_path, hex)?
         .into_iter()
         .map(|(k, _)| k)
@@ -217,25 +243,33 @@ pub fn cmd_query(
     let mut session = index.device_session(&dev);
     let (results, report) = session.lookup_batch(&probes);
     let hits = results.iter().filter(|&&r| r != NOT_FOUND).count();
-    Ok(format!(
+    let mut out = format!(
         "{hits}/{} hits on {} — modeled kernel {:.1} µs ({} DRAM transactions, {:.0}% L2 hits)",
         probes.len(),
         dev.name,
         report.time_ns / 1e3,
         report.dram_transactions,
         100.0 * report.l2_hits as f64 / report.sectors.max(1) as f64
-    ))
+    );
+    if let Some(path) = metrics_out {
+        out.push_str(&spill_metrics(&telemetry, path)?);
+    }
+    Ok(out)
 }
 
 /// End-to-end throughput bench against the saved index.
+/// With `metrics_out`, a JSON telemetry snapshot of the run is written too.
 pub fn cmd_bench(
     path: &Path,
     device: &str,
     batch: usize,
     batches: usize,
+    metrics_out: Option<&Path>,
 ) -> Result<String, CliError> {
     let index = CuartIndex::load(path)?;
     let dev = device_by_name(device)?;
+    let telemetry = Arc::new(Telemetry::new());
+    let index = index.with_telemetry(telemetry.clone());
     // Query the stored keys themselves (all hits), round-robin.
     let stored = cuart::range::range_query(
         index.buffers(),
@@ -255,12 +289,70 @@ pub fn cmd_bench(
         total_ns += report.time_ns;
     }
     let mops = (batch * batches) as f64 / total_ns * 1000.0;
-    Ok(format!(
+    let mut out = format!(
         "{} lookups in {batches} batches of {batch} on {}: {:.1} MOps/s (kernel-side, modeled)",
         batch * batches,
         dev.name,
         mops
-    ))
+    );
+    if let Some(path) = metrics_out {
+        out.push_str(&spill_metrics(&telemetry, path)?);
+    }
+    Ok(out)
+}
+
+/// Run an instrumented lookup workload and dump the full telemetry
+/// snapshot (counters, gauges, histograms, and the per-batch event trace).
+///
+/// Probes come from `--keys` when given, otherwise the stored keys are
+/// replayed round-robin. Output goes to stdout, or to `--metrics-out`.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_metrics(
+    path: &Path,
+    keys_path: Option<&Path>,
+    hex: bool,
+    device: &str,
+    batch: usize,
+    batches: usize,
+    format: &str,
+    metrics_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let dev = device_by_name(device)?;
+    let telemetry = Arc::new(Telemetry::new());
+    let index = index.with_telemetry(telemetry.clone());
+    let probes: Vec<Vec<u8>> = match keys_path {
+        Some(p) => load_key_file(p, hex)?.into_iter().map(|(k, _)| k).collect(),
+        None => {
+            let stored = cuart::range::range_query(
+                index.buffers(),
+                &[0u8],
+                &vec![0xFFu8; index.buffers().max_key_len.max(1)],
+            );
+            if stored.is_empty() {
+                return Err(CliError::Input("index is empty".into()));
+            }
+            stored.into_iter().map(|(k, _)| k).collect()
+        }
+    };
+    let mut session = index.device_session(&dev);
+    for b in 0..batches {
+        let queries: Vec<Vec<u8>> = (0..batch)
+            .map(|i| probes[(b * batch + i * 7) % probes.len()].clone())
+            .collect();
+        session.lookup_batch(&queries);
+    }
+    let rendered = render_metrics(&telemetry.snapshot(), format)?;
+    if !telemetry.is_enabled() {
+        eprintln!("warning: built without the `telemetry` feature; snapshot is empty");
+    }
+    match metrics_out {
+        Some(out) => {
+            std::fs::write(out, &rendered)?;
+            Ok(format!("metrics -> {}", out.display()))
+        }
+        None => Ok(rendered),
+    }
 }
 
 fn preview(key: &[u8]) -> String {
@@ -323,7 +415,9 @@ mod tests {
 
     #[test]
     fn range_and_query_and_bench() {
-        let lines: Vec<String> = (0..500u64).map(|i| format!("{:08}\t{}", i * 3, i)).collect();
+        let lines: Vec<String> = (0..500u64)
+            .map(|i| format!("{:08}\t{}", i * 3, i))
+            .collect();
         let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
         let keys = write_keys("range", &refs);
         let idx = tmp("range-idx");
@@ -333,13 +427,52 @@ mod tests {
         assert!(out.contains("(11 rows total)"), "{out}");
 
         let probes = write_keys("probes", &["00000030", "00000031", "00000033"]);
-        let out = cmd_query(&idx, &probes, false, "rtx3090").unwrap();
+        let out = cmd_query(&idx, &probes, false, "rtx3090", None).unwrap();
         assert!(out.starts_with("2/3 hits"), "{out}");
 
-        let out = cmd_bench(&idx, "a100", 256, 2).unwrap();
+        let out = cmd_bench(&idx, "a100", 256, 2, None).unwrap();
         assert!(out.contains("MOps/s"), "{out}");
 
         for p in [keys, idx, probes] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn metrics_command_renders_and_spills() {
+        let lines: Vec<String> = (0..200u64).map(|i| format!("{:08}\t{}", i, i)).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("metrics", &refs);
+        let idx = tmp("metrics-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+
+        // JSON to stdout.
+        let json = cmd_metrics(&idx, None, false, "a100", 64, 2, "json", None).unwrap();
+        assert!(json.starts_with('{'), "{json}");
+        // Prometheus text to stdout.
+        let prom = cmd_metrics(&idx, None, false, "a100", 64, 2, "prom", None).unwrap();
+        assert!(prom.contains("cuart_events_dropped"), "{prom}");
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(json.contains("\"cuart.lookup.batches\":2"), "{json}");
+            assert!(json.contains("\"kind\":\"lookup\""), "{json}");
+            assert!(prom.contains("cuart_lookup_batches 2"), "{prom}");
+        }
+        // Spill to a file via --metrics-out.
+        let out_file = tmp("metrics-out");
+        let msg = cmd_metrics(&idx, None, false, "a100", 64, 1, "json", Some(&out_file)).unwrap();
+        assert!(msg.contains("metrics ->"), "{msg}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        assert!(written.starts_with('{'), "{written}");
+        // Bad format is rejected.
+        assert!(cmd_metrics(&idx, None, false, "a100", 64, 1, "xml", None).is_err());
+
+        // query/bench accept --metrics-out too.
+        let probes = write_keys("metrics-probes", &["00000030"]);
+        let q = cmd_query(&idx, &probes, false, "rtx3090", Some(&out_file)).unwrap();
+        assert!(q.contains("metrics ->"), "{q}");
+
+        for p in [keys, idx, probes, out_file] {
             std::fs::remove_file(p).ok();
         }
     }

@@ -17,11 +17,16 @@ use cuart_gpu_sim::batch::{pack_keys, pack_keys_into, KeyBatchLayout, NOT_FOUND}
 use cuart_gpu_sim::cache::Cache;
 use cuart_gpu_sim::exec::{launch_with_cache, KernelReport};
 use cuart_gpu_sim::{BufferId, DeviceConfig, DeviceMemory};
+use cuart_telemetry::{names, BatchEvent, BatchKind, Telemetry};
+use std::sync::Arc;
 
 /// A built CuART index (host-side image of the device buffers).
 #[derive(Debug, Clone)]
 pub struct CuartIndex {
     buffers: CuartBuffers,
+    /// Shared metrics registry; `None` (the default) records nothing and
+    /// costs one branch per batch.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl CuartIndex {
@@ -29,13 +34,72 @@ impl CuartIndex {
     pub fn build(art: &Art<u64>, config: &CuartConfig) -> Self {
         CuartIndex {
             buffers: map_art(art, config),
+            telemetry: None,
         }
     }
 
     /// Assemble an index from deserialised buffers (see
     /// [`persist`](crate::persist)).
     pub(crate) fn from_buffers(buffers: CuartBuffers) -> Self {
-        CuartIndex { buffers }
+        CuartIndex {
+            buffers,
+            telemetry: None,
+        }
+    }
+
+    /// Attach a telemetry registry. Build-shape gauges (device bytes,
+    /// node/leaf-class occupancy) are recorded immediately and a `build`
+    /// event is traced; sessions opened afterwards inherit the registry
+    /// and record every batch.
+    pub fn attach_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.record_build_metrics(&telemetry);
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Builder-style variant of [`attach_telemetry`](Self::attach_telemetry).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.attach_telemetry(telemetry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    fn record_build_metrics(&self, t: &Telemetry) {
+        let b = &self.buffers;
+        t.gauge_set(names::DEVICE_BYTES, self.device_bytes() as f64);
+        let node_types = [
+            ("cuart.build.records.n4", LinkType::N4),
+            ("cuart.build.records.n16", LinkType::N16),
+            ("cuart.build.records.n48", LinkType::N48),
+            ("cuart.build.records.n256", LinkType::N256),
+            ("cuart.build.records.n2l", LinkType::N2L),
+        ];
+        let leaf_types = [
+            ("cuart.build.records.leaf8", LinkType::Leaf8),
+            ("cuart.build.records.leaf16", LinkType::Leaf16),
+            ("cuart.build.records.leaf32", LinkType::Leaf32),
+        ];
+        let mut nodes = 0usize;
+        for (name, ty) in node_types {
+            let n = b.record_count(ty);
+            nodes += n;
+            t.gauge_set(name, n as f64);
+        }
+        let mut leaves = 0usize;
+        for (name, ty) in leaf_types {
+            let n = b.record_count(ty);
+            leaves += n;
+            t.gauge_set(name, n as f64);
+        }
+        t.gauge_set(names::BUILD_NODES, nodes as f64);
+        t.gauge_set(names::BUILD_LEAVES, leaves as f64);
+        t.gauge_set("cuart.build.host_entries", b.host_entries() as f64);
+        let mut e = BatchEvent::new(BatchKind::Build, b.entries as u64);
+        e.dram_bytes = self.device_bytes() as u64;
+        t.record(e);
     }
 
     /// The underlying buffers.
@@ -193,7 +257,11 @@ impl CuartIndex {
     }
 
     /// Open a session with an explicit update hash-table capacity.
-    pub fn device_session_with_table(&self, dev: &DeviceConfig, table_slots: usize) -> CuartSession<'_> {
+    pub fn device_session_with_table(
+        &self,
+        dev: &DeviceConfig,
+        table_slots: usize,
+    ) -> CuartSession<'_> {
         CuartSession::new(self, dev, table_slots)
     }
 }
@@ -252,6 +320,8 @@ pub struct CuartSession<'a> {
     free_lists: FreeLists,
     tails: ArenaTails,
     staging: Option<Staging>,
+    /// Inherited from the index at session open; `None` records nothing.
+    telemetry: Option<Arc<Telemetry>>,
     /// Session-private copies of the host-side tables so host-routed
     /// updates stay coherent with device state.
     short_keys: Vec<(Vec<u8>, u64)>,
@@ -294,6 +364,7 @@ impl<'a> CuartSession<'a> {
             free_lists,
             tails,
             staging: None,
+            telemetry: index.telemetry.clone(),
             short_keys: index.buffers.short_keys.clone(),
             host_leaves: index.buffers.host_leaves.clone(),
             overflow: std::collections::BTreeMap::new(),
@@ -343,9 +414,11 @@ impl<'a> CuartSession<'a> {
         let mut results = vec![NOT_FOUND; keys.len()];
         let mut device_idx = Vec::new();
         let mut device_keys = Vec::new();
+        let mut host_spills = 0u64;
         for (i, k) in keys.iter().enumerate() {
             if self.index.is_host_routed(k) || k.is_empty() {
                 results[i] = self.host_lookup(k);
+                host_spills += 1;
             } else {
                 device_idx.push(i);
                 device_keys.push(k.clone());
@@ -377,6 +450,7 @@ impl<'a> CuartSession<'a> {
                 // Host-leaf signals finish on the CPU against the session
                 // table (which sees host-side updates).
                 results[i] = if raw != NOT_FOUND && raw & HOST_SIGNAL != 0 {
+                    host_spills += 1;
                     let idx = (raw & !HOST_SIGNAL) as usize;
                     let (stored, value) = &self.host_leaves[idx];
                     if stored.as_slice() == keys[i] {
@@ -400,6 +474,16 @@ impl<'a> CuartSession<'a> {
                 }
             }
         }
+        if let Some(t) = &self.telemetry {
+            t.incr(names::LOOKUP_BATCHES, 1);
+            t.incr(names::LOOKUP_KEYS, keys.len() as u64);
+            t.incr(names::LOOKUP_HOST_SPILLS, host_spills);
+            t.observe(names::LOOKUP_KERNEL_NS, report.time_ns as u64);
+            report.record_into(t);
+            let mut e = report.to_event(BatchKind::Lookup, keys.len() as u64);
+            e.host_spills = host_spills;
+            t.record(e);
+        }
         (results, report)
     }
 
@@ -408,6 +492,11 @@ impl<'a> CuartSession<'a> {
     /// [`status`](crate::update::status)) and the kernel report (which
     /// includes the hash-table clear cost).
     pub fn update_batch(&mut self, ops: &[(Vec<u8>, u64)]) -> (Vec<u64>, KernelReport) {
+        let free_before = if self.telemetry.is_some() {
+            self.free_total()
+        } else {
+            0
+        };
         let mut statuses = vec![status::MISS; ops.len()];
         let mut device_idx = Vec::new();
         let mut device_keys = Vec::new();
@@ -473,6 +562,19 @@ impl<'a> CuartSession<'a> {
                 }
             }
         }
+        if let Some(t) = &self.telemetry {
+            let refills = self.free_total().saturating_sub(free_before);
+            t.incr(names::UPDATE_BATCHES, 1);
+            t.incr(names::UPDATE_KEYS, ops.len() as u64);
+            t.incr(names::CLAIM_CONFLICTS, report.atomic_conflicts);
+            t.incr(names::FREELIST_REFILLS, refills);
+            t.observe(names::UPDATE_KERNEL_NS, report.time_ns as u64);
+            report.record_into(t);
+            let mut e = report.to_event(BatchKind::Update, ops.len() as u64);
+            e.claim_conflicts = report.atomic_conflicts;
+            e.freelist_refills = refills;
+            t.record(e);
+        }
         (statuses, report)
     }
 
@@ -483,6 +585,11 @@ impl<'a> CuartSession<'a> {
     /// spill to the session's host overflow table otherwise. Returns one
     /// [`insert_status`](crate::insert::insert_status) per op.
     pub fn insert_batch(&mut self, ops: &[(Vec<u8>, u64)]) -> (Vec<u64>, KernelReport) {
+        let free_before = if self.telemetry.is_some() {
+            self.free_total()
+        } else {
+            0
+        };
         let mut statuses = vec![insert_status::REJECTED; ops.len()];
         let mut device_idx = Vec::new();
         let mut device_keys = Vec::new();
@@ -543,9 +650,31 @@ impl<'a> CuartSession<'a> {
                 if statuses[i] == insert_status::SPILLED {
                     // Parked host-side; later spills of the same key win
                     // naturally (ops are visited in thread-id order).
-                    self.overflow.insert(device_keys[j].clone(), device_values[j]);
+                    self.overflow
+                        .insert(device_keys[j].clone(), device_values[j]);
                 }
             }
+        }
+        if let Some(t) = &self.telemetry {
+            let spills = statuses
+                .iter()
+                .filter(|&&s| s == insert_status::SPILLED)
+                .count() as u64;
+            // Inserts consume free slots; deletes folded into the batch can
+            // also push some back. Report net growth as refills.
+            let refills = self.free_total().saturating_sub(free_before);
+            t.incr(names::INSERT_BATCHES, 1);
+            t.incr(names::INSERT_KEYS, ops.len() as u64);
+            t.incr(names::INSERT_HOST_SPILLS, spills);
+            t.incr(names::CLAIM_CONFLICTS, report.atomic_conflicts);
+            t.incr(names::FREELIST_REFILLS, refills);
+            t.observe(names::INSERT_KERNEL_NS, report.time_ns as u64);
+            report.record_into(t);
+            let mut e = report.to_event(BatchKind::Insert, ops.len() as u64);
+            e.host_spills = spills;
+            e.claim_conflicts = report.atomic_conflicts;
+            e.freelist_refills = refills;
+            t.record(e);
         }
         (statuses, report)
     }
@@ -603,6 +732,19 @@ impl<'a> CuartSession<'a> {
     /// Number of freed slots currently on the free list of a leaf class.
     pub fn free_count(&self, ty: LinkType) -> u64 {
         self.mem.read_u64(self.free_lists.of(ty), 0)
+    }
+
+    /// Total freed slots across all leaf classes.
+    fn free_total(&self) -> u64 {
+        [LinkType::Leaf8, LinkType::Leaf16, LinkType::Leaf32]
+            .iter()
+            .map(|&ty| self.free_count(ty))
+            .sum()
+    }
+
+    /// The telemetry registry this session records into, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The freed leaf indices of a class (for tests and future inserts).
@@ -664,7 +806,11 @@ mod tests {
         for _ in 0..5 {
             session.lookup_batch(&keys);
         }
-        assert_eq!(session.mem.buffer_count(), buffers_before, "staging must be reused");
+        assert_eq!(
+            session.mem.buffer_count(),
+            buffers_before,
+            "staging must be reused"
+        );
     }
 
     #[test]
@@ -672,7 +818,9 @@ mod tests {
         let idx = index(5000, &CuartConfig::for_tests());
         let dev = cuart_gpu_sim::devices::rtx3090();
         let mut session = idx.device_session(&dev);
-        let keys: Vec<Vec<u8>> = (0..2000u64).map(|i| (i * 2).to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..2000u64)
+            .map(|i| (i * 2).to_be_bytes().to_vec())
+            .collect();
         let (_, cold) = session.lookup_batch(&keys);
         let (_, warm) = session.lookup_batch(&keys);
         assert!(warm.time_ns <= cold.time_ns);

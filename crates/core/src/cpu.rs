@@ -66,8 +66,9 @@ pub fn traverse(b: &CuartBuffers, key: &[u8]) -> Resolution {
             }
             LinkType::DynLeaf => {
                 let off = link.index() as usize;
-                let len = u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes"))
-                    as usize;
+                let len =
+                    u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes"))
+                        as usize;
                 let stored = &b.dyn_leaves[off + 2..off + 2 + len];
                 if stored == key {
                     let at = off + 2 + len;
@@ -226,7 +227,11 @@ mod tests {
                 },
             );
             for k in &keys {
-                assert_eq!(lookup(&b, k).as_ref(), art.get(k), "span {span}, key {k:x?}");
+                assert_eq!(
+                    lookup(&b, k).as_ref(),
+                    art.get(k),
+                    "span {span}, key {k:x?}"
+                );
             }
             for i in 0..200u64 {
                 let probe = (i | 0xABCD_0000_0000_0000).to_be_bytes();
@@ -271,10 +276,7 @@ mod tests {
     #[test]
     fn batch_lookup_order_preserved() {
         let b = build(&[b"kx1".to_vec(), b"kx2".to_vec()], 2);
-        let out = lookup_batch(
-            &b,
-            &[b"kx2".to_vec(), b"missing".to_vec(), b"kx1".to_vec()],
-        );
+        let out = lookup_batch(&b, &[b"kx2".to_vec(), b"missing".to_vec(), b"kx1".to_vec()]);
         assert_eq!(out, vec![Some(2), None, Some(1)]);
     }
 

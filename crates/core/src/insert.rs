@@ -142,7 +142,10 @@ impl CuartInsertKernel {
             DevHit::Found { value_slot, .. } => (class::UPDATE, value_slot, 0),
             DevHit::Miss { attach } => match attach {
                 Attach::Slot(slot) => (class::ATTACH_SLOT, slot, 0),
-                Attach::N48 { index_ref, node_base } => (class::ATTACH_N48, index_ref, node_base),
+                Attach::N48 {
+                    index_ref,
+                    node_base,
+                } => (class::ATTACH_N48, index_ref, node_base),
                 Attach::None => (class::SPILL, 0, 0),
             },
             DevHit::Host(_) => (class::SPILL, 0, 0),
@@ -370,13 +373,24 @@ mod tests {
         let dev = devices::a100();
         let mut session = idx.device_session(&dev);
         let ops: Vec<(Vec<u8>, u64)> = (0..200u64)
-            .map(|i| ((0xAA00_0000_0000_0000u64 | i).to_be_bytes().to_vec(), 5000 + i))
+            .map(|i| {
+                (
+                    (0xAA00_0000_0000_0000u64 | i).to_be_bytes().to_vec(),
+                    5000 + i,
+                )
+            })
             .collect();
         let (statuses, _) = session.insert_batch(&ops);
         // Distinct 2-byte prefixes? All share 0xAA00 -> only the FIRST
         // claims the LUT slot; the rest spill (structural). Verify split.
-        let inserted = statuses.iter().filter(|&&s| s == insert_status::INSERTED).count();
-        let spilled = statuses.iter().filter(|&&s| s == insert_status::SPILLED).count();
+        let inserted = statuses
+            .iter()
+            .filter(|&&s| s == insert_status::INSERTED)
+            .count();
+        let spilled = statuses
+            .iter()
+            .filter(|&&s| s == insert_status::SPILLED)
+            .count();
         assert_eq!(inserted, 1);
         assert_eq!(spilled, 199);
         // Every key is findable afterwards (device or overflow).
@@ -404,7 +418,10 @@ mod tests {
             })
             .collect();
         let (statuses, _) = session.insert_batch(&ops);
-        assert!(statuses.iter().all(|&s| s == insert_status::INSERTED), "{statuses:?}");
+        assert!(
+            statuses.iter().all(|&s| s == insert_status::INSERTED),
+            "{statuses:?}"
+        );
         assert_eq!(session.overflow_len(), 0);
         let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
         let (results, _) = session.lookup_batch(&keys);
@@ -420,7 +437,10 @@ mod tests {
         let mut session = idx.device_session(&dev);
         let key = (40u64).to_be_bytes().to_vec();
         let (statuses, _) = session.insert_batch(&[(key.clone(), 777), (key.clone(), 888)]);
-        assert_eq!(statuses, vec![insert_status::SUPERSEDED, insert_status::UPDATED]);
+        assert_eq!(
+            statuses,
+            vec![insert_status::SUPERSEDED, insert_status::UPDATED]
+        );
         let (results, _) = session.lookup_batch(&[key]);
         assert_eq!(results[0], 888);
     }
@@ -462,7 +482,11 @@ mod tests {
         );
         let (results, _) = session.lookup_batch(&[key]);
         assert_eq!(results[0], 3, "max thread id must win");
-        assert_eq!(session.overflow_len(), 0, "duplicates must not pollute the overflow");
+        assert_eq!(
+            session.overflow_len(),
+            0,
+            "duplicates must not pollute the overflow"
+        );
     }
 
     #[test]
@@ -479,13 +503,22 @@ mod tests {
     fn short_and_long_keys_insert_host_side() {
         let mut art = Art::new();
         art.insert(b"seed_key", 1).unwrap();
-        let idx = CuartIndex::build(&art, &CuartConfig { lut_span: 3, ..CuartConfig::for_tests() });
+        let idx = CuartIndex::build(
+            &art,
+            &CuartConfig {
+                lut_span: 3,
+                ..CuartConfig::for_tests()
+            },
+        );
         let dev = devices::a100();
         let mut session = idx.device_session(&dev);
         let short = b"ab".to_vec();
         let long = vec![7u8; 40];
         let (statuses, _) = session.insert_batch(&[(short.clone(), 10), (long.clone(), 20)]);
-        assert_eq!(statuses, vec![insert_status::INSERTED, insert_status::INSERTED]);
+        assert_eq!(
+            statuses,
+            vec![insert_status::INSERTED, insert_status::INSERTED]
+        );
         let (results, _) = session.lookup_batch(&[short.clone(), long.clone()]);
         assert_eq!(results, vec![10, 20]);
         // Re-insert updates in place.
@@ -508,7 +541,7 @@ mod tests {
         // Update through the normal update path.
         let (st, _) = session.update_batch(&[(parked.clone(), 999)]);
         assert_eq!(st[0], crate::update::status::APPLIED);
-        let (results, _) = session.lookup_batch(&[parked.clone()]);
+        let (results, _) = session.lookup_batch(std::slice::from_ref(&parked));
         assert_eq!(results[0], 999);
         // Delete.
         let (st, _) = session.update_batch(&[(parked.clone(), crate::update::DELETE)]);
@@ -529,7 +562,11 @@ mod tests {
         let before = session.overflow_len();
         let (st, _) = session.insert_batch(&[(ops[3].0.clone(), 12345)]);
         assert_eq!(st[0], insert_status::UPDATED);
-        assert_eq!(session.overflow_len(), before, "no duplicate overflow entries");
+        assert_eq!(
+            session.overflow_len(),
+            before,
+            "no duplicate overflow entries"
+        );
         let (results, _) = session.lookup_batch(&[ops[3].0.clone()]);
         assert_eq!(results[0], 12345);
     }
@@ -542,22 +579,23 @@ mod tests {
         for i in 0..40u64 {
             art.insert(&[1, i as u8, 1, 1], i + 1).unwrap();
         }
-        let cfg = CuartConfig { lut_span: 0, ..CuartConfig::for_tests() };
+        let cfg = CuartConfig {
+            lut_span: 0,
+            ..CuartConfig::for_tests()
+        };
         let idx = CuartIndex::build(&art, &cfg);
         assert_eq!(idx.buffers().record_count(LinkType::N48), 1);
         let dev = devices::a100();
         let mut session = idx.device_session(&dev);
         // Attach new children at unused bytes of the N48 root.
-        let ops: Vec<(Vec<u8>, u64)> = (200..206u64)
-            .map(|b| (vec![1, b as u8, 1, 1], b))
-            .collect();
+        let ops: Vec<(Vec<u8>, u64)> = (200..206u64).map(|b| (vec![1, b as u8, 1, 1], b)).collect();
         let (statuses, _) = session.insert_batch(&ops);
         assert!(
             statuses.iter().all(|&s| s == insert_status::INSERTED),
             "{statuses:?}"
         );
         for (k, v) in &ops {
-            let (results, _) = session.lookup_batch(&[k.clone()]);
+            let (results, _) = session.lookup_batch(std::slice::from_ref(k));
             assert_eq!(results[0], *v);
         }
         // Old keys unharmed.
@@ -582,8 +620,14 @@ mod tests {
             })
             .collect();
         let (statuses, _) = session.insert_batch(&ops);
-        let inserted = statuses.iter().filter(|&&s| s == insert_status::INSERTED).count();
-        let spilled = statuses.iter().filter(|&&s| s == insert_status::SPILLED).count();
+        let inserted = statuses
+            .iter()
+            .filter(|&&s| s == insert_status::INSERTED)
+            .count();
+        let spilled = statuses
+            .iter()
+            .filter(|&&s| s == insert_status::SPILLED)
+            .count();
         assert_eq!(inserted + spilled, 1200);
         // Headroom is max(entries/4, 1024) = 1024 fresh slots.
         assert_eq!(inserted, 1024, "headroom bound");

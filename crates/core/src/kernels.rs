@@ -165,7 +165,9 @@ pub(crate) enum DevHit {
 
 impl DevHit {
     /// A miss with no attach point.
-    pub(crate) const MISS: DevHit = DevHit::Miss { attach: Attach::None };
+    pub(crate) const MISS: DevHit = DevHit::Miss {
+        attach: Attach::None,
+    };
 }
 
 /// Walk the device structure for `key`, issuing the CuART access pattern
@@ -231,9 +233,11 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                 let off = link.index() as usize;
                 // Dynamically sized: length first, then the data —
                 // two dependent reads (the GRT behaviour this option keeps).
-                let len =
-                    u16::from_le_bytes(ctx.read_bytes(tree.dyn_leaves, off, 2).try_into().expect("2"))
-                        as usize;
+                let len = u16::from_le_bytes(
+                    ctx.read_bytes(tree.dyn_leaves, off, 2)
+                        .try_into()
+                        .expect("2"),
+                ) as usize;
                 let body = ctx.read_bytes(tree.dyn_leaves, off + 2, len + 8);
                 // Byte-oriented comparison of the arbitrary-length key.
                 ctx.compute(3 * len as u32);
@@ -260,8 +264,8 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                 if key.len() < depth + remaining + 2 {
                     return DevHit::MISS;
                 }
-                let slot = ((key[depth + remaining] as usize) << 8)
-                    | key[depth + remaining + 1] as usize;
+                let slot =
+                    ((key[depth + remaining] as usize) << 8) | key[depth + remaining + 1] as usize;
                 let next = NodeLink(ctx.read_u64_dep(
                     tree.arena(ty),
                     base + layout::links_at(ty) + slot * 8,
@@ -284,8 +288,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                         )),
                     };
                 }
-                parent_slot =
-                    slot_ref::encode(ty as u8, base + layout::links_at(ty) + slot * 8);
+                parent_slot = slot_ref::encode(ty as u8, base + layout::links_at(ty) + slot * 8);
                 link = next;
             }
             LinkType::N4 | LinkType::N16 | LinkType::N48 | LinkType::N256 => {
@@ -375,7 +378,9 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                     _ => unreachable!(),
                 };
                 if next.is_null() {
-                    return DevHit::Miss { attach: attach_if_null };
+                    return DevHit::Miss {
+                        attach: attach_if_null,
+                    };
                 }
                 // The slot we read `next` from becomes the parent ref.
                 parent_slot = match ty {
@@ -530,7 +535,7 @@ mod tests {
         }
         let grt = cuart_grt_like_chain(&art, &dedup[..256]);
         let dev = devices::a100();
-        let (_, report) = idx.lookup_batch_device(&dev, &dedup[..256].to_vec(), 8);
+        let (_, report) = idx.lookup_batch_device(&dev, &dedup[..256], 8);
         assert!(
             report.max_chain_steps < grt,
             "cuart chain {} !< grt chain {}",
@@ -542,7 +547,7 @@ mod tests {
     /// Helper: the GRT chain depth on the same tree, via the real GRT crate.
     fn cuart_grt_like_chain(art: &Art<u64>, probes: &[Vec<u8>]) -> usize {
         let grt = cuart_grt::GrtIndex::build(art);
-        let (_, report) = grt.lookup_batch_device(&devices::a100(), &probes.to_vec(), 8);
+        let (_, report) = grt.lookup_batch_device(&devices::a100(), probes, 8);
         report.max_chain_steps
     }
 
@@ -556,7 +561,8 @@ mod tests {
             single_leaf_class: false,
         };
         let idx = index(&[long.clone(), b"normal_key".to_vec()], &cfg);
-        let (results, _) = idx.lookup_batch_device_raw(&devices::a100(), &[long.clone()], 64);
+        let (results, _) =
+            idx.lookup_batch_device_raw(&devices::a100(), std::slice::from_ref(&long), 64);
         assert_eq!(results[0] & HOST_SIGNAL, HOST_SIGNAL);
         let host_idx = (results[0] & !HOST_SIGNAL) as usize;
         assert_eq!(idx.buffers().host_leaves[host_idx].0, long);

@@ -73,7 +73,7 @@ pub mod range;
 pub mod update;
 
 pub use api::{CuartIndex, CuartSession};
-pub use kernels::DeviceTree;
 pub use buffers::{CuartBuffers, CuartConfig, LongKeyPolicy};
+pub use kernels::DeviceTree;
 pub use link::NodeLink;
 pub use update::DELETE;

@@ -55,7 +55,12 @@ pub fn lut_slot(key: &[u8], span: usize) -> usize {
 /// Emit the subtree at `view`, reached after consuming `path` (== `depth`
 /// bytes); returns the link to it ([`NodeLink::NULL`] for keys the device
 /// does not hold under the CpuRoute policy).
-fn emit(b: &mut CuartBuffers, view: &NodeView<'_, u64>, depth: usize, path: &mut Vec<u8>) -> NodeLink {
+fn emit(
+    b: &mut CuartBuffers,
+    view: &NodeView<'_, u64>,
+    depth: usize,
+    path: &mut Vec<u8>,
+) -> NodeLink {
     debug_assert_eq!(path.len(), depth);
     let span = b.config.lut_span;
     match view {
@@ -98,7 +103,10 @@ fn emit(b: &mut CuartBuffers, view: &NodeView<'_, u64>, depth: usize, path: &mut
                     }
                     LongKeyPolicy::DynamicLeaf => {
                         let off = b.dyn_leaves.len() as u64;
-                        assert!(key.len() <= u16::MAX as usize, "key too long for dynamic leaf");
+                        assert!(
+                            key.len() <= u16::MAX as usize,
+                            "key too long for dynamic leaf"
+                        );
                         b.dyn_leaves
                             .extend_from_slice(&(key.len() as u16).to_le_bytes());
                         b.dyn_leaves.extend_from_slice(key);
@@ -125,7 +133,10 @@ fn emit(b: &mut CuartBuffers, view: &NodeView<'_, u64>, depth: usize, path: &mut
             }
             let class = link_type_of(inner.node_type());
             let prefix = inner.prefix();
-            assert!(prefix.len() <= u8::MAX as usize, "compressed prefix > 255 bytes");
+            assert!(
+                prefix.len() <= u8::MAX as usize,
+                "compressed prefix > 255 bytes"
+            );
             let idx = b.alloc_record(class);
             {
                 let rec = b.record_mut(class, idx);
@@ -172,7 +183,11 @@ fn emit(b: &mut CuartBuffers, view: &NodeView<'_, u64>, depth: usize, path: &mut
                         );
                     }
                     LinkType::N48 => {
-                        b.arena_key_write(class, base + HEADER_BYTES + *byte as usize, slot_i as u8);
+                        b.arena_key_write(
+                            class,
+                            base + HEADER_BYTES + *byte as usize,
+                            slot_i as u8,
+                        );
                         b.set_link_at(
                             class,
                             base + layout::links_at(class) + slot_i * 8,
@@ -240,7 +255,9 @@ fn try_emit_multilayer(
     // Grandchildren sit two bytes below this node's prefix.
     let grandchild_depth = depth + prefix.len() + 2;
     for (b1, child) in children.iter() {
-        let NodeView::Inner(ci) = child else { unreachable!("checked above") };
+        let NodeView::Inner(ci) = child else {
+            unreachable!("checked above")
+        };
         for (b2, grandchild) in ci.children().iter() {
             path.extend_from_slice(prefix);
             path.push(*b1);
@@ -314,10 +331,7 @@ mod tests {
 
     #[test]
     fn leaf_classes_assigned_by_length() {
-        let b = map_art(
-            &art_of(&[&[1u8; 4], &[2u8; 12], &[3u8; 24]]),
-            &cfg(0),
-        );
+        let b = map_art(&art_of(&[&[1u8; 4], &[2u8; 12], &[3u8; 24]]), &cfg(0));
         assert_eq!(b.record_count(LinkType::Leaf8), 1);
         assert_eq!(b.record_count(LinkType::Leaf16), 1);
         assert_eq!(b.record_count(LinkType::Leaf32), 1);
@@ -533,7 +547,9 @@ mod multilayer_tests {
     #[test]
     fn sparse_trees_do_not_merge() {
         // Only 10 first bytes: below the N2L_MIN_CHILDREN threshold.
-        let keys: Vec<Vec<u8>> = (0..10u8).flat_map(|b1| (0..10u8).map(move |b2| vec![b1, b2, 1, 1])).collect();
+        let keys: Vec<Vec<u8>> = (0..10u8)
+            .flat_map(|b1| (0..10u8).map(move |b2| vec![b1, b2, 1, 1]))
+            .collect();
         let b = map_art(&art_of(&keys), &ml_cfg(0));
         assert_eq!(b.record_count(LinkType::N2L), 0);
         for k in &keys {
@@ -547,7 +563,13 @@ mod multilayer_tests {
         let keys = dense_keys();
         let art = art_of(&keys);
         let with = map_art(&art, &ml_cfg(0));
-        let without = map_art(&art, &CuartConfig { lut_span: 0, ..CuartConfig::for_tests() });
+        let without = map_art(
+            &art,
+            &CuartConfig {
+                lut_span: 0,
+                ..CuartConfig::for_tests()
+            },
+        );
         assert_eq!(without.record_count(LinkType::N2L), 0);
         for k in keys.iter().step_by(211) {
             assert_eq!(lookup(&with, k), lookup(&without, k));
@@ -580,7 +602,13 @@ mod multilayer_tests {
         use cuart_gpu_sim::devices;
         let keys = dense_keys();
         let art = art_of(&keys);
-        let flat = crate::CuartIndex::build(&art, &CuartConfig { lut_span: 0, ..CuartConfig::for_tests() });
+        let flat = crate::CuartIndex::build(
+            &art,
+            &CuartConfig {
+                lut_span: 0,
+                ..CuartConfig::for_tests()
+            },
+        );
         let merged = crate::CuartIndex::build(&art, &ml_cfg(0));
         let dev = devices::a100();
         let probes: Vec<Vec<u8>> = keys.iter().step_by(37).cloned().collect();

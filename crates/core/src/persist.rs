@@ -72,7 +72,10 @@ fn read_table(r: &mut impl Read) -> io::Result<Vec<(Vec<u8>, u64)>> {
 }
 
 fn corrupt(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt CuART index file: {msg}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt CuART index file: {msg}"),
+    )
 }
 
 impl CuartIndex {
@@ -100,7 +103,15 @@ impl CuartIndex {
         write_u64(&mut w, b.max_key_len as u64)?;
         // Arenas.
         for arena in [
-            &b.n4, &b.n16, &b.n48, &b.n256, &b.n2l, &b.leaf8, &b.leaf16, &b.leaf32, &b.dyn_leaves,
+            &b.n4,
+            &b.n16,
+            &b.n48,
+            &b.n256,
+            &b.n2l,
+            &b.leaf8,
+            &b.leaf16,
+            &b.leaf32,
+            &b.dyn_leaves,
         ] {
             write_bytes(&mut w, arena)?;
         }
@@ -248,7 +259,9 @@ mod tests {
         idx.save(&path).unwrap();
         let loaded = CuartIndex::load(&path).unwrap();
         let dev = cuart_gpu_sim::devices::a100();
-        let keys: Vec<Vec<u8>> = (0..100u64).map(|i| (i * 7).to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..100u64)
+            .map(|i| (i * 7).to_be_bytes().to_vec())
+            .collect();
         let (results, _) = loaded.lookup_batch_device(&dev, &keys, 8);
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, i as u64);

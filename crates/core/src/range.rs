@@ -106,7 +106,9 @@ pub fn range_spans(b: &CuartBuffers, lo: &[u8], hi: &[u8]) -> Vec<LeafSpan> {
 /// Materialise a span into `(key, value)` pairs, skipping deleted holes.
 pub fn materialize_span(b: &CuartBuffers, span: &LeafSpan) -> Vec<(Vec<u8>, u64)> {
     (span.start..span.end)
-        .filter_map(|i| leaf_key(b, span.class, i).map(|k| (k.to_vec(), leaf_value(b, span.class, i))))
+        .filter_map(|i| {
+            leaf_key(b, span.class, i).map(|k| (k.to_vec(), leaf_value(b, span.class, i)))
+        })
         .collect()
 }
 
@@ -120,7 +122,8 @@ pub fn range_query(b: &CuartBuffers, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, u64)
     // Dynamic leaves are not index-ordered; scan them.
     let mut off = 0usize;
     while off + 2 <= b.dyn_leaves.len() {
-        let len = u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes")) as usize;
+        let len =
+            u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes")) as usize;
         if len == 0 {
             break;
         }
@@ -164,7 +167,9 @@ mod tests {
 
     #[test]
     fn span_matches_art_range_fixed_len() {
-        let keys: Vec<Vec<u8>> = (0..500u64).map(|i| (i * 3).to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..500u64)
+            .map(|i| (i * 3).to_be_bytes().to_vec())
+            .collect();
         let (art, b) = build(&keys);
         let lo = 100u64.to_be_bytes();
         let hi = 700u64.to_be_bytes();
@@ -380,7 +385,10 @@ impl crate::CuartIndex {
         let tree = self.upload(&mut mem);
         let mut data = vec![0u8; ranges.len() * RANGE_RECORD_BYTES];
         for (i, (lo, hi)) in ranges.iter().enumerate() {
-            assert!(lo.len() <= 32 && hi.len() <= 32, "range bounds exceed 32 bytes");
+            assert!(
+                lo.len() <= 32 && hi.len() <= 32,
+                "range bounds exceed 32 bytes"
+            );
             let at = i * RANGE_RECORD_BYTES;
             data[at] = lo.len() as u8;
             data[at + 1..at + 1 + lo.len()].copy_from_slice(lo);
@@ -440,12 +448,20 @@ mod device_tests {
 
     #[test]
     fn device_spans_match_host_spans() {
-        let keys: Vec<Vec<u8>> = (0..2000u64).map(|i| (i * 5).to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..2000u64)
+            .map(|i| (i * 5).to_be_bytes().to_vec())
+            .collect();
         let (_, idx) = index(&keys);
         let ranges: Vec<(Vec<u8>, Vec<u8>)> = vec![
             (100u64.to_be_bytes().to_vec(), 900u64.to_be_bytes().to_vec()),
-            (0u64.to_be_bytes().to_vec(), 10_000u64.to_be_bytes().to_vec()),
-            (9_999u64.to_be_bytes().to_vec(), 9_999u64.to_be_bytes().to_vec()),
+            (
+                0u64.to_be_bytes().to_vec(),
+                10_000u64.to_be_bytes().to_vec(),
+            ),
+            (
+                9_999u64.to_be_bytes().to_vec(),
+                9_999u64.to_be_bytes().to_vec(),
+            ),
         ];
         let (device, report) = idx.range_spans_device(&devices::a100(), &ranges);
         for ((lo, hi), dev_spans) in ranges.iter().zip(&device) {
@@ -494,7 +510,10 @@ mod device_tests {
         let (device, _) = idx.range_spans_device(
             &devices::rtx3090(),
             &[
-                (5_000u64.to_be_bytes().to_vec(), 6_000u64.to_be_bytes().to_vec()),
+                (
+                    5_000u64.to_be_bytes().to_vec(),
+                    6_000u64.to_be_bytes().to_vec(),
+                ),
                 (50u64.to_be_bytes().to_vec(), 10u64.to_be_bytes().to_vec()),
             ],
         );

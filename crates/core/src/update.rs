@@ -261,18 +261,17 @@ mod tests {
         let mut session = idx.device_session(&dev);
         let key = (30u64).to_be_bytes().to_vec();
         // Three conflicting updates to the same key in one batch.
-        let ops = vec![
-            (key.clone(), 111),
-            (key.clone(), 222),
-            (key.clone(), 333),
-        ];
+        let ops = vec![(key.clone(), 111), (key.clone(), 222), (key.clone(), 333)];
         let (statuses, report) = session.update_batch(&ops);
         assert_eq!(statuses[0], status::SUPERSEDED);
         assert_eq!(statuses[1], status::SUPERSEDED);
         assert_eq!(statuses[2], status::APPLIED);
         let (results, _) = session.lookup_batch(&[key]);
         assert_eq!(results[0], 333, "highest thread id must win (§3.4)");
-        assert!(report.atomic_conflicts > 0, "conflicting claims must serialize");
+        assert!(
+            report.atomic_conflicts > 0,
+            "conflicting claims must serialize"
+        );
     }
 
     #[test]
@@ -294,7 +293,7 @@ mod tests {
         let (statuses, _) = session.update_batch(&[(key.clone(), DELETE)]);
         assert_eq!(statuses[0], status::APPLIED);
         // Deleted key now misses.
-        let (results, _) = session.lookup_batch(&[key.clone()]);
+        let (results, _) = session.lookup_batch(std::slice::from_ref(&key));
         assert_eq!(results[0], cuart_gpu_sim::batch::NOT_FOUND);
         // Other keys survive.
         let (alive, _) = session.lookup_batch(&[(63u64).to_be_bytes().to_vec()]);

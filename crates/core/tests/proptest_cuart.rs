@@ -114,9 +114,9 @@ proptest! {
                 }
                 (Some(v), false) => {
                     let (st, _) = session.update_batch(&[(key.clone(), *v)]);
-                    if model.contains_key(&key) {
+                    if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(key) {
                         prop_assert_eq!(st[0], status::APPLIED);
-                        model.insert(key, *v);
+                        e.insert(*v);
                     } else {
                         prop_assert_eq!(st[0], status::MISS);
                     }

@@ -49,7 +49,10 @@ pub fn pack_keys(
             key.len(),
             stride
         );
-        assert!(key.len() <= u8::MAX as usize, "key too long for length byte");
+        assert!(
+            key.len() <= u8::MAX as usize,
+            "key too long for length byte"
+        );
         let off = layout.offset(i);
         data[off] = key.len() as u8;
         data[off + 1..off + 1 + key.len()].copy_from_slice(key);
@@ -68,7 +71,10 @@ pub fn pack_keys_into(
     keys: &[Vec<u8>],
 ) {
     let rec = layout.record_bytes();
-    assert!(keys.len() * rec <= mem.buffer(buf).len(), "batch buffer too small");
+    assert!(
+        keys.len() * rec <= mem.buffer(buf).len(),
+        "batch buffer too small"
+    );
     for (i, key) in keys.iter().enumerate() {
         assert!(key.len() <= layout.stride, "key exceeds batch stride");
         let off = layout.offset(i);

@@ -45,7 +45,9 @@ pub struct MemConfig {
 impl MemConfig {
     /// Peak sequential bandwidth in bytes per nanosecond (== GB/s).
     pub fn peak_bandwidth_gbps(&self) -> f64 {
-        self.channels as f64 * (self.channel_width_bits as f64 / 8.0) * self.data_rate
+        self.channels as f64
+            * (self.channel_width_bits as f64 / 8.0)
+            * self.data_rate
             * self.command_clock_mhz
             / 1000.0
     }
@@ -181,7 +183,10 @@ mod tests {
         let pcie = devices::a100().pcie;
         let one_mb = pcie.transfer_ns(1 << 20);
         // 1 MB at 24 GB/s ≈ 43.7 µs + latency.
-        assert!(one_mb > 40_000.0 && one_mb < 80_000.0, "1MB transfer {one_mb} ns");
+        assert!(
+            one_mb > 40_000.0 && one_mb < 80_000.0,
+            "1MB transfer {one_mb} ns"
+        );
         // Latency floor for tiny transfers.
         assert!(pcie.transfer_ns(64) >= pcie.latency_us * 1000.0);
     }

@@ -53,6 +53,9 @@ pub struct KernelReport {
     pub steps_total: u64,
     /// Longest dependent chain of any warp, in steps.
     pub max_chain_steps: usize,
+    /// Raw per-lane memory requests, before warp coalescing. The ratio
+    /// `sectors / raw_accesses` is the coalescing win §3.1 argues for.
+    pub raw_accesses: u64,
     /// Sectors requested after coalescing.
     pub sectors: u64,
     /// Sectors served by the L2.
@@ -61,6 +64,9 @@ pub struct KernelReport {
     pub dram_transactions: u64,
     /// Bytes moved from/to DRAM.
     pub dram_bytes: u64,
+    /// DRAM channel-load imbalance (max/mean busy; 1.0 = balanced, 0.0
+    /// when the kernel never touched DRAM).
+    pub dram_imbalance: f64,
     /// Total compute cycles attributed by kernels.
     pub compute_cycles: u64,
     /// Same-address atomic conflicts encountered.
@@ -98,10 +104,12 @@ impl KernelReport {
         self.warps = self.warps.max(other.warps);
         self.steps_total += other.steps_total;
         self.max_chain_steps = self.max_chain_steps.max(other.max_chain_steps);
+        self.raw_accesses += other.raw_accesses;
         self.sectors += other.sectors;
         self.l2_hits += other.l2_hits;
         self.dram_transactions += other.dram_transactions;
         self.dram_bytes += other.dram_bytes;
+        self.dram_imbalance = self.dram_imbalance.max(other.dram_imbalance);
         self.compute_cycles += other.compute_cycles;
         self.atomic_conflicts += other.atomic_conflicts;
         self.active_lane_steps += other.active_lane_steps;
@@ -109,6 +117,81 @@ impl KernelReport {
         self.latency_bound_ns += other.latency_bound_ns;
         self.bandwidth_bound_ns += other.bandwidth_bound_ns;
         self.compute_bound_ns += other.compute_bound_ns;
+    }
+
+    /// Sectors that missed the L2 (each miss issues one DRAM transaction).
+    pub fn l2_misses(&self) -> u64 {
+        self.sectors.saturating_sub(self.l2_hits)
+    }
+
+    /// L2 hit rate of this report (1.0 for a kernel with no sectors).
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.sectors == 0 {
+            1.0
+        } else {
+            self.l2_hits as f64 / self.sectors as f64
+        }
+    }
+
+    /// Record this kernel's transaction statistics into a telemetry
+    /// registry: running totals as counters, the latest hit rate and
+    /// channel imbalance as gauges, DRAM transactions as a histogram.
+    pub fn record_into(&self, t: &cuart_telemetry::Telemetry) {
+        use cuart_telemetry::names;
+        t.incr(names::L2_HITS, self.l2_hits);
+        t.incr(names::L2_MISSES, self.l2_misses());
+        t.incr(names::DRAM_TRANSACTIONS, self.dram_transactions);
+        t.incr(names::DRAM_BYTES, self.dram_bytes);
+        t.incr(names::COALESCED_ACCESSES, self.sectors);
+        t.incr(names::RAW_ACCESSES, self.raw_accesses);
+        t.gauge_set(names::L2_HIT_RATE, self.l2_hit_rate());
+        t.gauge_set(names::DRAM_IMBALANCE, self.dram_imbalance);
+        t.observe(names::DRAM_TX_PER_BATCH, self.dram_transactions);
+    }
+
+    /// Seed a [`BatchEvent`] with everything this report knows; callers
+    /// fill in engine-level fields (spills, conflicts, refills) on top.
+    pub fn to_event(
+        &self,
+        kind: cuart_telemetry::BatchKind,
+        keys: u64,
+    ) -> cuart_telemetry::BatchEvent {
+        let mut e = cuart_telemetry::BatchEvent::new(kind, keys);
+        e.kernel_time_ns = self.time_ns as u64;
+        e.l2_hits = self.l2_hits;
+        e.l2_misses = self.l2_misses();
+        e.dram_transactions = self.dram_transactions;
+        e.dram_bytes = self.dram_bytes;
+        e.coalesced_accesses = self.sectors;
+        e.raw_accesses = self.raw_accesses;
+        e
+    }
+}
+
+impl std::fmt::Display for KernelReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kernel {:.1} µs ({} threads / {} warps): {} steps (chain {}), \
+             {} raw → {} sectors, L2 {:.1}% hit, {} DRAM tx / {} B (imb {:.2}), \
+             {} conflicts, warp eff {:.2}, bounds lat {:.1}/bw {:.1}/cmp {:.1} µs",
+            self.time_ns / 1e3,
+            self.threads,
+            self.warps,
+            self.steps_total,
+            self.max_chain_steps,
+            self.raw_accesses,
+            self.sectors,
+            self.l2_hit_rate() * 100.0,
+            self.dram_transactions,
+            self.dram_bytes,
+            self.dram_imbalance,
+            self.atomic_conflicts,
+            self.warp_efficiency(),
+            self.latency_bound_ns / 1e3,
+            self.bandwidth_bound_ns / 1e3,
+            self.compute_bound_ns / 1e3,
+        )
     }
 }
 
@@ -227,6 +310,7 @@ fn time_phase(dev: &DeviceConfig, traces: &[ThreadTrace], l2: &mut Cache) -> Ker
             }
             chains[w].atomic_extra_ns += conflict_extra as f64 * ATOMIC_SERIALIZE_NS;
             // Coalesce and serve.
+            report.raw_accesses += step_accesses.len() as u64;
             let secs = sectors(step_accesses.iter().copied());
             report.sectors += secs.len() as u64;
             let mut missed = false;
@@ -249,20 +333,32 @@ fn time_phase(dev: &DeviceConfig, traces: &[ThreadTrace], l2: &mut Cache) -> Ker
     }
     // Lead compute (before first access).
     for (w, lanes) in warps.iter().enumerate() {
-        let lead = lanes.iter().map(|t| t.lead_compute_cycles).max().unwrap_or(0);
+        let lead = lanes
+            .iter()
+            .map(|t| t.lead_compute_cycles)
+            .max()
+            .unwrap_or(0);
         chains[w].compute_cycles += lead as u64;
-        report.compute_cycles += lanes.iter().map(|t| t.lead_compute_cycles as u64).sum::<u64>();
+        report.compute_cycles += lanes
+            .iter()
+            .map(|t| t.lead_compute_cycles as u64)
+            .sum::<u64>();
     }
 
     report.dram_transactions = dram.transactions();
     report.dram_bytes = dram.bytes();
+    report.dram_imbalance = if dram.transactions() == 0 {
+        0.0
+    } else {
+        dram.imbalance()
+    };
     report.max_chain_steps = traces.iter().map(|t| t.depth()).max().unwrap_or(0);
 
     // Bounds. Loaded latency is a fixed point: start unloaded, iterate.
     let resident = dev.resident_warps().max(1) as f64;
     let bw_bound = dram.max_channel_busy_ns();
-    let compute_bound =
-        dev.cycles_to_ns(report.compute_cycles as f64) / (dev.sm_count as f64 * dev.issue_per_cycle);
+    let compute_bound = dev.cycles_to_ns(report.compute_cycles as f64)
+        / (dev.sm_count as f64 * dev.issue_per_cycle);
 
     let chain_ns = |miss_lat: f64| -> (f64, f64) {
         let mut max_chain = 0.0f64;
@@ -357,7 +453,11 @@ mod tests {
         assert_eq!(r.l2_hits + r.dram_transactions, r.sectors);
         assert!(r.time_ns > 0.0);
         assert!(
-            (r.time_ns - r.latency_bound_ns.max(r.bandwidth_bound_ns).max(r.compute_bound_ns)).abs()
+            (r.time_ns
+                - r.latency_bound_ns
+                    .max(r.bandwidth_bound_ns)
+                    .max(r.compute_bound_ns))
+            .abs()
                 < 1e-6
         );
     }
@@ -405,8 +505,28 @@ mod tests {
         let dev = devices::rtx3090();
         let slots = 1 << 20;
         let (mut mem, buf) = chase_memory(slots);
-        let t4 = launch(&dev, &mut mem, &ChaseKernel { src: buf, hops: 4, slots }, 1024).time_ns;
-        let t8 = launch(&dev, &mut mem, &ChaseKernel { src: buf, hops: 8, slots }, 1024).time_ns;
+        let t4 = launch(
+            &dev,
+            &mut mem,
+            &ChaseKernel {
+                src: buf,
+                hops: 4,
+                slots,
+            },
+            1024,
+        )
+        .time_ns;
+        let t8 = launch(
+            &dev,
+            &mut mem,
+            &ChaseKernel {
+                src: buf,
+                hops: 8,
+                slots,
+            },
+            1024,
+        )
+        .time_ns;
         let ratio = t8 / t4;
         assert!(ratio > 1.5 && ratio < 2.6, "ratio {ratio}");
     }
@@ -421,16 +541,27 @@ mod tests {
         let ts = launch(
             &dev,
             &mut mem_s,
-            &ChaseKernel { src: buf_s, hops: 8, slots: small_slots },
+            &ChaseKernel {
+                src: buf_s,
+                hops: 8,
+                slots: small_slots,
+            },
             8192,
         );
         let tl = launch(
             &dev,
             &mut mem_l,
-            &ChaseKernel { src: buf_l, hops: 8, slots: large_slots },
+            &ChaseKernel {
+                src: buf_l,
+                hops: 8,
+                slots: large_slots,
+            },
             8192,
         );
-        assert!(ts.l2_hits as f64 / ts.sectors as f64 > 0.5, "small tree should mostly hit L2");
+        assert!(
+            ts.l2_hits as f64 / ts.sectors as f64 > 0.5,
+            "small tree should mostly hit L2"
+        );
         assert!(ts.time_ns < tl.time_ns);
     }
 
@@ -439,14 +570,46 @@ mod tests {
         let dev = devices::a100();
         let slots = 1 << 22;
         let (mut mem, buf) = chase_memory(slots);
-        let k1 = launch(&dev, &mut mem, &ChaseKernel { src: buf, hops: 4, slots }, 128);
-        let k2 = launch(&dev, &mut mem, &ChaseKernel { src: buf, hops: 4, slots }, 2048);
+        let k1 = launch(
+            &dev,
+            &mut mem,
+            &ChaseKernel {
+                src: buf,
+                hops: 4,
+                slots,
+            },
+            128,
+        );
+        let k2 = launch(
+            &dev,
+            &mut mem,
+            &ChaseKernel {
+                src: buf,
+                hops: 4,
+                slots,
+            },
+            2048,
+        );
         // 16x the work must cost far less than 16x the time (latency
         // hiding), until the DRAM command rate binds.
-        assert!(k2.time_ns < 8.0 * k1.time_ns, "k1 {} k2 {}", k1.time_ns, k2.time_ns);
+        assert!(
+            k2.time_ns < 8.0 * k1.time_ns,
+            "k1 {} k2 {}",
+            k1.time_ns,
+            k2.time_ns
+        );
         // At very large thread counts the kernel is bandwidth/command-rate
         // bound: time grows ~linearly with threads from here on.
-        let k3 = launch(&dev, &mut mem, &ChaseKernel { src: buf, hops: 4, slots }, 32768);
+        let k3 = launch(
+            &dev,
+            &mut mem,
+            &ChaseKernel {
+                src: buf,
+                hops: 4,
+                slots,
+            },
+            32768,
+        );
         assert!(
             (k3.bandwidth_bound_ns - k3.time_ns).abs() / k3.time_ns < 0.35,
             "expected ~bandwidth-bound: bw {} vs time {}",
@@ -516,7 +679,13 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let n = 512;
         let buf = mem.alloc("b", n * 8, 16);
-        let r = launch_with_cache(&dev, &mut mem, &TwoPhase { buf, n }, n, &mut Cache::new(&dev.l2));
+        let r = launch_with_cache(
+            &dev,
+            &mut mem,
+            &TwoPhase { buf, n },
+            n,
+            &mut Cache::new(&dev.l2),
+        );
         assert!(r.time_ns > GRID_SYNC_NS);
         assert_eq!(r.threads, n);
     }
@@ -526,7 +695,11 @@ mod tests {
         let dev = devices::rtx3090();
         let slots = 1 << 15; // fits L2
         let (mut mem, buf) = chase_memory(slots);
-        let k = ChaseKernel { src: buf, hops: 6, slots };
+        let k = ChaseKernel {
+            src: buf,
+            hops: 6,
+            slots,
+        };
         let mut l2 = Cache::new(&dev.l2);
         let cold = launch_with_cache(&dev, &mut mem, &k, 4096, &mut l2);
         let warm = launch_with_cache(&dev, &mut mem, &k, 4096, &mut l2);
@@ -580,7 +753,11 @@ mod divergence_tests {
         let buf = mem.alloc("b", 4096, 32);
         let uni = launch(&dev, &mut mem, &Uniform(buf), 256);
         let rag = launch(&dev, &mut mem, &Ragged(buf), 256);
-        assert!((uni.warp_efficiency() - 1.0).abs() < 1e-9, "{}", uni.warp_efficiency());
+        assert!(
+            (uni.warp_efficiency() - 1.0).abs() < 1e-9,
+            "{}",
+            uni.warp_efficiency()
+        );
         // Ragged: mean depth 4.5 of max 8 -> efficiency ≈ 0.56.
         assert!(
             rag.warp_efficiency() > 0.4 && rag.warp_efficiency() < 0.7,
@@ -596,5 +773,104 @@ mod divergence_tests {
     fn empty_launch_reports_full_efficiency() {
         let r = KernelReport::default();
         assert_eq!(r.warp_efficiency(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod accumulate_tests {
+    use super::*;
+
+    fn sample(scale: u64) -> KernelReport {
+        KernelReport {
+            time_ns: 100.0 * scale as f64,
+            threads: 128 * scale as usize,
+            warps: 4 * scale as usize,
+            steps_total: 10 * scale,
+            max_chain_steps: 3 * scale as usize,
+            raw_accesses: 40 * scale,
+            sectors: 20 * scale,
+            l2_hits: 15 * scale,
+            dram_transactions: 5 * scale,
+            dram_bytes: 160 * scale,
+            dram_imbalance: scale as f64,
+            compute_cycles: 50 * scale,
+            atomic_conflicts: 2 * scale,
+            active_lane_steps: 9 * scale,
+            issued_lane_steps: 12 * scale,
+            latency_bound_ns: 80.0 * scale as f64,
+            bandwidth_bound_ns: 60.0 * scale as f64,
+            compute_bound_ns: 10.0 * scale as f64,
+        }
+    }
+
+    #[test]
+    fn accumulating_default_is_identity() {
+        let mut r = sample(2);
+        let before = r.clone();
+        r.accumulate(&KernelReport::default());
+        assert_eq!(format!("{before:?}"), format!("{r:?}"));
+    }
+
+    #[test]
+    fn summed_fields_are_additive() {
+        let mut r = sample(1);
+        r.accumulate(&sample(2));
+        assert_eq!(r.time_ns, 300.0);
+        assert_eq!(r.steps_total, 30);
+        assert_eq!(r.raw_accesses, 120);
+        assert_eq!(r.sectors, 60);
+        assert_eq!(r.l2_hits, 45);
+        assert_eq!(r.dram_transactions, 15);
+        assert_eq!(r.dram_bytes, 480);
+        assert_eq!(r.compute_cycles, 150);
+        assert_eq!(r.atomic_conflicts, 6);
+        assert_eq!(r.active_lane_steps, 27);
+        assert_eq!(r.issued_lane_steps, 36);
+        assert_eq!(r.latency_bound_ns, 240.0);
+        assert_eq!(r.bandwidth_bound_ns, 180.0);
+        assert_eq!(r.compute_bound_ns, 30.0);
+    }
+
+    #[test]
+    fn max_fields_take_the_max_not_the_sum() {
+        // threads/warps/max_chain_steps/dram_imbalance describe the widest
+        // phase, not a total: accumulating a smaller report keeps the max.
+        let mut r = sample(3);
+        r.accumulate(&sample(1));
+        assert_eq!(r.threads, 384);
+        assert_eq!(r.warps, 12);
+        assert_eq!(r.max_chain_steps, 9);
+        assert_eq!(r.dram_imbalance, 3.0);
+        // And the other direction widens.
+        let mut r = sample(1);
+        r.accumulate(&sample(3));
+        assert_eq!(r.threads, 384);
+        assert_eq!(r.max_chain_steps, 9);
+    }
+
+    #[test]
+    fn derived_ratios_and_display() {
+        let r = sample(1);
+        assert_eq!(r.l2_misses(), 5);
+        assert!((r.l2_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(KernelReport::default().l2_misses(), 0);
+        assert_eq!(KernelReport::default().l2_hit_rate(), 1.0);
+        let s = r.to_string();
+        assert!(s.contains("128 threads"), "{s}");
+        assert!(s.contains("75.0% hit"), "{s}");
+        assert!(s.contains("5 DRAM tx"), "{s}");
+    }
+
+    #[test]
+    fn report_converts_to_batch_event() {
+        let r = sample(1);
+        let e = r.to_event(cuart_telemetry::BatchKind::Lookup, 42);
+        assert_eq!(e.keys, 42);
+        assert_eq!(e.kernel_time_ns, 100);
+        assert_eq!(e.l2_hits, 15);
+        assert_eq!(e.l2_misses, 5);
+        assert_eq!(e.coalesced_accesses, 20);
+        assert_eq!(e.raw_accesses, 40);
+        assert_eq!(e.host_spills, 0);
     }
 }

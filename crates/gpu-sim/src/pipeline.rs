@@ -152,7 +152,10 @@ mod tests {
         // Compute dominates: makespan ≈ batches * (kernel + launch) + ramp.
         let compute_total = p.batches as f64 * (p.kernel_ns + p.launch_overhead_ns);
         assert!(r.makespan_ns >= compute_total);
-        assert!(r.makespan_ns < compute_total * 1.3, "too much pipeline bubble");
+        assert!(
+            r.makespan_ns < compute_total * 1.3,
+            "too much pipeline bubble"
+        );
         assert_eq!(r.bottleneck, Stage::Compute);
     }
 
@@ -165,16 +168,30 @@ mod tests {
         assert_eq!(one.bottleneck, Stage::Host);
         p.host_threads = 8;
         let eight = simulate(&p);
-        assert!(eight.mops > 4.0 * one.mops, "1t {} vs 8t {}", one.mops, eight.mops);
+        assert!(
+            eight.mops > 4.0 * one.mops,
+            "1t {} vs 8t {}",
+            one.mops,
+            eight.mops
+        );
     }
 
     #[test]
     fn extra_host_threads_plateau_when_gpu_bound() {
-        let p8 = PipelineParams { host_threads: 8, ..base() };
-        let p32 = PipelineParams { host_threads: 32, ..base() };
+        let p8 = PipelineParams {
+            host_threads: 8,
+            ..base()
+        };
+        let p32 = PipelineParams {
+            host_threads: 32,
+            ..base()
+        };
         let r8 = simulate(&p8);
         let r32 = simulate(&p32);
-        assert!((r32.mops - r8.mops) / r8.mops < 0.1, "GPU-bound pipeline should plateau");
+        assert!(
+            (r32.mops - r8.mops) / r8.mops < 0.1,
+            "GPU-bound pipeline should plateau"
+        );
     }
 
     #[test]
@@ -201,7 +218,10 @@ mod tests {
         p.d2h_ns = 10_000.0;
         let tiny = simulate(&p);
         let big = simulate(&base());
-        assert!(big.mops > 20.0 * tiny.mops, "big batches must amortize overhead");
+        assert!(
+            big.mops > 20.0 * tiny.mops,
+            "big batches must amortize overhead"
+        );
     }
 
     #[test]

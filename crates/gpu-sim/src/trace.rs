@@ -87,7 +87,12 @@ impl ThreadTrace {
 
     /// Total compute cycles in the trace.
     pub fn total_compute(&self) -> u64 {
-        self.lead_compute_cycles as u64 + self.steps.iter().map(|s| s.compute_cycles as u64).sum::<u64>()
+        self.lead_compute_cycles as u64
+            + self
+                .steps
+                .iter()
+                .map(|s| s.compute_cycles as u64)
+                .sum::<u64>()
     }
 
     /// Number of dependent steps (the pointer-chase depth).

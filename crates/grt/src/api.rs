@@ -13,6 +13,8 @@ use crate::update::{apply_batch, UpdateOutcome};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::{alloc_results, pack_keys, read_results};
 use cuart_gpu_sim::{launch, BufferId, DeviceConfig, DeviceMemory, KernelReport};
+use cuart_telemetry::{names, BatchEvent, BatchKind, Telemetry};
+use std::sync::Arc;
 
 /// Host-API flavour of the GRT baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +58,7 @@ impl ApiProfile {
 #[derive(Debug, Clone)]
 pub struct GrtIndex {
     buffer: GrtBuffer,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Handle to a GRT index uploaded to device memory.
@@ -70,7 +73,32 @@ pub struct GrtDevice {
 impl GrtIndex {
     /// Map an ART into the packed GRT layout.
     pub fn build(art: &Art<u64>) -> Self {
-        GrtIndex { buffer: map_art(art) }
+        GrtIndex {
+            buffer: map_art(art),
+            telemetry: None,
+        }
+    }
+
+    /// Attach a telemetry registry; every subsequent device batch records
+    /// `grt.*` metrics into it (same event schema as the CuART engine, so
+    /// the baseline and the paper's engine can be compared side by side).
+    pub fn attach_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        telemetry.gauge_set(names::GRT_DEVICE_BYTES, self.device_bytes() as f64);
+        let mut event = BatchEvent::new(BatchKind::Build, self.buffer.entries as u64);
+        event.dram_bytes = self.device_bytes() as u64;
+        telemetry.record(event);
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Builder-style variant of [`attach_telemetry`](Self::attach_telemetry).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.attach_telemetry(telemetry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The underlying packed buffer.
@@ -137,6 +165,13 @@ impl GrtIndex {
             count: queries.len(),
         };
         let report = launch(dev, &mut mem, &kernel, queries.len());
+        if let Some(t) = &self.telemetry {
+            t.incr(names::GRT_LOOKUP_BATCHES, 1);
+            t.incr(names::GRT_LOOKUP_KEYS, queries.len() as u64);
+            t.observe(names::GRT_LOOKUP_KERNEL_NS, report.time_ns as u64);
+            report.record_into(t);
+            t.record(report.to_event(BatchKind::Lookup, queries.len() as u64));
+        }
         (read_results(&mem, results, queries.len()), report)
     }
 
@@ -146,7 +181,15 @@ impl GrtIndex {
         updates: &[(Vec<u8>, u64)],
         dev: &DeviceConfig,
     ) -> UpdateOutcome {
-        apply_batch(&mut self.buffer, updates, &dev.pcie)
+        let outcome = apply_batch(&mut self.buffer, updates, &dev.pcie);
+        if let Some(t) = &self.telemetry {
+            t.incr(names::GRT_UPDATE_BATCHES, 1);
+            let mut event = BatchEvent::new(BatchKind::Update, updates.len() as u64);
+            event.kernel_time_ns = outcome.modeled_ns as u64;
+            event.dram_bytes = outcome.dirty_bytes as u64;
+            t.record(event);
+        }
+        outcome
     }
 }
 
@@ -177,7 +220,9 @@ mod tests {
     #[test]
     fn device_lookup_batch() {
         let idx = index(300);
-        let queries: Vec<Vec<u8>> = (0..300u64).map(|i| (i * 7).to_be_bytes().to_vec()).collect();
+        let queries: Vec<Vec<u8>> = (0..300u64)
+            .map(|i| (i * 7).to_be_bytes().to_vec())
+            .collect();
         let (results, report) = idx.lookup_batch_device(&devices::rtx3090(), &queries, 8);
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, i as u64);
@@ -203,10 +248,43 @@ mod tests {
     fn opencl_profile_costs_more() {
         let dev = devices::a100();
         assert!(
-            ApiProfile::OpenCl.launch_overhead_ns(&dev) > 2.0 * ApiProfile::Cuda.launch_overhead_ns(&dev)
+            ApiProfile::OpenCl.launch_overhead_ns(&dev)
+                > 2.0 * ApiProfile::Cuda.launch_overhead_ns(&dev)
         );
         assert!(ApiProfile::OpenCl.stream_cap() < ApiProfile::Cuda.stream_cap());
         assert_eq!(ApiProfile::Cuda.label(), "GRT-CUDA");
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn telemetry_records_device_batches() {
+        use cuart_telemetry::names;
+        let telemetry = Arc::new(Telemetry::new());
+        let mut idx = index(100).with_telemetry(telemetry.clone());
+        let dev = devices::a100();
+        let queries: Vec<Vec<u8>> = (0..50u64).map(|i| (i * 7).to_be_bytes().to_vec()).collect();
+        let _ = idx.lookup_batch_device(&dev, &queries, 8);
+        let _ = idx.update_batch(&[((7u64).to_be_bytes().to_vec(), 1)], &dev);
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters[names::GRT_LOOKUP_BATCHES], 1);
+        assert_eq!(snap.counters[names::GRT_LOOKUP_KEYS], 50);
+        assert_eq!(snap.counters[names::GRT_UPDATE_BATCHES], 1);
+        assert_eq!(
+            snap.gauges[names::GRT_DEVICE_BYTES],
+            idx.device_bytes() as f64
+        );
+        assert_eq!(snap.histograms[names::GRT_LOOKUP_KERNEL_NS].count, 1);
+        let kinds: Vec<BatchKind> = snap.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![BatchKind::Build, BatchKind::Lookup, BatchKind::Update]
+        );
+        // The shared-schema guarantee: the GRT lookup event carries the same
+        // cache/DRAM fields the CuART engine emits.
+        let lookup = &snap.events[1];
+        assert!(lookup.dram_transactions > 0);
+        assert!(lookup.raw_accesses >= lookup.coalesced_accesses);
     }
 
     #[test]

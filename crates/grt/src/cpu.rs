@@ -106,7 +106,7 @@ mod tests {
         }
         // Misses agree too.
         for i in 0..100u64 {
-            let probe = (i  | 0xDEAD_0000_0000_0000).to_be_bytes();
+            let probe = (i | 0xDEAD_0000_0000_0000).to_be_bytes();
             assert_eq!(lookup(&buf, &probe).as_ref(), art.get(&probe));
         }
     }

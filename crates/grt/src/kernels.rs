@@ -96,7 +96,8 @@ impl GrtLookupKernel {
             // Dependent read #2..: the body, sized per the header's type.
             let next = match t {
                 tag::N4 | tag::N16 => {
-                    let body = ctx.read_bytes(self.tree, off + HEADER_BYTES, layout::inner_body_bytes(t));
+                    let body =
+                        ctx.read_bytes(self.tree, off + HEADER_BYTES, layout::inner_body_bytes(t));
                     let cap = if t == tag::N4 { 4 } else { 16 };
                     let count = (header[1] as usize).min(cap);
                     ctx.compute(count as u32);
@@ -167,7 +168,9 @@ mod tests {
 
     #[test]
     fn kernel_finds_all_keys() {
-        let keys: Vec<Vec<u8>> = (0..500u64).map(|i| (i * 31).to_be_bytes().to_vec()).collect();
+        let keys: Vec<Vec<u8>> = (0..500u64)
+            .map(|i| (i * 31).to_be_bytes().to_vec())
+            .collect();
         let (_, buf) = build(&keys);
         let results = run_lookups(&buf, &keys, 8);
         for (i, r) in results.iter().enumerate() {
@@ -208,16 +211,12 @@ mod tests {
     fn traversal_issues_two_plus_dependent_reads_per_node() {
         // A 3-level path: root N4 -> N4 -> leaves. Each lookup must issue
         // header+body per inner node plus record + leaf + result writes.
-        let keys: Vec<Vec<u8>> = vec![
-            b"aaaa".to_vec(),
-            b"aabb".to_vec(),
-            b"abcc".to_vec(),
-        ];
+        let keys: Vec<Vec<u8>> = vec![b"aaaa".to_vec(), b"aabb".to_vec(), b"abcc".to_vec()];
         let (_, buf) = build(&keys);
         let dev = devices::a100();
         let mut mem = DeviceMemory::new();
         let tree = mem.alloc_from("grt", &buf.padded_bytes(), 16);
-        let (qbuf, layout) = pack_keys(&mut mem, "q", &keys[..1].to_vec(), 8);
+        let (qbuf, layout) = pack_keys(&mut mem, "q", &keys[..1], 8);
         let results = alloc_results(&mut mem, "r", 1);
         let kernel = GrtLookupKernel {
             tree,
@@ -230,7 +229,11 @@ mod tests {
         let report = launch(&dev, &mut mem, &kernel, 1);
         // Steps: query read, (header, body) x 2 inner nodes, leaf header,
         // leaf body, result write = 8 dependent steps.
-        assert_eq!(report.max_chain_steps, 8, "chain {}", report.max_chain_steps);
+        assert_eq!(
+            report.max_chain_steps, 8,
+            "chain {}",
+            report.max_chain_steps
+        );
     }
 
     #[test]

@@ -176,7 +176,10 @@ mod tests {
         keys.push(b);
         let buf = map_art(&tree(&keys));
         // Stored prefix caps at 13, full length recorded.
-        assert_eq!(buf.u8_at(2) as usize, "prefix_longer_than_thirteen_bytes_".len());
+        assert_eq!(
+            buf.u8_at(2) as usize,
+            "prefix_longer_than_thirteen_bytes_".len()
+        );
         assert_eq!(lookup(&buf, keys[0]), Some(1));
         assert_eq!(lookup(&buf, b), Some(2));
         // A key agreeing on the stored 13 bytes but diverging later must

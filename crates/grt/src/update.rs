@@ -112,7 +112,11 @@ mod tests {
             assert_eq!(lookup(&buf, &i.to_be_bytes()), Some(i + 1000));
         }
         for i in 50..100u64 {
-            assert_eq!(lookup(&buf, &i.to_be_bytes()), Some(i), "untouched key changed");
+            assert_eq!(
+                lookup(&buf, &i.to_be_bytes()),
+                Some(i),
+                "untouched key changed"
+            );
         }
     }
 

@@ -2,8 +2,8 @@
 //! under arbitrary key sets and update streams.
 
 use cuart_art::Art;
-use cuart_grt::{map_art, GrtIndex};
 use cuart_gpu_sim::devices;
+use cuart_grt::{map_art, GrtIndex};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

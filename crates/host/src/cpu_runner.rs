@@ -2,12 +2,12 @@
 //!
 //! Unlike the GPU paths (which run on the simulator and report modeled
 //! time), the CPU comparisons of the paper are CPU-vs-CPU and can be
-//! measured for real: batches are split over `crossbeam` scoped threads and
-//! wall time is taken around the whole run.
+//! measured for real: batches are split over `std::thread` scoped threads
+//! and wall time is taken around the whole run.
 
 use cuart::CuartIndex;
 use cuart_art::Art;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Measured lookup throughput (MOps/s) of the classic pointer-based ART.
@@ -21,10 +21,10 @@ pub fn measure_art_lookups(art: &Art<u64>, queries: &[Vec<u8>], threads: usize) 
                 local += 1;
             }
         }
-        *hits.lock() += local;
+        *hits.lock().unwrap() += local;
     });
     let elapsed = start.elapsed().as_secs_f64();
-    std::hint::black_box(*hits.lock());
+    std::hint::black_box(*hits.lock().unwrap());
     queries.len() as f64 / elapsed / 1e6
 }
 
@@ -40,10 +40,10 @@ pub fn measure_cuart_cpu_lookups(index: &CuartIndex, queries: &[Vec<u8>], thread
                 local += 1;
             }
         }
-        *hits.lock() += local;
+        *hits.lock().unwrap() += local;
     });
     let elapsed = start.elapsed().as_secs_f64();
-    std::hint::black_box(*hits.lock());
+    std::hint::black_box(*hits.lock().unwrap());
     queries.len() as f64 / elapsed / 1e6
 }
 
@@ -58,7 +58,7 @@ pub fn measure_art_atomic_updates(
     let start = Instant::now();
     run_chunks(ops, threads, |chunk| {
         for (key, value) in chunk {
-            let mut guard = art.lock();
+            let mut guard = art.lock().unwrap();
             if let Some(v) = guard.get_mut(key) {
                 *v = *value;
             }
@@ -72,12 +72,11 @@ pub fn measure_art_atomic_updates(
 fn run_chunks<T: Sync>(items: &[T], threads: usize, work: impl Fn(&[T]) + Sync) {
     let threads = threads.max(1);
     let chunk = items.len().div_ceil(threads).max(1);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for part in items.chunks(chunk) {
-            s.spawn(|_| work(part));
+            s.spawn(|| work(part));
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -115,7 +114,7 @@ mod tests {
         let ops: Vec<(Vec<u8>, u64)> = keys.iter().map(|k| (k.clone(), 777u64)).collect();
         let mops = measure_art_atomic_updates(&art, &ops, 4);
         assert!(mops > 0.0);
-        let guard = art.lock();
+        let guard = art.lock().unwrap();
         assert!(keys.iter().all(|k| guard.get(k) == Some(&777)));
     }
 

@@ -116,7 +116,11 @@ fn compose(
 /// Average the steady-state (post-warmup) sampled kernel times.
 fn steady_state(samples: &[(f64, KernelReport)]) -> (f64, KernelReport) {
     assert!(!samples.is_empty());
-    let steady = if samples.len() > 1 { &samples[1..] } else { samples };
+    let steady = if samples.len() > 1 {
+        &samples[1..]
+    } else {
+        samples
+    };
     let mean = steady.iter().map(|(t, _)| *t).sum::<f64>() / steady.len() as f64;
     (mean, steady.last().expect("non-empty").1.clone())
 }
@@ -222,8 +226,10 @@ pub fn run_grt_updates(
     for _ in 0..batches {
         let batch = updates.next_batch(cfg.batch_size, DELETE);
         // GRT has no device delete path; deletes become value tombstones.
-        let batch: Vec<(Vec<u8>, u64)> =
-            batch.into_iter().map(|(k, v)| (k, if v == DELETE { 0 } else { v })).collect();
+        let batch: Vec<(Vec<u8>, u64)> = batch
+            .into_iter()
+            .map(|(k, v)| (k, if v == DELETE { 0 } else { v }))
+            .collect();
         let out = index.update_batch(&batch, dev);
         total_ns += out.modeled_ns;
     }
@@ -285,8 +291,7 @@ mod tests {
         let cuart = CuartIndex::build(&art, &CuartConfig::default());
         let grt = GrtIndex::build(&art);
         let mut dev = devices::rtx3090();
-        dev.l2.size_bytes =
-            ((dev.l2.size_bytes as f64 * n as f64 / 26e6) as usize).max(64 << 10);
+        dev.l2.size_bytes = ((dev.l2.size_bytes as f64 * n as f64 / 26e6) as usize).max(64 << 10);
         let cfg = RunConfig {
             batch_size: 8192,
             total_queries: 1 << 17,
@@ -303,7 +308,10 @@ mod tests {
             cu.mops,
             gc.mops
         );
-        assert!(cu.mops < 6.0 * gc.mops, "speedup should stay in the paper's range");
+        assert!(
+            cu.mops < 6.0 * gc.mops,
+            "speedup should stay in the paper's range"
+        );
     }
 
     #[test]
@@ -353,7 +361,10 @@ mod tests {
             mops.push(run_cuart_lookups(&cuart, &dev, &cfg, &mut qs).mops);
         }
         assert!(mops[1] > mops[0], "2 threads must beat 1: {mops:?}");
-        assert!(mops[2] >= mops[1] * 0.95, "8 threads must not regress: {mops:?}");
+        assert!(
+            mops[2] >= mops[1] * 0.95,
+            "8 threads must not regress: {mops:?}"
+        );
     }
 
     #[test]
@@ -380,7 +391,7 @@ pub fn run_cuart_ranges(
     let (_, kernel) = index.range_spans_device(dev, &batch);
     let kernel_ns = kernel.time_ns;
     // A range record is 72 B up, 48 B of span indices down.
-    
+
     compose(
         dev,
         cfg,
@@ -420,6 +431,10 @@ mod range_tests {
         assert!(r.mops > 0.0);
         // Range spans resolve via binary search: the chain must be
         // logarithmic in the tree size, not linear.
-        assert!(r.kernel.max_chain_steps < 120, "chain {}", r.kernel.max_chain_steps);
+        assert!(
+            r.kernel.max_chain_steps < 120,
+            "chain {}",
+            r.kernel.max_chain_steps
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! can halve overall throughput (Figure 13).
 
 use crate::gpu_runner::E2eReport;
+use cuart_telemetry::{names, BatchEvent, BatchKind, Telemetry};
 
 /// Effective per-operation CPU cost for a long-key lookup in the host ART
 /// (nanoseconds). This is deliberately large: the CPU leg chases pointers
@@ -31,6 +32,27 @@ pub struct HybridReport {
     pub cpu_leg_ns: f64,
     /// `true` when the CPU leg is the bottleneck.
     pub cpu_bound: bool,
+}
+
+impl HybridReport {
+    /// Record this routing decision into `telemetry`.
+    ///
+    /// Emits the `cuart.hybrid.*` counters/gauges and a
+    /// [`BatchKind::HybridRoute`] event whose `host_spills` field carries
+    /// the number of keys routed to the CPU leg and whose `kernel_time_ns`
+    /// carries the GPU leg time.
+    pub fn record_into(&self, telemetry: &Telemetry, batch_size: usize, cpu_fraction: f64) {
+        let cpu_keys = (batch_size as f64 * cpu_fraction).round() as u64;
+        let gpu_keys = (batch_size as u64).saturating_sub(cpu_keys);
+        telemetry.incr(names::HYBRID_GPU_BATCHES, 1);
+        telemetry.incr(names::HYBRID_CPU_KEYS, cpu_keys);
+        telemetry.incr(names::HYBRID_GPU_KEYS, gpu_keys);
+        telemetry.gauge_set(names::HYBRID_CPU_FRACTION, cpu_fraction);
+        let mut event = BatchEvent::new(BatchKind::HybridRoute, batch_size as u64);
+        event.kernel_time_ns = self.gpu_leg_ns as u64;
+        event.host_spills = cpu_keys;
+        telemetry.record(event);
+    }
 }
 
 /// Compose a hybrid run:
@@ -68,6 +90,25 @@ pub fn hybrid_throughput(
         cpu_leg_ns,
         cpu_bound: cpu_leg_ns > gpu_leg_ns,
     }
+}
+
+/// [`hybrid_throughput`] with an optional telemetry sink: when `telemetry`
+/// is attached, the routing decision is recorded via
+/// [`HybridReport::record_into`]. The pure function stays untouched so the
+/// figure harness can sweep parameters without a registry.
+pub fn hybrid_throughput_traced(
+    gpu: &E2eReport,
+    batch_size: usize,
+    cpu_fraction: f64,
+    cpu_threads: usize,
+    cpu_ns_per_op: f64,
+    telemetry: Option<&Telemetry>,
+) -> HybridReport {
+    let report = hybrid_throughput(gpu, batch_size, cpu_fraction, cpu_threads, cpu_ns_per_op);
+    if let Some(t) = telemetry {
+        report.record_into(t, batch_size, cpu_fraction);
+    }
+    report
 }
 
 #[cfg(test)]
@@ -145,5 +186,27 @@ mod tests {
         let few = hybrid_throughput(&gpu, 32768, 0.10, 8, CPU_LONG_KEY_NS);
         let many = hybrid_throughput(&gpu, 32768, 0.10, 112, CPU_LONG_KEY_NS);
         assert!(many.mops > few.mops);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn traced_run_records_routing_decision() {
+        let telemetry = Telemetry::new();
+        let gpu = gpu_report(170.0);
+        let traced =
+            hybrid_throughput_traced(&gpu, 1000, 0.03, 56, CPU_LONG_KEY_NS, Some(&telemetry));
+        let plain = hybrid_throughput(&gpu, 1000, 0.03, 56, CPU_LONG_KEY_NS);
+        assert_eq!(traced.mops, plain.mops);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counters[names::HYBRID_GPU_BATCHES], 1);
+        assert_eq!(snap.counters[names::HYBRID_CPU_KEYS], 30);
+        assert_eq!(snap.counters[names::HYBRID_GPU_KEYS], 970);
+        assert_eq!(snap.gauges[names::HYBRID_CPU_FRACTION], 0.03);
+        assert_eq!(snap.events.len(), 1);
+        let event = &snap.events[0];
+        assert_eq!(event.kind, BatchKind::HybridRoute);
+        assert_eq!(event.keys, 1000);
+        assert_eq!(event.host_spills, 30);
+        assert_eq!(event.kernel_time_ns, traced.gpu_leg_ns as u64);
     }
 }

@@ -130,7 +130,9 @@ impl PartitionedIndex {
 
     fn part_of(&self, key: &[u8]) -> Option<usize> {
         let first = *key.first()?;
-        self.parts.iter().position(|p| first >= p.lo && first <= p.hi)
+        self.parts
+            .iter()
+            .position(|p| first >= p.lo && first <= p.hi)
     }
 
     /// Total device bytes currently resident.
@@ -217,8 +219,14 @@ impl PartitionedIndex {
             part.accesses += group.len() as u64;
             if let Some(res) = part.resident.as_mut() {
                 let batch: Vec<Vec<u8>> = group.iter().map(|&qi| queries[qi].clone()).collect();
-                let (vals, kr) =
-                    run_lookup_batch(&self.dev, &mut res.mem, &res.tree, &mut res.l2, &batch, stride);
+                let (vals, kr) = run_lookup_batch(
+                    &self.dev,
+                    &mut res.mem,
+                    &res.tree,
+                    &mut res.l2,
+                    &batch,
+                    stride,
+                );
                 for (j, &qi) in group.iter().enumerate() {
                     results[qi] = part.index.resolve_host_signal(vals[j], &queries[qi]);
                 }
@@ -277,8 +285,11 @@ mod tests {
         assert_eq!(idx.partition_count(), 8);
         assert_eq!(idx.len(), 20_000);
         let resident = idx.resident_partitions().len();
-        assert!(resident > 0 && resident < 8, "partial residency expected: {resident}");
-        let (results, report) = idx.lookup_batch(&keys[..4000].to_vec());
+        assert!(
+            resident > 0 && resident < 8,
+            "partial residency expected: {resident}"
+        );
+        let (results, report) = idx.lookup_batch(&keys[..4000]);
         // Values were assigned by original key position.
         for (i, (k, r)) in keys[..4000].iter().zip(&results).enumerate() {
             assert_eq!(*r, i as u64 + 1, "key {k:x?}");
@@ -298,7 +309,7 @@ mod tests {
     fn everything_resident_with_large_budget() {
         let (mut idx, keys) = build(5_000, 4, 1 << 30);
         assert_eq!(idx.resident_partitions().len(), 4);
-        let (results, report) = idx.lookup_batch(&keys[..1000].to_vec());
+        let (results, report) = idx.lookup_batch(&keys[..1000]);
         assert_eq!(report.cpu_queries, 0);
         assert!(results.iter().all(|&r| r != NOT_FOUND));
     }
@@ -348,7 +359,10 @@ mod tests {
             idx.rebalance();
         }
         let now = idx.resident_partitions();
-        assert_ne!(now, initially_resident, "residency must shift with the workload");
+        assert_ne!(
+            now, initially_resident,
+            "residency must shift with the workload"
+        );
     }
 
     #[test]

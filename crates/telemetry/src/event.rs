@@ -1,0 +1,112 @@
+//! Structured per-batch trace records.
+//!
+//! Every device batch (lookup / update / insert), hybrid routing decision
+//! and index build emits one [`BatchEvent`] into the session's bounded
+//! ring buffer. The fields are the union of what the engines can report;
+//! producers fill in what they know and leave the rest at zero.
+
+/// What kind of batch produced an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BatchKind {
+    /// Index construction (ART → CuART buffers, or GRT build).
+    Build,
+    /// A device lookup batch.
+    Lookup,
+    /// A device update batch.
+    Update,
+    /// A device insert batch.
+    Insert,
+    /// A hybrid CPU/GPU routing decision over one batch.
+    HybridRoute,
+}
+
+impl BatchKind {
+    /// Stable lowercase identifier used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BatchKind::Build => "build",
+            BatchKind::Lookup => "lookup",
+            BatchKind::Update => "update",
+            BatchKind::Insert => "insert",
+            BatchKind::HybridRoute => "hybrid_route",
+        }
+    }
+}
+
+impl std::fmt::Display for BatchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One per-batch trace record.
+///
+/// `seq` is assigned by the ring at record time and is monotonically
+/// increasing across the session, so gaps reveal dropped events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvent {
+    /// Session-monotonic sequence number (assigned on record).
+    pub seq: u64,
+    /// Producer of the event.
+    pub kind: BatchKind,
+    /// Keys in the batch.
+    pub keys: u64,
+    /// Modeled kernel time in nanoseconds.
+    pub kernel_time_ns: u64,
+    /// L2 cache hits during the batch.
+    pub l2_hits: u64,
+    /// L2 cache misses during the batch.
+    pub l2_misses: u64,
+    /// 32-byte DRAM sector transactions issued.
+    pub dram_transactions: u64,
+    /// Bytes moved from DRAM.
+    pub dram_bytes: u64,
+    /// Memory requests after warp coalescing.
+    pub coalesced_accesses: u64,
+    /// Raw per-lane memory requests before coalescing.
+    pub raw_accesses: u64,
+    /// Keys spilled to the host side (HOST_SIGNAL / overflow path).
+    pub host_spills: u64,
+    /// Insert/update slot-claim conflicts (atomic CAS retries).
+    pub claim_conflicts: u64,
+    /// Free-list refills triggered while serving the batch.
+    pub freelist_refills: u64,
+}
+
+impl BatchEvent {
+    /// New event of `kind` covering `keys` keys, all other fields zero.
+    pub fn new(kind: BatchKind, keys: u64) -> Self {
+        BatchEvent {
+            seq: 0,
+            kind,
+            keys,
+            kernel_time_ns: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            dram_transactions: 0,
+            dram_bytes: 0,
+            coalesced_accesses: 0,
+            raw_accesses: 0,
+            host_spills: 0,
+            claim_conflicts: 0,
+            freelist_refills: 0,
+        }
+    }
+
+    /// The non-`seq`/`kind`/`keys` payload as `(name, value)` pairs, in
+    /// export order. Shared by the JSON exporter and pretty-printers.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("kernel_time_ns", self.kernel_time_ns),
+            ("l2_hits", self.l2_hits),
+            ("l2_misses", self.l2_misses),
+            ("dram_transactions", self.dram_transactions),
+            ("dram_bytes", self.dram_bytes),
+            ("coalesced_accesses", self.coalesced_accesses),
+            ("raw_accesses", self.raw_accesses),
+            ("host_spills", self.host_spills),
+            ("claim_conflicts", self.claim_conflicts),
+            ("freelist_refills", self.freelist_refills),
+        ]
+    }
+}

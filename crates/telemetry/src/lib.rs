@@ -1,0 +1,148 @@
+//! Session-wide telemetry for the CuART engines.
+//!
+//! One [`Telemetry`] registry per device session (shared as
+//! `Option<Arc<Telemetry>>`) collects:
+//!
+//! * **counters** — monotonic totals (batches served, keys looked up,
+//!   host spills, claim conflicts, free-list refills, …),
+//! * **gauges** — last-write-wins readings (node/leaf occupancy, L2 hit
+//!   rate, DRAM channel imbalance, device bytes, …),
+//! * **histograms** — log2-bucketed distributions (kernel ns per batch,
+//!   DRAM transactions per batch, bytes moved, …),
+//! * **a bounded event ring** — one structured [`BatchEvent`] per device
+//!   batch and hybrid routing decision, with session-monotonic `seq`.
+//!
+//! Snapshots ([`Telemetry::snapshot`]) are fully owned and export to JSON
+//! ([`Snapshot::to_json`]) or the Prometheus text format
+//! ([`Snapshot::to_prometheus`]).
+//!
+//! # Cost model
+//!
+//! With the default `enabled` feature, recording through a handle is one
+//! relaxed atomic op; the registry locks are touched only on name
+//! resolution and the event ring takes one short mutex per *batch*.
+//! Compiled with `--no-default-features`, every type here becomes an
+//! API-identical zero-sized no-op, so the only residual cost in the
+//! engines is the `Option` branch at each recording site.
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod snapshot;
+
+pub use event::{BatchEvent, BatchKind};
+pub use snapshot::{HistogramSnapshot, Snapshot};
+
+#[cfg(feature = "enabled")]
+mod real;
+#[cfg(feature = "enabled")]
+pub use real::{
+    Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, Telemetry,
+    DEFAULT_EVENT_CAPACITY,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, Telemetry,
+    DEFAULT_EVENT_CAPACITY,
+};
+
+/// Canonical metric names shared by producers and consumers, so the CLI,
+/// the bench harness and the tests never drift on spelling.
+pub mod names {
+    /// Lookup batches served on the device path.
+    pub const LOOKUP_BATCHES: &str = "cuart.lookup.batches";
+    /// Keys submitted to device lookups.
+    pub const LOOKUP_KEYS: &str = "cuart.lookup.keys";
+    /// Lookup keys resolved on the host (HOST_SIGNAL / overflow).
+    pub const LOOKUP_HOST_SPILLS: &str = "cuart.lookup.host_spills";
+    /// Histogram: modeled kernel ns per lookup batch.
+    pub const LOOKUP_KERNEL_NS: &str = "cuart.lookup.kernel_ns";
+    /// Update batches served on the device path.
+    pub const UPDATE_BATCHES: &str = "cuart.update.batches";
+    /// Keys submitted to device updates.
+    pub const UPDATE_KEYS: &str = "cuart.update.keys";
+    /// Histogram: modeled kernel ns per update batch.
+    pub const UPDATE_KERNEL_NS: &str = "cuart.update.kernel_ns";
+    /// Update/insert slot-claim conflicts (atomic CAS retries).
+    pub const CLAIM_CONFLICTS: &str = "cuart.update.claim_conflicts";
+    /// Insert batches served on the device path.
+    pub const INSERT_BATCHES: &str = "cuart.insert.batches";
+    /// Keys submitted to device inserts.
+    pub const INSERT_KEYS: &str = "cuart.insert.keys";
+    /// Inserts spilled to the host overflow table.
+    pub const INSERT_HOST_SPILLS: &str = "cuart.insert.host_spills";
+    /// Free-list refills triggered by inserts.
+    pub const FREELIST_REFILLS: &str = "cuart.insert.freelist_refills";
+    /// Histogram: modeled kernel ns per insert batch.
+    pub const INSERT_KERNEL_NS: &str = "cuart.insert.kernel_ns";
+    /// L2 hits across all kernels.
+    pub const L2_HITS: &str = "cuart.kernel.l2_hits";
+    /// L2 misses across all kernels.
+    pub const L2_MISSES: &str = "cuart.kernel.l2_misses";
+    /// Gauge: L2 hit rate of the most recent kernel.
+    pub const L2_HIT_RATE: &str = "cuart.kernel.l2_hit_rate";
+    /// DRAM sector transactions across all kernels.
+    pub const DRAM_TRANSACTIONS: &str = "cuart.kernel.dram_transactions";
+    /// DRAM bytes moved across all kernels.
+    pub const DRAM_BYTES: &str = "cuart.kernel.dram_bytes";
+    /// Gauge: DRAM channel imbalance of the most recent kernel.
+    pub const DRAM_IMBALANCE: &str = "cuart.kernel.dram_imbalance";
+    /// Coalesced memory requests across all kernels.
+    pub const COALESCED_ACCESSES: &str = "cuart.kernel.coalesced_accesses";
+    /// Raw per-lane memory requests across all kernels.
+    pub const RAW_ACCESSES: &str = "cuart.kernel.raw_accesses";
+    /// Histogram: DRAM transactions per batch.
+    pub const DRAM_TX_PER_BATCH: &str = "cuart.kernel.dram_tx_per_batch";
+    /// Gauge: device-resident bytes of the built index.
+    pub const DEVICE_BYTES: &str = "cuart.build.device_bytes";
+    /// Gauge: number of inner nodes in the built index.
+    pub const BUILD_NODES: &str = "cuart.build.nodes";
+    /// Gauge: number of leaves in the built index.
+    pub const BUILD_LEAVES: &str = "cuart.build.leaves";
+    /// Hybrid batches routed to the GPU.
+    pub const HYBRID_GPU_BATCHES: &str = "cuart.hybrid.gpu_batches";
+    /// Hybrid keys routed to the CPU (long-key / HOST_SIGNAL path).
+    pub const HYBRID_CPU_KEYS: &str = "cuart.hybrid.cpu_keys";
+    /// Hybrid keys routed to the GPU.
+    pub const HYBRID_GPU_KEYS: &str = "cuart.hybrid.gpu_keys";
+    /// Gauge: fraction of keys routed to the CPU in the last hybrid run.
+    pub const HYBRID_CPU_FRACTION: &str = "cuart.hybrid.cpu_fraction";
+    /// GRT lookup batches.
+    pub const GRT_LOOKUP_BATCHES: &str = "grt.lookup.batches";
+    /// GRT keys submitted to lookups.
+    pub const GRT_LOOKUP_KEYS: &str = "grt.lookup.keys";
+    /// Histogram: modeled kernel ns per GRT lookup batch.
+    pub const GRT_LOOKUP_KERNEL_NS: &str = "grt.lookup.kernel_ns";
+    /// GRT update batches.
+    pub const GRT_UPDATE_BATCHES: &str = "grt.update.batches";
+    /// Gauge: device-resident bytes of the built GRT.
+    pub const GRT_DEVICE_BYTES: &str = "grt.build.device_bytes";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The surface every build must expose identically.
+    #[test]
+    fn api_surface_compiles_and_snapshots() {
+        let t = Telemetry::new();
+        t.incr(names::LOOKUP_BATCHES, 1);
+        t.gauge_set(names::L2_HIT_RATE, 0.5);
+        t.observe(names::LOOKUP_KERNEL_NS, 1234);
+        t.record(BatchEvent::new(BatchKind::Lookup, 16));
+        let s = t.snapshot();
+        let json = s.to_json();
+        let prom = s.to_prometheus();
+        if t.is_enabled() {
+            assert_eq!(s.counters.get(names::LOOKUP_BATCHES), Some(&1));
+            assert!(json.contains("cuart.lookup.batches"));
+            assert!(prom.contains("cuart_lookup_batches 1"));
+        } else {
+            assert!(s.counters.is_empty());
+        }
+    }
+}

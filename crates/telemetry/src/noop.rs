@@ -1,0 +1,136 @@
+//! No-op stand-ins, compiled when the `enabled` feature is off.
+//!
+//! Every public item mirrors the signatures in [`crate::real`] so
+//! dependents compile unchanged; all recording collapses to nothing and
+//! `snapshot()` returns an empty [`Snapshot`]. The types are ZSTs, so a
+//! feature-off build pays no storage either.
+
+use crate::event::BatchEvent;
+use crate::snapshot::Snapshot;
+
+/// Default bound of the batch event ring (unused; kept for API parity).
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// No-op counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counter;
+
+impl Counter {
+    /// Discarded.
+    pub fn incr(&self, _n: u64) {}
+
+    /// Always 0.
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Discarded.
+    pub fn set(&self, _v: f64) {}
+
+    /// Always 0.0.
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Discarded.
+    pub fn observe(&self, _v: u64) {}
+
+    /// Always 0.
+    pub fn count(&self) -> u64 {
+        0
+    }
+}
+
+/// Handle type returned by [`Telemetry::counter`].
+pub type CounterHandle = Counter;
+/// Handle type returned by [`Telemetry::gauge`].
+pub type GaugeHandle = Gauge;
+/// Handle type returned by [`Telemetry::histogram`].
+pub type HistogramHandle = Histogram;
+
+/// No-op registry with the same surface as the real one.
+#[derive(Debug, Default)]
+pub struct Telemetry;
+
+impl Telemetry {
+    /// New no-op registry.
+    pub fn new() -> Self {
+        Telemetry
+    }
+
+    /// Capacity is ignored.
+    pub fn with_event_capacity(_capacity: usize) -> Self {
+        Telemetry
+    }
+
+    /// A fresh no-op counter handle.
+    pub fn counter(&self, _name: &str) -> CounterHandle {
+        Counter
+    }
+
+    /// A fresh no-op gauge handle.
+    pub fn gauge(&self, _name: &str) -> GaugeHandle {
+        Gauge
+    }
+
+    /// A fresh no-op histogram handle.
+    pub fn histogram(&self, _name: &str) -> HistogramHandle {
+        Histogram
+    }
+
+    /// Discarded.
+    pub fn incr(&self, _name: &str, _n: u64) {}
+
+    /// Discarded.
+    pub fn gauge_set(&self, _name: &str, _v: f64) {}
+
+    /// Discarded.
+    pub fn observe(&self, _name: &str, _v: u64) {}
+
+    /// Discarded; always returns sequence 0.
+    pub fn record(&self, _event: BatchEvent) -> u64 {
+        0
+    }
+
+    /// Always `false` in the no-op build.
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Always empty.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BatchKind;
+
+    #[test]
+    fn everything_is_inert() {
+        let t = Telemetry::new();
+        t.incr("x", 5);
+        t.gauge_set("g", 2.0);
+        t.observe("h", 7);
+        t.record(BatchEvent::new(BatchKind::Lookup, 3));
+        assert!(!t.is_enabled());
+        let s = t.snapshot();
+        assert!(s.counters.is_empty());
+        assert!(s.events.is_empty());
+        assert_eq!(std::mem::size_of::<Telemetry>(), 0);
+    }
+}

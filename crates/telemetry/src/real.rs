@@ -1,0 +1,395 @@
+//! The live registry, compiled when the `enabled` feature is on.
+//!
+//! Hot paths are lock-light: metric handles are `Arc`s of atomics, so the
+//! registry's `RwLock`s are only taken when a metric name is first (or
+//! repeatedly, read-locked) resolved — never while bumping a counter
+//! through a held handle. The event ring takes a short `Mutex` per batch,
+//! which is amortised across the whole batch, not per key.
+
+use crate::event::BatchEvent;
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default bound of the batch event ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn incr(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge storing an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets: one for zero plus one per bit position.
+const BUCKETS: usize = 65;
+
+/// Log-scale histogram for ns latencies, bytes, transactions-per-key.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i ≥ 1` holds the range
+/// `[2^(i-1), 2^i - 1]`, i.e. values with bit length `i`.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else its bit length.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze into a snapshot.
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: (0..BUCKETS)
+                .filter_map(|i| {
+                    let n = self.counts[i].load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_upper(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    buf: VecDeque<BatchEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded ring of [`BatchEvent`]s with session-monotonic sequencing.
+#[derive(Debug)]
+struct EventRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    fn record(&self, mut event: BatchEvent) -> u64 {
+        let mut inner = self.inner.lock().expect("event ring poisoned");
+        event.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+        event.seq
+    }
+
+    fn snapshot(&self) -> (Vec<BatchEvent>, u64) {
+        let inner = self.inner.lock().expect("event ring poisoned");
+        (inner.buf.iter().copied().collect(), inner.dropped)
+    }
+}
+
+/// Handle type returned by [`Telemetry::counter`]; derefs to [`Counter`].
+pub type CounterHandle = Arc<Counter>;
+/// Handle type returned by [`Telemetry::gauge`]; derefs to [`Gauge`].
+pub type GaugeHandle = Arc<Gauge>;
+/// Handle type returned by [`Telemetry::histogram`]; derefs to [`Histogram`].
+pub type HistogramHandle = Arc<Histogram>;
+
+/// The session-wide metrics registry.
+///
+/// Shared as `Option<Arc<Telemetry>>` by everything that records: the
+/// disabled path is a single branch on the `Option` with no allocation
+/// and no locking.
+#[derive(Debug)]
+pub struct Telemetry {
+    counters: RwLock<BTreeMap<String, CounterHandle>>,
+    gauges: RwLock<BTreeMap<String, GaugeHandle>>,
+    histograms: RwLock<BTreeMap<String, HistogramHandle>>,
+    events: EventRing,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// New registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// New registry retaining at most `capacity` trace events.
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Telemetry {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            events: EventRing::new(capacity),
+        }
+    }
+
+    fn resolve<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+        if let Some(m) = map.read().expect("registry poisoned").get(name) {
+            return Arc::clone(m);
+        }
+        let mut w = map.write().expect("registry poisoned");
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Handle to the counter `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        Self::resolve(&self.counters, name)
+    }
+
+    /// Handle to the gauge `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        Self::resolve(&self.gauges, name)
+    }
+
+    /// Handle to the histogram `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        Self::resolve(&self.histograms, name)
+    }
+
+    /// Convenience: bump counter `name` by `n`.
+    pub fn incr(&self, name: &str, n: u64) {
+        self.counter(name).incr(n);
+    }
+
+    /// Convenience: set gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Convenience: record `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).observe(v);
+    }
+
+    /// Append a batch event to the trace ring; returns its sequence number.
+    pub fn record(&self, event: BatchEvent) -> u64 {
+        self.events.record(event)
+    }
+
+    /// Whether recording is compiled in (always `true` here; the no-op
+    /// build returns `false`).
+    pub fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Freeze the whole registry into an owned [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let (events, events_dropped) = self.events.snapshot();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+            events_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BatchKind;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in the bucket whose bound brackets it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 20, u64::MAX - 1] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "{v} above bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} fits bucket {}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_snapshot() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1011);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        // 0 → bucket 0; 1 → le=1; 5,5 → le=7; 1000 → le=1023.
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (7, 2), (1023, 1)]);
+        assert!((s.mean() - 202.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_tail_and_counts_drops() {
+        let t = Telemetry::with_event_capacity(4);
+        for i in 0..10u64 {
+            t.record(BatchEvent::new(BatchKind::Lookup, i));
+        }
+        let s = t.snapshot();
+        assert_eq!(s.events.len(), 4);
+        assert_eq!(s.events_dropped, 6);
+        // The tail is retained, with monotone seq numbers 6..=9.
+        let seqs: Vec<u64> = s.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(s.events[0].keys, 6);
+    }
+
+    #[test]
+    fn handles_alias_the_registry() {
+        let t = Telemetry::new();
+        let c = t.counter("x");
+        c.incr(2);
+        t.incr("x", 3);
+        assert_eq!(t.counter("x").get(), 5);
+        t.gauge_set("g", 1.5);
+        assert_eq!(t.gauge("g").get(), 1.5);
+        t.observe("h", 9);
+        assert_eq!(t.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let t = Arc::new(Telemetry::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    let c = t.counter("n");
+                    for _ in 0..1000 {
+                        c.incr(1);
+                        t.observe("lat", 42);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.counter("n").get(), 8000);
+        assert_eq!(t.histogram("lat").count(), 8000);
+    }
+}

@@ -1,0 +1,247 @@
+//! Point-in-time snapshots and the JSON / Prometheus text exporters.
+//!
+//! A [`Snapshot`] is a plain, fully-owned copy of the registry taken under
+//! short read locks; exporting it never touches the live metrics again.
+//! Both exporters emit keys in deterministic (BTreeMap) order so snapshots
+//! of identical sessions are byte-identical — the golden tests rely on it.
+
+use crate::event::BatchEvent;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty log2 buckets as `(inclusive upper bound, count)`,
+    /// ascending. Bucket bounds are `0, 1, 3, 7, …, 2^k - 1, …, u64::MAX`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Frozen state of a whole [`Telemetry`](crate::Telemetry) registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (last-write-wins) by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// The retained tail of the batch event trace, oldest first.
+    pub events: Vec<BatchEvent>,
+    /// Events evicted from the bounded ring before this snapshot.
+    pub events_dropped: u64,
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as JSON (finite → shortest round-trip form, non-finite
+/// → `null`, integral values keep a trailing `.0`).
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Sanitize a metric name for the Prometheus text format:
+/// `[a-zA-Z0-9_:]` pass through, everything else becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Serialize the snapshot as a single JSON object.
+    ///
+    /// Layout: `{"counters":{...},"gauges":{...},"histograms":{...},`
+    /// `"events":[...],"events_dropped":N}` with keys in sorted order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{}\":{v}", json_escape(name)).expect("string write");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{}\":{}", json_escape(name), json_f64(*v)).expect("string write");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.mean()),
+            )
+            .expect("string write");
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write!(out, "{{\"le\":{le},\"count\":{n}}}").expect("string write");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"seq\":{},\"kind\":\"{}\",\"keys\":{}",
+                e.seq,
+                e.kind.as_str(),
+                e.keys
+            )
+            .expect("string write");
+            for (name, v) in e.fields() {
+                write!(out, ",\"{name}\":{v}").expect("string write");
+            }
+            out.push('}');
+        }
+        write!(out, "],\"events_dropped\":{}}}", self.events_dropped).expect("string write");
+        out
+    }
+
+    /// Serialize counters, gauges and histograms in the Prometheus text
+    /// exposition format. Events are summarised (`cuart_events_dropped`),
+    /// not dumped — traces do not fit the format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            writeln!(out, "# TYPE {n} counter").expect("string write");
+            writeln!(out, "{n} {v}").expect("string write");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            writeln!(out, "# TYPE {n} gauge").expect("string write");
+            writeln!(out, "{n} {v}").expect("string write");
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            writeln!(out, "# TYPE {n} histogram").expect("string write");
+            let mut cumulative = 0u64;
+            for (le, count) in &h.buckets {
+                cumulative += count;
+                if *le == u64::MAX {
+                    writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}").expect("string write");
+                } else {
+                    writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}").expect("string write");
+                }
+            }
+            if h.buckets.last().map(|(le, _)| *le) != Some(u64::MAX) {
+                writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}").expect("string write");
+            }
+            writeln!(out, "{n}_sum {}", h.sum).expect("string write");
+            writeln!(out, "{n}_count {}", h.count).expect("string write");
+        }
+        writeln!(out, "# TYPE cuart_events_dropped counter").expect("string write");
+        writeln!(out, "cuart_events_dropped {}", self.events_dropped).expect("string write");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BatchKind;
+
+    #[test]
+    fn json_escaping_and_floats() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(2.5), "2.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn prometheus_name_sanitization() {
+        assert_eq!(prom_name("cuart.lookup.batches"), "cuart_lookup_batches");
+        assert_eq!(prom_name("ok_name:x9"), "ok_name:x9");
+    }
+
+    #[test]
+    fn empty_snapshot_exports() {
+        let s = Snapshot::default();
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":[],\"events_dropped\":0}"
+        );
+        assert!(s.to_prometheus().contains("cuart_events_dropped 0"));
+    }
+
+    #[test]
+    fn event_serializes_all_fields() {
+        let mut s = Snapshot::default();
+        let mut e = BatchEvent::new(BatchKind::Lookup, 4);
+        e.seq = 9;
+        e.l2_hits = 3;
+        s.events.push(e);
+        let json = s.to_json();
+        assert!(json.contains("\"seq\":9"));
+        assert!(json.contains("\"kind\":\"lookup\""));
+        assert!(json.contains("\"l2_hits\":3"));
+        assert!(json.contains("\"freelist_refills\":0"));
+    }
+}

@@ -29,7 +29,15 @@ const NAMESPACES: &[&str] = &[
 ];
 
 /// Repeated path segments (the "long duplicate segments" of §4.4).
-const SEGMENTS: &[&str] = &["Category:", "Person/", "Place/", "node/", "Q", "item/", "rev/"];
+const SEGMENTS: &[&str] = &[
+    "Category:",
+    "Person/",
+    "Place/",
+    "node/",
+    "Q",
+    "item/",
+    "rev/",
+];
 
 /// Zipf-ish index: heavy skew toward low indices.
 fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
@@ -83,7 +91,11 @@ pub fn profile(keys: &[Vec<u8>]) -> BtcProfile {
     sorted.sort();
     let mut total_lcp = 0usize;
     for w in sorted.windows(2) {
-        total_lcp += w[0].iter().zip(w[1].iter()).take_while(|(a, b)| a == b).count();
+        total_lcp += w[0]
+            .iter()
+            .zip(w[1].iter())
+            .take_while(|(a, b)| a == b)
+            .count();
     }
     let mean_neighbor_lcp = if sorted.len() > 1 {
         total_lcp as f64 / (sorted.len() - 1) as f64
@@ -156,7 +168,8 @@ mod tests {
     fn cuart_art_check(keys: &[Vec<u8>]) -> cuart_art::Art<u64> {
         let mut art = cuart_art::Art::new();
         for (i, k) in keys.iter().enumerate() {
-            art.insert(k, i as u64).expect("fixed-length keys are prefix-free");
+            art.insert(k, i as u64)
+                .expect("fixed-length keys are prefix-free");
         }
         art
     }

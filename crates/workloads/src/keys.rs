@@ -54,7 +54,10 @@ pub fn long_key_mix(
     long_fraction: f64,
     seed: u64,
 ) -> Vec<Vec<u8>> {
-    assert!(long_len > short_len, "long keys must be longer than short ones");
+    assert!(
+        long_len > short_len,
+        "long keys must be longer than short ones"
+    );
     assert!((0.0..=1.0).contains(&long_fraction));
     let n_long = (n as f64 * long_fraction).round() as usize;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
@@ -135,13 +138,23 @@ mod tests {
         let long = keys.iter().filter(|k| k.len() == 48).count();
         assert_eq!(long, 500);
         // Prefix-free across the two families.
-        assert!(keys.iter().filter(|k| k.len() == 48).all(|k| k[0] & 0x80 != 0));
-        assert!(keys.iter().filter(|k| k.len() == 16).all(|k| k[0] & 0x80 == 0));
+        assert!(keys
+            .iter()
+            .filter(|k| k.len() == 48)
+            .all(|k| k[0] & 0x80 != 0));
+        assert!(keys
+            .iter()
+            .filter(|k| k.len() == 16)
+            .all(|k| k[0] & 0x80 == 0));
     }
 
     #[test]
     fn long_key_mix_zero_and_full() {
-        assert!(long_key_mix(100, 8, 40, 0.0, 1).iter().all(|k| k.len() == 8));
-        assert!(long_key_mix(100, 8, 40, 1.0, 1).iter().all(|k| k.len() == 40));
+        assert!(long_key_mix(100, 8, 40, 0.0, 1)
+            .iter()
+            .all(|k| k.len() == 8));
+        assert!(long_key_mix(100, 8, 40, 1.0, 1)
+            .iter()
+            .all(|k| k.len() == 40));
     }
 }

@@ -100,7 +100,12 @@ impl UpdateStream {
 
 /// Generate `n` inclusive range bounds over a sorted key population, each
 /// spanning roughly `span` consecutive stored keys.
-pub fn range_queries(keys: &[Vec<u8>], n: usize, span: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+pub fn range_queries(
+    keys: &[Vec<u8>],
+    n: usize,
+    span: usize,
+    seed: u64,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
     assert!(!keys.is_empty());
     let mut sorted: Vec<Vec<u8>> = keys.to_vec();
     sorted.sort();
@@ -160,7 +165,11 @@ mod tests {
         let distinct: HashSet<_> = batch.iter().map(|(k, _)| k).collect();
         assert!(distinct.len() < 2000, "duplicates must occur");
         // Non-delete values are unique and monotone.
-        let values: Vec<u64> = batch.iter().map(|(_, v)| *v).filter(|&v| v != u64::MAX).collect();
+        let values: Vec<u64> = batch
+            .iter()
+            .map(|(_, v)| *v)
+            .filter(|&v| v != u64::MAX)
+            .collect();
         let vset: HashSet<_> = values.iter().collect();
         assert_eq!(vset.len(), values.len());
     }
@@ -213,7 +222,10 @@ impl ZipfQueryStream {
         (0..n)
             .map(|_| {
                 let u: f64 = self.rng.gen_range(0.0..1.0);
-                let idx = self.cdf.partition_point(|&c| c < u).min(self.keys.len() - 1);
+                let idx = self
+                    .cdf
+                    .partition_point(|&c| c < u)
+                    .min(self.keys.len() - 1);
                 self.keys[idx].clone()
             })
             .collect()
@@ -251,6 +263,9 @@ mod zipf_tests {
         };
         let soft_share = top_share(&soft.next_batch(10_000));
         let hard_share = top_share(&hard.next_batch(10_000));
-        assert!(hard_share > 2.0 * soft_share, "{hard_share} vs {soft_share}");
+        assert!(
+            hard_share > 2.0 * soft_share,
+            "{hard_share} vs {soft_share}"
+        );
     }
 }

@@ -80,6 +80,9 @@ fn main() {
     // A point read after the storm, proving coherence.
     let probe = user_key(123);
     let (r, _) = session.lookup_batch(std::slice::from_ref(&probe));
-    println!("final state of {:?}: {:?}", String::from_utf8_lossy(&probe),
-        (r[0] != NOT_FOUND).then_some(r[0]));
+    println!(
+        "final state of {:?}: {:?}",
+        String::from_utf8_lossy(&probe),
+        (r[0] != NOT_FOUND).then_some(r[0])
+    );
 }

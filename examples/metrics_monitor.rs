@@ -4,15 +4,21 @@
 //! with *new* series appearing continuously (exercising the §5.1
 //! device-side insert engine).
 //!
+//! This example is itself monitored: instead of hand-rolled counters it
+//! attaches a [`Telemetry`] registry to the index and reads everything —
+//! scrape time, inserts, host spills, claim conflicts — back out of the
+//! snapshot, finishing with a Prometheus-style scrape of the store.
+//!
 //! ```text
 //! cargo run -p cuart-examples --release --bin metrics_monitor
 //! ```
 
-use cuart::insert::insert_status;
 use cuart::{CuartConfig, CuartIndex};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
 use cuart_gpu_sim::devices;
+use cuart_telemetry::{names, BatchKind, Telemetry};
+use std::sync::Arc;
 
 /// A metric series key: "host.metric" padded into the 32-byte device max.
 fn series_key(host: u32, metric: &str) -> Vec<u8> {
@@ -21,7 +27,9 @@ fn series_key(host: u32, metric: &str) -> Vec<u8> {
     k
 }
 
-const METRICS: &[&str] = &["cpu.user", "cpu.sys", "mem.rss", "net.rx", "net.tx", "disk.io"];
+const METRICS: &[&str] = &[
+    "cpu.user", "cpu.sys", "mem.rss", "net.rx", "net.tx", "disk.io",
+];
 
 fn main() {
     // Bootstrap: 500 hosts × 6 metrics already known at map time.
@@ -31,7 +39,8 @@ fn main() {
             art.insert(&series_key(host, m), 0).unwrap();
         }
     }
-    let index = CuartIndex::build(&art, &CuartConfig::default());
+    let telemetry = Arc::new(Telemetry::new());
+    let index = CuartIndex::build(&art, &CuartConfig::default()).with_telemetry(telemetry.clone());
     let dev = devices::rtx3090();
     let mut session = index.device_session(&dev);
     println!(
@@ -39,10 +48,10 @@ fn main() {
         index.len(),
         index.device_bytes() as f64 / (1 << 20) as f64
     );
+    if !telemetry.is_enabled() {
+        eprintln!("note: built without the `telemetry` feature; snapshots will be empty");
+    }
 
-    let mut scrape_ns = 0.0;
-    let mut new_series = 0usize;
-    let mut spilled = 0usize;
     for round in 0..10u64 {
         // Each scrape updates every known series' latest value...
         let updates: Vec<(Vec<u8>, u64)> = (0..500)
@@ -52,8 +61,7 @@ fn main() {
                     .map(move |m| (series_key(h, m), (h as u64) * 100 + round))
             })
             .collect();
-        let (_, rep) = session.update_batch(&updates);
-        scrape_ns += rep.time_ns;
+        session.update_batch(&updates);
         // ...and 20 freshly deployed hosts appear per round (inserts).
         let fresh: Vec<(Vec<u8>, u64)> = (0..20)
             .flat_map(|i| {
@@ -61,24 +69,49 @@ fn main() {
                 METRICS.iter().map(move |m| (series_key(host, m), round))
             })
             .collect();
-        let (statuses, rep) = session.insert_batch(&fresh);
-        scrape_ns += rep.time_ns;
-        new_series += statuses.iter().filter(|&&s| s == insert_status::INSERTED).count();
-        spilled += statuses.iter().filter(|&&s| s == insert_status::SPILLED).count();
+        session.insert_batch(&fresh);
     }
+
+    // Everything the old hand-rolled counters tracked now comes out of the
+    // telemetry snapshot — plus cache and conflict data nobody wired up.
+    let snap = telemetry.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let scrape_ns: u64 = [names::UPDATE_KERNEL_NS, names::INSERT_KERNEL_NS]
+        .iter()
+        .filter_map(|n| snap.histograms.get(*n))
+        .map(|h| h.sum)
+        .sum();
     println!(
         "10 scrape rounds: {:.2} ms modeled device time, {} series inserted on-device, \
-         {} spilled to host overflow",
-        scrape_ns / 1e6,
-        new_series,
-        spilled
+         {} spilled to host overflow, {} claim conflicts",
+        scrape_ns as f64 / 1e6,
+        counter(names::INSERT_KEYS) - counter(names::INSERT_HOST_SPILLS),
+        counter(names::INSERT_HOST_SPILLS),
+        counter(names::CLAIM_CONFLICTS),
     );
+    let update_batches = counter(names::UPDATE_BATCHES);
+    let insert_batches = counter(names::INSERT_BATCHES);
+    println!(
+        "event trace: {} events captured ({update_batches} update / {insert_batches} insert batches)",
+        snap.events.len()
+    );
+    if let Some(last_insert) = snap
+        .events
+        .iter()
+        .rev()
+        .find(|e| e.kind == BatchKind::Insert)
+    {
+        println!(
+            "last insert batch: {} keys, {} free-list refills, {} DRAM transactions",
+            last_insert.keys, last_insert.freelist_refills, last_insert.dram_transactions
+        );
+    }
 
     // Dashboards read back mixed old/new series.
     let probes = vec![
-        series_key(42, "cpu.user"),       // bootstrap series
-        series_key(1005, "mem.rss"),      // inserted series
-        series_key(9999, "cpu.user"),     // never existed
+        series_key(42, "cpu.user"),   // bootstrap series
+        series_key(1005, "mem.rss"),  // inserted series
+        series_key(9999, "cpu.user"), // never existed
     ];
     let (values, _) = session.lookup_batch(&probes);
     println!("h0042.cpu.user = {}", values[0]);
@@ -87,5 +120,20 @@ fn main() {
     assert_ne!(values[1], NOT_FOUND);
     assert_eq!(values[2], NOT_FOUND);
     println!("h9999.cpu.user = (absent, as expected)");
-    println!("host overflow table holds {} series", session.overflow_len());
+    println!(
+        "host overflow table holds {} series",
+        session.overflow_len()
+    );
+
+    // And because this *is* monitoring software: expose ourselves.
+    println!("\n--- prometheus scrape of the store itself (excerpt) ---");
+    for line in telemetry
+        .snapshot()
+        .to_prometheus()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(12)
+    {
+        println!("{line}");
+    }
 }

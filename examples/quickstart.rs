@@ -39,12 +39,17 @@ fn main() {
     // 3. CPU-engine lookups (the fast path of Figure 7).
     assert_eq!(index.lookup_cpu(&42u64.to_be_bytes()), Some(420));
     assert_eq!(index.lookup_cpu(&999_999_999u64.to_be_bytes()), None);
-    println!("CPU engine: key 42 -> {:?}", index.lookup_cpu(&42u64.to_be_bytes()));
+    println!(
+        "CPU engine: key 42 -> {:?}",
+        index.lookup_cpu(&42u64.to_be_bytes())
+    );
 
     // 4. Batch lookups on a simulated RTX 3090.
     let dev = devices::rtx3090();
     let mut session = index.device_session(&dev);
-    let queries: Vec<Vec<u8>> = (0..32_768u64).map(|i| (i * 3).to_be_bytes().to_vec()).collect();
+    let queries: Vec<Vec<u8>> = (0..32_768u64)
+        .map(|i| (i * 3).to_be_bytes().to_vec())
+        .collect();
     let (results, report) = session.lookup_batch(&queries);
     let hits = results.iter().filter(|&&r| r != NOT_FOUND).count();
     println!(
@@ -65,13 +70,20 @@ fn main() {
         (13u64.to_be_bytes().to_vec(), DELETE),
     ];
     let (statuses, _) = session.update_batch(&ops);
-    assert_eq!(statuses, vec![status::SUPERSEDED, status::APPLIED, status::APPLIED]);
-    let (check, _) = session.lookup_batch(&[
-        7u64.to_be_bytes().to_vec(),
-        13u64.to_be_bytes().to_vec(),
-    ]);
-    println!("after update: key 7 -> {}, key 13 -> deleted ({})", check[0], check[1]);
+    assert_eq!(
+        statuses,
+        vec![status::SUPERSEDED, status::APPLIED, status::APPLIED]
+    );
+    let (check, _) =
+        session.lookup_batch(&[7u64.to_be_bytes().to_vec(), 13u64.to_be_bytes().to_vec()]);
+    println!(
+        "after update: key 7 -> {}, key 13 -> deleted ({})",
+        check[0], check[1]
+    );
     assert_eq!(check[0], 2222);
     assert_eq!(check[1], NOT_FOUND);
-    println!("freed leaf slots: {}", session.free_count(cuart::link::LinkType::Leaf8));
+    println!(
+        "freed leaf slots: {}",
+        session.free_count(cuart::link::LinkType::Leaf8)
+    );
 }

@@ -13,7 +13,12 @@ use cuart_art::Art;
 
 /// Composite key: (date string, order id) — a typical order-table index.
 fn order_key(day: u32, order: u32) -> Vec<u8> {
-    format!("2026-{:02}-{:02}#{order:08}", 1 + (day / 28) % 12, 1 + day % 28).into_bytes()
+    format!(
+        "2026-{:02}-{:02}#{order:08}",
+        1 + (day / 28) % 12,
+        1 + day % 28
+    )
+    .into_bytes()
 }
 
 fn main() {
@@ -21,12 +26,16 @@ fn main() {
     let mut total = 0u64;
     for day in 0..336u32 {
         for order in 0..300u32 {
-            art.insert(&order_key(day, order), (day * 1000 + order) as u64).unwrap();
+            art.insert(&order_key(day, order), (day * 1000 + order) as u64)
+                .unwrap();
             total += 1;
         }
     }
     let index = CuartIndex::build(&art, &CuartConfig::default());
-    println!("order index: {total} composite keys ({} on device)", index.len());
+    println!(
+        "order index: {total} composite keys ({} on device)",
+        index.len()
+    );
 
     // Range query: all orders of one calendar day.
     let lo = b"2026-03-01#00000000".to_vec();

@@ -15,8 +15,8 @@ use cuart::{CuartConfig, CuartIndex, LongKeyPolicy};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
 use cuart_gpu_sim::devices;
-use cuart_host::hybrid::{hybrid_throughput, CPU_LONG_KEY_NS};
 use cuart_host::gpu_runner::{run_cuart_lookups, RunConfig};
+use cuart_host::hybrid::{hybrid_throughput, CPU_LONG_KEY_NS};
 use cuart_workloads::{btc_keys, QueryStream};
 
 fn main() {

@@ -1,0 +1,225 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides just enough of criterion 0.5's surface for this workspace's
+//! bench targets to compile and run: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark body is
+//! executed a small fixed number of times and a coarse mean is printed;
+//! no statistical analysis is performed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many timed iterations the shim runs per benchmark.
+const TIMED_ITERS: u32 = 8;
+
+/// Units the measured elements are reported in (accepted, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-benchmark timing harness handed to the closure.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then a fixed number of timed calls.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / f64::from(TIMED_ITERS);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    println!("bench {label:<48} {:>12.1} ns/iter (shim mean)", b.mean_ns);
+}
+
+/// Group of related benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Record the declared throughput (ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrStr>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Accepts either a `BenchmarkId` or a string for `bench_function`.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrStr(id.id)
+    }
+}
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrStr(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrStr(s)
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim runs a fixed count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrStr>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, &mut f);
+        self
+    }
+}
+
+/// Declares a group runner function (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $( $target:path ),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $( $target:path ),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $( $target ),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ( $( $group:path ),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("shim/standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter(|| black_box((0..1000u64).sum::<u64>()));
+        assert!(b.mean_ns >= 0.0);
+    }
+}

@@ -23,15 +23,23 @@ fn build_all(keys: &[Vec<u8>], cfg: &CuartConfig) -> (Art<u64>, GrtIndex, CuartI
 fn check_agreement(art: &Art<u64>, grt: &GrtIndex, cuart: &CuartIndex, probes: &[Vec<u8>]) {
     let stride = probes.iter().map(|k| k.len()).max().unwrap_or(8).max(8);
     let dev = devices::a100();
-    let (grt_dev, _) = grt.lookup_batch_device(&dev, &probes.to_vec(), stride);
+    let (grt_dev, _) = grt.lookup_batch_device(&dev, probes, stride);
     let mut session = cuart.device_session(&dev);
-    let (cuart_dev, _) = session.lookup_batch(&probes.to_vec());
+    let (cuart_dev, _) = session.lookup_batch(probes);
     for (i, key) in probes.iter().enumerate() {
         let want = art.get(key).copied();
         assert_eq!(grt.lookup_cpu(key), want, "GRT CPU, key {key:x?}");
         assert_eq!(cuart.lookup_cpu(key), want, "CuART CPU, key {key:x?}");
-        assert_eq!(grt_dev[i], want.unwrap_or(NOT_FOUND), "GRT kernel, key {key:x?}");
-        assert_eq!(cuart_dev[i], want.unwrap_or(NOT_FOUND), "CuART kernel, key {key:x?}");
+        assert_eq!(
+            grt_dev[i],
+            want.unwrap_or(NOT_FOUND),
+            "GRT kernel, key {key:x?}"
+        );
+        assert_eq!(
+            cuart_dev[i],
+            want.unwrap_or(NOT_FOUND),
+            "CuART kernel, key {key:x?}"
+        );
     }
 }
 
@@ -52,7 +60,7 @@ fn agreement_on_uniform_keys_all_lengths() {
 fn agreement_on_btc_keys() {
     let keys = btc_keys(4000, 77);
     let (art, grt, cuart) = build_all(&keys, &CuartConfig::default());
-    check_agreement(&art, &grt, &cuart, &keys[..500].to_vec());
+    check_agreement(&art, &grt, &cuart, &keys[..500]);
 }
 
 #[test]
@@ -88,7 +96,11 @@ fn agreement_with_every_long_key_policy() {
         let probes: Vec<Vec<u8>> = keys.iter().take(200).cloned().collect();
         let (results, _) = session.lookup_batch(&probes);
         for (key, got) in probes.iter().zip(&results) {
-            assert_eq!(*got, art.get(key).copied().unwrap_or(NOT_FOUND), "policy {policy:?}");
+            assert_eq!(
+                *got,
+                art.get(key).copied().unwrap_or(NOT_FOUND),
+                "policy {policy:?}"
+            );
         }
     }
 }

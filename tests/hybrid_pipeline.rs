@@ -7,9 +7,9 @@ use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
 use cuart_gpu_sim::devices;
 use cuart_grt::ApiProfile;
+use cuart_grt::GrtIndex;
 use cuart_host::gpu_runner::{run_cuart_lookups, run_grt_lookups, RunConfig};
 use cuart_host::hybrid::{hybrid_throughput, CPU_LONG_KEY_NS};
-use cuart_grt::GrtIndex;
 use cuart_workloads::{long_key_mix, QueryStream};
 
 fn mixed_index(n: usize, long_fraction: f64) -> (Art<u64>, CuartIndex, Vec<Vec<u8>>) {
@@ -36,7 +36,12 @@ fn session_routes_long_keys_correctly_end_to_end() {
     let mut session = cuart.device_session(&devices::a100());
     let (results, report) = session.lookup_batch(&keys);
     for (k, got) in keys.iter().zip(&results) {
-        assert_eq!(*got, art.get(k).copied().unwrap_or(NOT_FOUND), "key len {}", k.len());
+        assert_eq!(
+            *got,
+            art.get(k).copied().unwrap_or(NOT_FOUND),
+            "key len {}",
+            k.len()
+        );
     }
     // The kernel only saw the short keys.
     assert!(report.threads <= keys.iter().filter(|k| k.len() <= 32).count());
@@ -64,7 +69,10 @@ fn throughput_drops_as_long_key_fraction_grows() {
     let mut last = f64::INFINITY;
     for frac in [0.0, 0.03, 0.10, 0.30] {
         let h = hybrid_throughput(&gpu, cfg.batch_size, frac, 56, CPU_LONG_KEY_NS);
-        assert!(h.mops <= last + 1e-9, "throughput must not rise with CPU share");
+        assert!(
+            h.mops <= last + 1e-9,
+            "throughput must not rise with CPU share"
+        );
         last = h.mops;
     }
     // The collapse is severe: 30% on CPU costs > 2x overall.
@@ -104,5 +112,8 @@ fn all_gpu_engines_converge_when_cpu_bound() {
     let spread = (hybrids.iter().copied().fold(0.0, f64::max)
         - hybrids.iter().copied().fold(f64::MAX, f64::min))
         / hybrids[0];
-    assert!(spread < 0.10, "CPU-bound engines must converge: {hybrids:?}");
+    assert!(
+        spread < 0.10,
+        "CPU-bound engines must converge: {hybrids:?}"
+    );
 }

@@ -43,7 +43,7 @@ fn transaction_accounting_is_consistent() {
     let (art, keys) = build(5_000, 16);
     let cuart = CuartIndex::build(&art, &CuartConfig::for_tests());
     for dev in devices::all() {
-        let (_, r) = cuart.lookup_batch_device(&dev, &keys[..512].to_vec(), 16);
+        let (_, r) = cuart.lookup_batch_device(&dev, &keys[..512], 16);
         assert_eq!(r.l2_hits + r.dram_transactions, r.sectors, "{}", dev.name);
         assert_eq!(r.dram_bytes, r.dram_transactions * 32, "{}", dev.name);
         assert!(r.time_ns >= r.bandwidth_bound_ns.max(r.compute_bound_ns) - 1e-6);
@@ -61,14 +61,17 @@ fn memory_architecture_ordering_for_random_lookups() {
     for mut dev in devices::all() {
         // Scale L2 like the figure harness so mid-levels miss.
         dev.l2.size_bytes = (dev.l2.size_bytes / 128).max(32 << 10);
-        let (_, r) = cuart.lookup_batch_device(&dev, &keys[..8192].to_vec(), 32);
+        let (_, r) = cuart.lookup_batch_device(&dev, &keys[..8192], 32);
         times.push((dev.name, r.time_ns));
     }
     let a100 = times[0].1;
     let rtx = times[1].1;
     let gtx = times[2].1;
     assert!(rtx < a100, "RTX 3090 must beat the A100: {times:?}");
-    assert!(gtx > rtx && gtx > a100, "GTX 1070 must be slowest: {times:?}");
+    assert!(
+        gtx > rtx && gtx > a100,
+        "GTX 1070 must be slowest: {times:?}"
+    );
 }
 
 #[test]
@@ -114,7 +117,7 @@ proptest! {
         }
         let cuart = CuartIndex::build(&art, &CuartConfig::for_tests());
         let dev = devices::gtx1070();
-        let (results, r) = cuart.lookup_batch_device(&dev, &keys[..batch].to_vec(), 8);
+        let (results, r) = cuart.lookup_batch_device(&dev, &keys[..batch], 8);
         prop_assert_eq!(results.len(), batch);
         prop_assert_eq!(r.threads, batch);
         prop_assert!(r.time_ns > 0.0);

@@ -1,0 +1,146 @@
+//! End-to-end telemetry: a device session doing a lookup + update + insert
+//! round-trip must leave the exact expected trail in an attached registry —
+//! the right event sequence, consistent counters, and exporters that agree
+//! with the snapshot they serialise.
+
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_gpu_sim::devices;
+use cuart_telemetry::{names, BatchKind, Telemetry};
+use cuart_workloads::uniform_keys;
+use std::sync::Arc;
+
+fn instrumented_index(n: usize) -> (CuartIndex, Vec<Vec<u8>>, Arc<Telemetry>) {
+    let keys = uniform_keys(n, 8, 42);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let telemetry = Arc::new(Telemetry::new());
+    let index =
+        CuartIndex::build(&art, &CuartConfig::for_tests()).with_telemetry(telemetry.clone());
+    (index, keys, telemetry)
+}
+
+#[test]
+fn round_trip_emits_expected_event_sequence() {
+    let (index, keys, telemetry) = instrumented_index(2000);
+    let dev = devices::a100();
+    let mut session = index.device_session(&dev);
+
+    // lookup -> update -> lookup -> insert, in this order.
+    session.lookup_batch(&keys[..512]);
+    let updates: Vec<(Vec<u8>, u64)> = keys[..256].iter().map(|k| (k.clone(), 7)).collect();
+    session.update_batch(&updates);
+    session.lookup_batch(&keys[512..768]);
+    let fresh: Vec<(Vec<u8>, u64)> = uniform_keys(64, 8, 4242)
+        .into_iter()
+        .map(|k| (k, 9))
+        .collect();
+    session.insert_batch(&fresh);
+
+    let snap = telemetry.snapshot();
+
+    // Event trace: one Build event from attach, then exactly the batch
+    // sequence above, with monotonically increasing sequence numbers.
+    let kinds: Vec<BatchKind> = snap.events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            BatchKind::Build,
+            BatchKind::Lookup,
+            BatchKind::Update,
+            BatchKind::Lookup,
+            BatchKind::Insert,
+        ]
+    );
+    for pair in snap.events.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "event seq must increase");
+    }
+    assert_eq!(snap.events_dropped, 0);
+
+    // Per-event payloads line up with the batches that produced them.
+    assert_eq!(snap.events[1].keys, 512);
+    assert_eq!(snap.events[2].keys, 256);
+    assert_eq!(snap.events[3].keys, 256);
+    assert_eq!(snap.events[4].keys, 64);
+    assert!(snap.events[1].kernel_time_ns > 0);
+    assert!(snap.events[1].dram_transactions > 0);
+    assert!(snap.events[1].raw_accesses >= snap.events[1].coalesced_accesses);
+
+    // Counters agree with the event trace.
+    assert_eq!(snap.counters[names::LOOKUP_BATCHES], 2);
+    assert_eq!(snap.counters[names::LOOKUP_KEYS], 512 + 256);
+    assert_eq!(snap.counters[names::UPDATE_BATCHES], 1);
+    assert_eq!(snap.counters[names::UPDATE_KEYS], 256);
+    assert_eq!(snap.counters[names::INSERT_BATCHES], 1);
+    assert_eq!(snap.counters[names::INSERT_KEYS], 64);
+
+    // Kernel-side aggregates accumulated over all four batches.
+    assert!(snap.counters[names::L2_HITS] + snap.counters[names::L2_MISSES] > 0);
+    assert!(snap.counters[names::DRAM_TRANSACTIONS] > 0);
+
+    // Build gauges recorded at attach time.
+    assert_eq!(
+        snap.gauges[names::DEVICE_BYTES],
+        index.device_bytes() as f64
+    );
+    assert!(snap.gauges[names::BUILD_NODES] > 0.0);
+    assert!(snap.gauges[names::BUILD_LEAVES] > 0.0);
+
+    // Histograms saw one observation per batch.
+    assert_eq!(snap.histograms[names::LOOKUP_KERNEL_NS].count, 2);
+    assert_eq!(snap.histograms[names::UPDATE_KERNEL_NS].count, 1);
+    assert_eq!(snap.histograms[names::INSERT_KERNEL_NS].count, 1);
+}
+
+#[test]
+fn session_without_telemetry_stays_silent() {
+    let keys = uniform_keys(500, 8, 7);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let index = CuartIndex::build(&art, &CuartConfig::for_tests());
+    assert!(index.telemetry().is_none());
+    let mut session = index.device_session(&devices::gtx1070());
+    let (results, _) = session.lookup_batch(&keys[..32]);
+    assert_eq!(results.len(), 32);
+}
+
+#[test]
+fn exporters_agree_with_snapshot() {
+    let (index, keys, telemetry) = instrumented_index(1000);
+    let mut session = index.device_session(&devices::rtx3090());
+    session.lookup_batch(&keys[..128]);
+
+    let snap = telemetry.snapshot();
+    let json = snap.to_json();
+    let prom = snap.to_prometheus();
+
+    // Every counter shows up in both exports, with its exact value.
+    for (name, v) in &snap.counters {
+        assert!(
+            json.contains(&format!("\"{name}\":{v}")),
+            "json missing {name}={v}"
+        );
+        let prom_line = format!("{} {v}", name.replace('.', "_"));
+        assert!(prom.contains(&prom_line), "prom missing {prom_line}");
+    }
+    // The event trace is JSON-only; Prometheus gets the drop summary.
+    assert!(json.contains("\"kind\":\"build\""));
+    assert!(json.contains("\"kind\":\"lookup\""));
+    assert!(prom.contains("cuart_events_dropped 0"));
+}
+
+#[test]
+fn two_sessions_share_the_index_registry() {
+    let (index, keys, telemetry) = instrumented_index(1000);
+    let mut a = index.device_session(&devices::a100());
+    let mut b = index.device_session(&devices::gtx1070());
+    a.lookup_batch(&keys[..64]);
+    b.lookup_batch(&keys[64..128]);
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counters[names::LOOKUP_BATCHES], 2);
+    assert_eq!(snap.counters[names::LOOKUP_KEYS], 128);
+}

@@ -49,8 +49,7 @@ fn reference_apply(model: &mut BTreeMap<Vec<u8>, u64>, ops: &[(Vec<u8>, u64)]) {
 fn batched_updates_match_reference_over_many_rounds() {
     let keys = uniform_keys(2000, 8, 21);
     let (art, cuart) = build(&keys);
-    let mut model: BTreeMap<Vec<u8>, u64> =
-        art.iter().map(|(k, v)| (k, *v)).collect();
+    let mut model: BTreeMap<Vec<u8>, u64> = art.iter().map(|(k, v)| (k, *v)).collect();
     let dev = devices::a100();
     let mut session = cuart.device_session_with_table(&dev, 1 << 14);
     let mut us = UpdateStream::new(keys.clone(), 0.2, 0.3, 99);
@@ -87,7 +86,7 @@ fn deleted_keys_free_slots_and_stay_deleted() {
         }
     }
     // Deleting again is a miss, not a double-free.
-    let (statuses, _) = session.update_batch(&victims[..10].to_vec());
+    let (statuses, _) = session.update_batch(&victims[..10]);
     assert!(statuses.iter().all(|&s| s == status::MISS));
     assert_eq!(session.free_count(cuart::link::LinkType::Leaf16), 100);
 }
@@ -100,7 +99,11 @@ fn grt_and_cuart_converge_on_conflict_free_batches() {
     let dev = devices::a100();
     let mut session = cuart.device_session(&dev);
     // Conflict-free value updates (each key once).
-    let ops: Vec<(Vec<u8>, u64)> = keys.iter().enumerate().map(|(i, k)| (k.clone(), 10_000 + i as u64)).collect();
+    let ops: Vec<(Vec<u8>, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.clone(), 10_000 + i as u64))
+        .collect();
     session.update_batch(&ops);
     grt.update_batch(&ops, &dev);
     let (cu_results, _) = session.lookup_batch(&keys);
