@@ -23,7 +23,7 @@ fn bench_update_batches(c: &mut Criterion) {
         let mut session = index.device_session_with_table(&dev, slots);
         let mut us = UpdateStream::new(keys.clone(), 0.1, 0.1, 1);
         let ops = us.next_batch(4096, DELETE);
-        let (_, report) = session.update_batch(&ops);
+        let (_, report) = session.update_batch(&ops).unwrap();
         println!(
             "{label}: modeled {:.1} µs per 4Ki update batch ({} atomic conflicts)",
             report.time_ns / 1e3,
@@ -39,7 +39,7 @@ fn bench_update_batches(c: &mut Criterion) {
             let mut us = UpdateStream::new(keys.clone(), 0.1, 0.1, 2);
             b.iter(|| {
                 let ops = us.next_batch(batch, DELETE);
-                black_box(session.update_batch(&ops))
+                black_box(session.update_batch(&ops).unwrap())
             })
         });
     }

@@ -144,7 +144,7 @@ mod tests {
         let grt = ctx.grt(&art);
         let dev = ctx.server();
         let mut session = cuart.device_session(&dev);
-        session.lookup_batch(&keys[..256]);
+        session.lookup_batch(&keys[..256]).unwrap();
         grt.lookup_batch_device(&dev, &keys[..256], 8);
         let snap = telemetry.snapshot();
         assert_eq!(snap.counters[names::LOOKUP_BATCHES], 1);

@@ -13,14 +13,22 @@ USAGE:
   cuart get    INDEX KEY [--hex]
   cuart range  INDEX LO HI [--hex] [--limit N]
   cuart query  INDEX --keys FILE [--hex] [--device NAME] [--metrics-out FILE]
+               [--fault-seed N] [--fault-rate P]
   cuart bench  INDEX [--device NAME] [--batch N] [--batches N] [--metrics-out FILE]
+               [--fault-seed N] [--fault-rate P]
   cuart metrics INDEX [--keys FILE] [--hex] [--device NAME] [--batch N]
                 [--batches N] [--format json|prom] [--metrics-out FILE]
+  cuart verify-snapshot INDEX
 
 DEVICES: a100 (server), rtx3090 (workstation), gtx1070 (notebook)
 KEY FILES: one key per line; optional 'key<TAB>value'; --hex for hex keys
 METRICS: counters, gauges, histograms and the per-batch event trace of the
-run, as JSON (default) or Prometheus text";
+run, as JSON (default) or Prometheus text
+FAULTS: --fault-rate P injects device faults with probability P per op
+(seeded by --fault-seed, default 0) to drill the retry/degrade/recover
+path; needs a binary built with `--features faults` to actually fire.
+verify-snapshot checks a saved index (header, per-section CRCs,
+structural parse) without loading it";
 
 struct Args {
     positional: Vec<String>,
@@ -78,6 +86,29 @@ fn required_path(_args: &Args, what: &str, value: Option<&str>) -> PathBuf {
     }
 }
 
+/// Parse `--fault-seed` / `--fault-rate` into [`FaultOptions`]. Either
+/// flag switches injection on; the seed defaults to 0 and the rate to
+/// 0.05 (the 5 % drill rate).
+fn fault_options(args: &Args) -> Option<FaultOptions> {
+    let seed = args
+        .flag("fault-seed")
+        .map(|s| s.parse().unwrap_or_else(|_| fail("bad --fault-seed")));
+    let rate: Option<f64> = args
+        .flag("fault-rate")
+        .map(|s| s.parse().unwrap_or_else(|_| fail("bad --fault-rate")));
+    if seed.is_none() && rate.is_none() {
+        return None;
+    }
+    let rate = rate.unwrap_or(0.05);
+    if !(0.0..=1.0).contains(&rate) {
+        fail("bad --fault-rate (must be within 0.0..=1.0)");
+    }
+    Some(FaultOptions {
+        seed: seed.unwrap_or(0),
+        rate,
+    })
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -122,6 +153,7 @@ fn main() {
                 hex,
                 args.flag("device").unwrap_or("rtx3090"),
                 metrics_out.as_deref(),
+                fault_options(&args),
             )
         }
         "bench" => {
@@ -141,6 +173,7 @@ fn main() {
                 batch,
                 batches,
                 metrics_out.as_deref(),
+                fault_options(&args),
             )
         }
         "metrics" => {
@@ -166,6 +199,7 @@ fn main() {
                 metrics_out.as_deref(),
             )
         }
+        "verify-snapshot" => cmd_verify_snapshot(&required_path(&args, "INDEX", args.pos(0))),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return;

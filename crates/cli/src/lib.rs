@@ -6,9 +6,12 @@
 //! cuart get    idx.cuart <key> [--hex]
 //! cuart range  idx.cuart <lo> <hi> [--hex] [--limit 20]
 //! cuart query  idx.cuart --keys probes.txt [--hex] [--device rtx3090] [--metrics-out m.json]
+//!              [--fault-seed N] [--fault-rate P]
 //! cuart bench  idx.cuart [--device a100] [--batch 32768] [--batches 8] [--metrics-out m.json]
+//!              [--fault-seed N] [--fault-rate P]
 //! cuart metrics idx.cuart [--keys probes.txt] [--hex] [--device NAME]
 //!               [--batch N] [--batches N] [--format json|prom] [--metrics-out FILE]
+//! cuart verify-snapshot idx.cuart
 //! ```
 //!
 //! Key files hold one key per line — raw text by default, or hex pairs
@@ -21,10 +24,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use cuart::{CuartConfig, CuartIndex};
+use cuart::{CuartConfig, CuartIndex, CuartSession};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
-use cuart_gpu_sim::{devices, DeviceConfig};
+use cuart_gpu_sim::{devices, DeviceConfig, FaultInjector};
 use cuart_telemetry::{Snapshot, Telemetry};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -37,6 +40,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// Malformed input (bad hex, bad value, prefix violation, …).
     Input(String),
+    /// Engine failure surfaced by the CuART core (device fault, corrupt
+    /// snapshot, …).
+    Engine(cuart::CuartError),
 }
 
 impl From<std::io::Error> for CliError {
@@ -45,11 +51,18 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<cuart::CuartError> for CliError {
+    fn from(e: cuart::CuartError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Input(msg) => write!(f, "{msg}"),
+            CliError::Engine(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -223,14 +236,80 @@ fn spill_metrics(telemetry: &Telemetry, out: &Path) -> Result<String, CliError> 
     Ok(format!("\nmetrics -> {}", out.display()))
 }
 
+/// Fault-injection options for the device-session commands
+/// (`--fault-seed` / `--fault-rate`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultOptions {
+    /// Seed of the deterministic injector RNG.
+    pub seed: u64,
+    /// Per-site fault probability in `0.0..=1.0`.
+    pub rate: f64,
+}
+
+/// Open a device session, attaching a [`FaultInjector`] when fault
+/// options were given. Warns on stderr when the binary was built without
+/// the `faults` feature (the injector then never fires).
+fn open_session<'a>(
+    index: &'a CuartIndex,
+    dev: &DeviceConfig,
+    faults: Option<FaultOptions>,
+) -> CuartSession<'a> {
+    match faults {
+        Some(f) => {
+            if !FaultInjector::is_active() {
+                eprintln!(
+                    "warning: built without the `faults` feature; \
+                     --fault-seed/--fault-rate have no effect"
+                );
+            }
+            index.device_session_with_faults(dev, FaultInjector::uniform(f.seed, f.rate))
+        }
+        None => index.device_session(dev),
+    }
+}
+
+/// One-line fault summary appended to command output when injection is on.
+fn fault_summary(session: &CuartSession<'_>) -> String {
+    let s = session.fault_stats();
+    format!(
+        "\nfaults: {} injected, {} retries, {} degradations, {} recoveries{}",
+        s.injected,
+        s.retries,
+        s.degradations,
+        s.recoveries,
+        if s.degraded {
+            " — session still degraded (CPU path)"
+        } else {
+            ""
+        }
+    )
+}
+
+/// Validate a saved snapshot: header, per-section CRCs and a structural
+/// parse — without keeping the index in memory.
+pub fn cmd_verify_snapshot(path: &Path) -> Result<String, CliError> {
+    let info = cuart::persist::verify_snapshot(path)?;
+    Ok(format!(
+        "{}: OK — format v{}, {} sections CRC-verified, {} bytes, {} keys",
+        path.display(),
+        info.version,
+        info.sections,
+        info.file_bytes,
+        info.entries
+    ))
+}
+
 /// Batch lookups on the simulated device; prints hit statistics.
-/// With `metrics_out`, a JSON telemetry snapshot of the run is written too.
+/// With `metrics_out`, a JSON telemetry snapshot of the run is written
+/// too; with `faults`, a seeded injector shadows every device leg and a
+/// fault summary is appended.
 pub fn cmd_query(
     path: &Path,
     keys_path: &Path,
     hex: bool,
     device: &str,
     metrics_out: Option<&Path>,
+    faults: Option<FaultOptions>,
 ) -> Result<String, CliError> {
     let index = CuartIndex::load(path)?;
     let dev = device_by_name(device)?;
@@ -240,8 +319,8 @@ pub fn cmd_query(
         .into_iter()
         .map(|(k, _)| k)
         .collect();
-    let mut session = index.device_session(&dev);
-    let (results, report) = session.lookup_batch(&probes);
+    let mut session = open_session(&index, &dev, faults);
+    let (results, report) = session.lookup_batch(&probes)?;
     let hits = results.iter().filter(|&&r| r != NOT_FOUND).count();
     let mut out = format!(
         "{hits}/{} hits on {} — modeled kernel {:.1} µs ({} DRAM transactions, {:.0}% L2 hits)",
@@ -251,6 +330,9 @@ pub fn cmd_query(
         report.dram_transactions,
         100.0 * report.l2_hits as f64 / report.sectors.max(1) as f64
     );
+    if faults.is_some() {
+        out.push_str(&fault_summary(&session));
+    }
     if let Some(path) = metrics_out {
         out.push_str(&spill_metrics(&telemetry, path)?);
     }
@@ -258,13 +340,16 @@ pub fn cmd_query(
 }
 
 /// End-to-end throughput bench against the saved index.
-/// With `metrics_out`, a JSON telemetry snapshot of the run is written too.
+/// With `metrics_out`, a JSON telemetry snapshot of the run is written
+/// too; with `faults`, a seeded injector shadows every device leg and a
+/// fault summary is appended.
 pub fn cmd_bench(
     path: &Path,
     device: &str,
     batch: usize,
     batches: usize,
     metrics_out: Option<&Path>,
+    faults: Option<FaultOptions>,
 ) -> Result<String, CliError> {
     let index = CuartIndex::load(path)?;
     let dev = device_by_name(device)?;
@@ -279,22 +364,36 @@ pub fn cmd_bench(
     if stored.is_empty() {
         return Err(CliError::Input("index is empty".into()));
     }
-    let mut session = index.device_session(&dev);
+    let mut session = open_session(&index, &dev, faults);
     let mut total_ns = 0.0;
     for b in 0..batches {
         let queries: Vec<Vec<u8>> = (0..batch)
             .map(|i| stored[(b * batch + i * 7) % stored.len()].0.clone())
             .collect();
-        let (_, report) = session.lookup_batch(&queries);
+        let (_, report) = session.lookup_batch(&queries)?;
         total_ns += report.time_ns;
     }
-    let mops = (batch * batches) as f64 / total_ns * 1000.0;
-    let mut out = format!(
-        "{} lookups in {batches} batches of {batch} on {}: {:.1} MOps/s (kernel-side, modeled)",
-        batch * batches,
-        dev.name,
-        mops
-    );
+    let mut out = if total_ns > 0.0 {
+        let mops = (batch * batches) as f64 / total_ns * 1000.0;
+        format!(
+            "{} lookups in {batches} batches of {batch} on {}: {:.1} MOps/s (kernel-side, modeled)",
+            batch * batches,
+            dev.name,
+            mops
+        )
+    } else {
+        // Every batch ran on the CPU fallback (degraded session): there
+        // is no modeled device time to rate.
+        format!(
+            "{} lookups in {batches} batches of {batch} on {}: no device batches completed \
+             (CPU fallback served the run)",
+            batch * batches,
+            dev.name
+        )
+    };
+    if faults.is_some() {
+        out.push_str(&fault_summary(&session));
+    }
     if let Some(path) = metrics_out {
         out.push_str(&spill_metrics(&telemetry, path)?);
     }
@@ -340,7 +439,7 @@ pub fn cmd_metrics(
         let queries: Vec<Vec<u8>> = (0..batch)
             .map(|i| probes[(b * batch + i * 7) % probes.len()].clone())
             .collect();
-        session.lookup_batch(&queries);
+        session.lookup_batch(&queries)?;
     }
     let rendered = render_metrics(&telemetry.snapshot(), format)?;
     if !telemetry.is_enabled() {
@@ -427,10 +526,10 @@ mod tests {
         assert!(out.contains("(11 rows total)"), "{out}");
 
         let probes = write_keys("probes", &["00000030", "00000031", "00000033"]);
-        let out = cmd_query(&idx, &probes, false, "rtx3090", None).unwrap();
+        let out = cmd_query(&idx, &probes, false, "rtx3090", None, None).unwrap();
         assert!(out.starts_with("2/3 hits"), "{out}");
 
-        let out = cmd_bench(&idx, "a100", 256, 2, None).unwrap();
+        let out = cmd_bench(&idx, "a100", 256, 2, None, None).unwrap();
         assert!(out.contains("MOps/s"), "{out}");
 
         for p in [keys, idx, probes] {
@@ -469,7 +568,7 @@ mod tests {
 
         // query/bench accept --metrics-out too.
         let probes = write_keys("metrics-probes", &["00000030"]);
-        let q = cmd_query(&idx, &probes, false, "rtx3090", Some(&out_file)).unwrap();
+        let q = cmd_query(&idx, &probes, false, "rtx3090", Some(&out_file), None).unwrap();
         assert!(q.contains("metrics ->"), "{q}");
 
         for p in [keys, idx, probes, out_file] {
@@ -491,6 +590,49 @@ mod tests {
         let err = cmd_build(&bad, &idx, false, 0).unwrap_err();
         assert!(format!("{err}").contains("prefix"), "{err}");
         std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn verify_snapshot_accepts_good_and_rejects_corrupt() {
+        let keys = write_keys("verify", &["key-a\t1", "key-b\t2"]);
+        let idx = tmp("verify-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let ok = cmd_verify_snapshot(&idx).unwrap();
+        assert!(ok.contains("OK"), "{ok}");
+        assert!(ok.contains("2 keys"), "{ok}");
+        // Bit-flip the tail and watch it bounce.
+        let mut bytes = std::fs::read(&idx).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let bad = tmp("verify-bad");
+        std::fs::write(&bad, &bytes).unwrap();
+        let err = cmd_verify_snapshot(&bad).unwrap_err();
+        assert!(format!("{err}").contains("snapshot corrupt"), "{err}");
+        for p in [keys, idx, bad] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn fault_flags_run_and_report() {
+        let lines: Vec<String> = (0..300u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("faultopts", &refs);
+        let idx = tmp("faultopts-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let opts = Some(FaultOptions {
+            seed: 7,
+            rate: 0.05,
+        });
+        let q = cmd_query(&idx, &keys, false, "rtx3090", None, opts).unwrap();
+        assert!(q.contains("faults:"), "{q}");
+        let b = cmd_bench(&idx, "rtx3090", 64, 3, None, opts).unwrap();
+        assert!(b.contains("faults:"), "{b}");
+        // Whatever the injector did, results must still be correct: every
+        // stored key hits.
+        assert!(q.starts_with("300/300 hits"), "{q}");
+        std::fs::remove_file(keys).ok();
+        std::fs::remove_file(idx).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::buffers::{CuartBuffers, CuartConfig, LongKeyPolicy};
 use crate::cpu;
+use crate::error::{CuartError, RetryPolicy};
 use crate::insert::{insert_status, ArenaTails, CuartInsertKernel};
 use crate::kernels::{CuartLookupKernel, DeviceTree, HOST_SIGNAL};
 use crate::link::LinkType;
@@ -16,8 +17,9 @@ use cuart_art::Art;
 use cuart_gpu_sim::batch::{pack_keys, pack_keys_into, KeyBatchLayout, NOT_FOUND};
 use cuart_gpu_sim::cache::Cache;
 use cuart_gpu_sim::exec::{launch_with_cache, KernelReport};
-use cuart_gpu_sim::{BufferId, DeviceConfig, DeviceMemory};
+use cuart_gpu_sim::{BufferId, DeviceConfig, DeviceMemory, FaultInjector, FaultSite};
 use cuart_telemetry::{names, BatchEvent, BatchKind, Telemetry};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A built CuART index (host-side image of the device buffers).
@@ -264,6 +266,21 @@ impl CuartIndex {
     ) -> CuartSession<'_> {
         CuartSession::new(self, dev, table_slots)
     }
+
+    /// Open a session with a [`FaultInjector`] attached from the first
+    /// batch. Attaching at open time matters: the session journals every
+    /// device-leg mutation from the start, so a later degradation and
+    /// recovery re-upload (which restores the pristine build image) loses
+    /// nothing.
+    pub fn device_session_with_faults(
+        &self,
+        dev: &DeviceConfig,
+        injector: FaultInjector,
+    ) -> CuartSession<'_> {
+        let mut session = self.device_session(dev);
+        session.attach_fault_injector(injector);
+        session
+    }
 }
 
 /// Low-level: run one lookup batch against an already-uploaded tree,
@@ -306,8 +323,81 @@ struct Staging {
     capacity: usize,
 }
 
+/// The device-resident half of a session: everything a recovery
+/// re-upload rebuilds from scratch. Factored out of [`CuartSession::new`]
+/// so the fault-recovery path constructs exactly the same image.
+struct DeviceState {
+    mem: DeviceMemory,
+    tree: DeviceTree,
+    hash_keys: BufferId,
+    hash_vals: BufferId,
+    free_lists: FreeLists,
+    tails: ArenaTails,
+}
+
+impl DeviceState {
+    fn build(index: &CuartIndex, table_slots: usize) -> Self {
+        let mut mem = DeviceMemory::new();
+        let headroom = (index.buffers.entries / 4).max(1024);
+        let tree = index.upload_with_headroom(&mut mem, headroom);
+        let hash_keys = mem.alloc("hash-keys", table_slots * 8, 32);
+        let hash_vals = mem.alloc("hash-vals", table_slots * 8, 32);
+        let fl_size = |ty: LinkType| 8 + (index.buffers.record_count(ty) + headroom) * 8 + 8;
+        let free_lists = FreeLists {
+            leaf8: mem.alloc("free-leaf8", fl_size(LinkType::Leaf8), 32),
+            leaf16: mem.alloc("free-leaf16", fl_size(LinkType::Leaf16), 32),
+            leaf32: mem.alloc("free-leaf32", fl_size(LinkType::Leaf32), 32),
+        };
+        let tails = ArenaTails(mem.alloc("arena-tails", 24, 32));
+        for ty in [LinkType::Leaf8, LinkType::Leaf16, LinkType::Leaf32] {
+            mem.write_u64(
+                tails.0,
+                ArenaTails::offset(ty),
+                index.buffers.record_count(ty) as u64,
+            );
+        }
+        DeviceState {
+            mem,
+            tree,
+            hash_keys,
+            hash_vals,
+            free_lists,
+            tails,
+        }
+    }
+}
+
+/// Point-in-time fault-handling statistics for a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults the attached injector has fired so far.
+    pub injected: u64,
+    /// Retried device legs (each retry models one backoff wait).
+    pub retries: u64,
+    /// GPU→CPU degradations (retry budget exhausted).
+    pub degradations: u64,
+    /// Successful device re-uploads after a degradation.
+    pub recoveries: u64,
+    /// `true` while the session is serving device keys on the CPU path.
+    pub degraded: bool,
+}
+
 /// A stateful device session: uploaded tree + persistent L2, hash table,
 /// free lists, arena tails, host-side tables and staging buffers.
+///
+/// # Fault tolerance
+///
+/// With a [`FaultInjector`] attached (see
+/// [`CuartIndex::device_session_with_faults`]) every device leg is
+/// guarded: the injector is consulted **before** any device write
+/// (transfer check before packing, kernel check before launch), so a
+/// failed attempt leaves zero device state behind and is always safe to
+/// retry. Transient failures are retried under the session's
+/// [`RetryPolicy`] with modeled exponential backoff; when the budget is
+/// exhausted the session *degrades* — the failed batch and all following
+/// device legs are served by the CPU engine against the pristine build
+/// image plus a session journal of device mutations — until a re-upload
+/// succeeds at the start of a later batch and the session *recovers*.
 pub struct CuartSession<'a> {
     index: &'a CuartIndex,
     dev: DeviceConfig,
@@ -328,52 +418,258 @@ pub struct CuartSession<'a> {
     host_leaves: Vec<(Vec<u8>, u64)>,
     /// Structural inserts the device spilled (§5.1 extension): consulted
     /// after device misses, folded back into the tree at the next remap.
-    overflow: std::collections::BTreeMap<Vec<u8>, u64>,
+    overflow: BTreeMap<Vec<u8>, u64>,
+    /// Deterministic fault source for the device legs; `None` disables
+    /// all fault paths (the checks compile to a single branch).
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    /// `true` while device legs are served by the CPU fallback.
+    degraded: bool,
+    /// Once a degradation happens the journal becomes the authority for
+    /// every key it contains — a recovery re-upload restores the pristine
+    /// build image, so pre-fault device mutations only survive here.
+    journal_authoritative: bool,
+    /// Device-leg mutations since session open (`None` = deleted).
+    /// Maintained whenever an injector is attached.
+    journal: BTreeMap<Vec<u8>, Option<u64>>,
+    retries_total: u64,
+    degradations: u64,
+    recoveries: u64,
 }
 
 impl<'a> CuartSession<'a> {
     fn new(index: &'a CuartIndex, dev: &DeviceConfig, table_slots: usize) -> Self {
-        let mut mem = DeviceMemory::new();
-        let headroom = (index.buffers.entries / 4).max(1024);
-        let tree = index.upload_with_headroom(&mut mem, headroom);
-        let hash_keys = mem.alloc("hash-keys", table_slots * 8, 32);
-        let hash_vals = mem.alloc("hash-vals", table_slots * 8, 32);
-        let fl_size = |ty: LinkType| 8 + (index.buffers.record_count(ty) + headroom) * 8 + 8;
-        let free_lists = FreeLists {
-            leaf8: mem.alloc("free-leaf8", fl_size(LinkType::Leaf8), 32),
-            leaf16: mem.alloc("free-leaf16", fl_size(LinkType::Leaf16), 32),
-            leaf32: mem.alloc("free-leaf32", fl_size(LinkType::Leaf32), 32),
-        };
-        let tails = ArenaTails(mem.alloc("arena-tails", 24, 32));
-        for ty in [LinkType::Leaf8, LinkType::Leaf16, LinkType::Leaf32] {
-            mem.write_u64(
-                tails.0,
-                ArenaTails::offset(ty),
-                index.buffers.record_count(ty) as u64,
-            );
-        }
+        let state = DeviceState::build(index, table_slots);
         CuartSession {
             index,
             dev: *dev,
             l2: Cache::new(&dev.l2),
-            mem,
-            tree,
+            mem: state.mem,
+            tree: state.tree,
             table_slots,
-            hash_keys,
-            hash_vals,
-            free_lists,
-            tails,
+            hash_keys: state.hash_keys,
+            hash_vals: state.hash_vals,
+            free_lists: state.free_lists,
+            tails: state.tails,
             staging: None,
             telemetry: index.telemetry.clone(),
             short_keys: index.buffers.short_keys.clone(),
             host_leaves: index.buffers.host_leaves.clone(),
-            overflow: std::collections::BTreeMap::new(),
+            overflow: BTreeMap::new(),
+            injector: None,
+            retry: RetryPolicy::default(),
+            degraded: false,
+            journal_authoritative: false,
+            journal: BTreeMap::new(),
+            retries_total: 0,
+            degradations: 0,
+            recoveries: 0,
         }
     }
 
     /// The device configuration this session runs on.
     pub fn device(&self) -> &DeviceConfig {
         &self.dev
+    }
+
+    /// Attach a fault injector. Attach **before** the first mutating
+    /// batch: only journaled mutations survive a recovery re-upload.
+    pub fn attach_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Override the default [`RetryPolicy`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The retry policy governing device-leg failures.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// `true` while device keys are served by the CPU fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Fault-handling statistics so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            injected: self
+                .injector
+                .as_ref()
+                .map(|i| i.faults_injected())
+                .unwrap_or(0),
+            retries: self.retries_total,
+            degradations: self.degradations,
+            recoveries: self.recoveries,
+            degraded: self.degraded,
+        }
+    }
+
+    /// Consult the injector at a fault site. Called only *before* device
+    /// writes (transfer before packing, kernel before launch), so a
+    /// failed attempt performs zero device mutations and retrying is
+    /// always exact.
+    fn fault_check(&mut self, site: FaultSite) -> Result<(), CuartError> {
+        if let Some(inj) = &mut self.injector {
+            if let Err(fault) = inj.check(site) {
+                if let Some(t) = &self.telemetry {
+                    t.incr(names::FAULTS_INJECTED, 1);
+                }
+                return Err(fault.into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a device leg under the retry policy. Transient failures are
+    /// retried with exponential backoff + deterministic jitter; the
+    /// accumulated backoff is *modeled* — added to the successful
+    /// attempt's `time_ns` — rather than slept, keeping the simulator
+    /// fast and reproducible.
+    fn run_with_retry(
+        &mut self,
+        mut attempt_fn: impl FnMut(&mut Self) -> Result<KernelReport, CuartError>,
+    ) -> Result<KernelReport, CuartError> {
+        let max = self.retry.max_attempts.max(1);
+        let jitter_seed = self.injector.as_ref().map(|i| i.config().seed).unwrap_or(0);
+        let mut backoff_total = 0u64;
+        let mut last: Option<CuartError> = None;
+        for attempt in 1..=max {
+            match attempt_fn(self) {
+                Ok(mut report) => {
+                    report.time_ns += backoff_total as f64;
+                    return Ok(report);
+                }
+                Err(e) if e.is_transient() => {
+                    if attempt < max {
+                        let wait = self.retry.backoff_ns(attempt, jitter_seed);
+                        backoff_total = backoff_total.saturating_add(wait);
+                        self.retries_total += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.incr(names::FAULT_RETRIES, 1);
+                            t.observe(names::FAULT_BACKOFF_NS, wait);
+                        }
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(CuartError::RetriesExhausted {
+            attempts: max,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
+    /// Enter degraded mode: device legs are served by the CPU engine
+    /// until a re-upload succeeds. The journal becomes (and stays) the
+    /// authority for every key it contains.
+    fn degrade(&mut self, batch_keys: u64) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.journal_authoritative = true;
+        self.degradations += 1;
+        if let Some(t) = &self.telemetry {
+            t.incr(names::FAULT_DEGRADATIONS, 1);
+            t.gauge_set(names::FAULT_DEGRADED, 1.0);
+            t.record(BatchEvent::new(BatchKind::Degraded, batch_keys));
+        }
+    }
+
+    /// While degraded, attempt a device re-upload at the start of each
+    /// batch. The re-upload is itself a transfer and can fault — in that
+    /// case the session stays degraded and serves the batch on the CPU.
+    fn try_recover(&mut self) {
+        if !self.degraded {
+            return;
+        }
+        if self.fault_check(FaultSite::Transfer).is_err() {
+            return;
+        }
+        let state = DeviceState::build(self.index, self.table_slots);
+        self.mem = state.mem;
+        self.tree = state.tree;
+        self.hash_keys = state.hash_keys;
+        self.hash_vals = state.hash_vals;
+        self.free_lists = state.free_lists;
+        self.tails = state.tails;
+        self.l2 = Cache::new(&self.dev.l2);
+        self.staging = None;
+        self.degraded = false;
+        self.recoveries += 1;
+        if let Some(t) = &self.telemetry {
+            t.incr(names::FAULT_RECOVERIES, 1);
+            t.gauge_set(names::FAULT_DEGRADED, 0.0);
+            t.record(BatchEvent::new(BatchKind::Recovered, 0));
+        }
+    }
+
+    /// CPU-path lookup for a device-eligible key: journal, then overflow,
+    /// then the pristine build image.
+    fn degraded_lookup(&self, key: &[u8]) -> u64 {
+        if let Some(entry) = self.journal.get(key) {
+            return entry.unwrap_or(NOT_FOUND);
+        }
+        if let Some(v) = self.overflow.get(key) {
+            return *v;
+        }
+        cpu::lookup(&self.index.buffers, key).unwrap_or(NOT_FOUND)
+    }
+
+    /// CPU-path update for a device-eligible key. Overflow keys are left
+    /// as `MISS` here — the shared overflow block after the device leg
+    /// applies them.
+    fn degraded_update(&mut self, key: &[u8], value: u64) -> u64 {
+        let exists = match self.journal.get(key) {
+            Some(Some(_)) => true,
+            Some(None) => false,
+            None => cpu::lookup(&self.index.buffers, key).is_some(),
+        };
+        if !exists {
+            return status::MISS;
+        }
+        self.journal.insert(
+            key.to_vec(),
+            if value == DELETE { None } else { Some(value) },
+        );
+        status::APPLIED
+    }
+
+    /// CPU-path insert for a device-eligible key.
+    fn degraded_insert(&mut self, key: &[u8], value: u64) -> u64 {
+        let existed = match self.journal.get(key) {
+            Some(Some(_)) => true,
+            Some(None) => false,
+            None => cpu::lookup(&self.index.buffers, key).is_some(),
+        };
+        self.journal.insert(key.to_vec(), Some(value));
+        if existed {
+            insert_status::UPDATED
+        } else {
+            insert_status::INSERTED
+        }
+    }
+
+    /// Record CPU-fallback service in telemetry.
+    fn note_cpu_fallback(&self, keys_served: u64) {
+        if keys_served == 0 {
+            return;
+        }
+        if let Some(t) = &self.telemetry {
+            t.incr(names::FAULT_CPU_FALLBACK_BATCHES, 1);
+            t.incr(names::FAULT_CPU_FALLBACK_KEYS, keys_served);
+        }
+    }
+
+    /// `true` if this key must be answered from the session journal
+    /// rather than the (pristine, post-recovery) device image.
+    fn journal_routed(&self, key: &[u8]) -> bool {
+        self.journal_authoritative && self.journal.contains_key(key)
     }
 
     fn ensure_staging(&mut self, batch: usize) {
@@ -410,7 +706,15 @@ impl<'a> CuartSession<'a> {
 
     /// Batch lookup: host-routed keys answered from the session tables,
     /// device keys through the lookup kernel; results in query order.
-    pub fn lookup_batch(&mut self, keys: &[Vec<u8>]) -> (Vec<u64>, KernelReport) {
+    ///
+    /// Infallible unless a non-transient error escapes the fault path: a
+    /// device leg that exhausts its retries degrades to the CPU engine
+    /// rather than failing the batch.
+    pub fn lookup_batch(
+        &mut self,
+        keys: &[Vec<u8>],
+    ) -> Result<(Vec<u64>, KernelReport), CuartError> {
+        self.try_recover();
         let mut results = vec![NOT_FOUND; keys.len()];
         let mut device_idx = Vec::new();
         let mut device_keys = Vec::new();
@@ -419,51 +723,81 @@ impl<'a> CuartSession<'a> {
             if self.index.is_host_routed(k) || k.is_empty() {
                 results[i] = self.host_lookup(k);
                 host_spills += 1;
+            } else if self.journal_routed(k) {
+                results[i] = self.journal.get(k).copied().flatten().unwrap_or(NOT_FOUND);
+                host_spills += 1;
             } else {
                 device_idx.push(i);
                 device_keys.push(k.clone());
             }
         }
-        let report = if device_keys.is_empty() {
-            KernelReport::default()
-        } else {
-            self.ensure_staging(device_keys.len());
-            let s = self.staging.as_ref().expect("staging ready");
-            let (queries, layout, results_buf) = (s.queries, s.layout, s.results);
-            pack_keys_into(&mut self.mem, queries, &layout, &device_keys);
-            let kernel = CuartLookupKernel {
-                tree: self.tree,
-                queries,
-                layout,
-                results: results_buf,
-                count: device_keys.len(),
-            };
-            let report = launch_with_cache(
-                &self.dev,
-                &mut self.mem,
-                &kernel,
-                device_keys.len(),
-                &mut self.l2,
-            );
-            for (j, &i) in device_idx.iter().enumerate() {
-                let raw = self.mem.read_u64(results_buf, j * 8);
-                // Host-leaf signals finish on the CPU against the session
-                // table (which sees host-side updates).
-                results[i] = if raw != NOT_FOUND && raw & HOST_SIGNAL != 0 {
-                    host_spills += 1;
-                    let idx = (raw & !HOST_SIGNAL) as usize;
-                    let (stored, value) = &self.host_leaves[idx];
-                    if stored.as_slice() == keys[i] {
-                        *value
-                    } else {
-                        NOT_FOUND
+        let mut report = KernelReport::default();
+        let mut fallback_keys = 0u64;
+        if !device_keys.is_empty() {
+            let launched = if self.degraded {
+                None
+            } else {
+                match self.run_with_retry(|s| {
+                    s.fault_check(FaultSite::Transfer)?;
+                    s.ensure_staging(device_keys.len());
+                    let st = s.staging.as_ref().expect("staging ready");
+                    let (queries, layout, results_buf) = (st.queries, st.layout, st.results);
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys);
+                    s.fault_check(FaultSite::Kernel)?;
+                    let kernel = CuartLookupKernel {
+                        tree: s.tree,
+                        queries,
+                        layout,
+                        results: results_buf,
+                        count: device_keys.len(),
+                    };
+                    Ok(launch_with_cache(
+                        &s.dev,
+                        &mut s.mem,
+                        &kernel,
+                        device_keys.len(),
+                        &mut s.l2,
+                    ))
+                }) {
+                    Ok(r) => Some(r),
+                    Err(CuartError::RetriesExhausted { .. }) => {
+                        self.degrade(keys.len() as u64);
+                        None
                     }
-                } else {
-                    raw
-                };
+                    Err(e) => return Err(e),
+                }
+            };
+            match launched {
+                Some(r) => {
+                    report = r;
+                    let results_buf = self.staging.as_ref().expect("staging ready").results;
+                    for (j, &i) in device_idx.iter().enumerate() {
+                        let raw = self.mem.read_u64(results_buf, j * 8);
+                        // Host-leaf signals finish on the CPU against the
+                        // session table (which sees host-side updates).
+                        results[i] = if raw != NOT_FOUND && raw & HOST_SIGNAL != 0 {
+                            host_spills += 1;
+                            let idx = (raw & !HOST_SIGNAL) as usize;
+                            let (stored, value) = &self.host_leaves[idx];
+                            if stored.as_slice() == keys[i] {
+                                *value
+                            } else {
+                                NOT_FOUND
+                            }
+                        } else {
+                            raw
+                        };
+                    }
+                }
+                None => {
+                    for (j, &i) in device_idx.iter().enumerate() {
+                        results[i] = self.degraded_lookup(&device_keys[j]);
+                    }
+                    fallback_keys = device_keys.len() as u64;
+                }
             }
-            report
-        };
+        }
+        self.note_cpu_fallback(fallback_keys);
         // Device misses may be structural inserts parked in the overflow.
         if !self.overflow.is_empty() {
             for (i, k) in keys.iter().enumerate() {
@@ -484,14 +818,23 @@ impl<'a> CuartSession<'a> {
             e.host_spills = host_spills;
             t.record(e);
         }
-        (results, report)
+        Ok((results, report))
     }
 
     /// Batch update/delete through the two-stage kernel. `DELETE` as the
     /// value deletes the key. Returns per-op statuses (see
     /// [`status`](crate::update::status)) and the kernel report (which
     /// includes the hash-table clear cost).
-    pub fn update_batch(&mut self, ops: &[(Vec<u8>, u64)]) -> (Vec<u64>, KernelReport) {
+    ///
+    /// A device leg that exhausts its retries degrades to the CPU engine
+    /// rather than failing the batch; hash-table starvation with a
+    /// degenerate (zero-capacity) table surfaces as
+    /// [`CuartError::HashTableFull`].
+    pub fn update_batch(
+        &mut self,
+        ops: &[(Vec<u8>, u64)],
+    ) -> Result<(Vec<u64>, KernelReport), CuartError> {
+        self.try_recover();
         let free_before = if self.telemetry.is_some() {
             self.free_total()
         } else {
@@ -504,6 +847,8 @@ impl<'a> CuartSession<'a> {
         for (i, (k, v)) in ops.iter().enumerate() {
             if self.index.is_host_routed(k) || k.is_empty() {
                 statuses[i] = self.host_update(k, *v);
+            } else if self.journal_routed(k) {
+                statuses[i] = self.degraded_update(k, *v);
             } else {
                 device_idx.push(i);
                 device_keys.push(k.clone());
@@ -511,44 +856,88 @@ impl<'a> CuartSession<'a> {
             }
         }
         let mut report = KernelReport::default();
+        let mut fallback_keys = 0u64;
         if !device_keys.is_empty() {
-            self.clear_hash_table();
-            self.ensure_staging(device_keys.len());
-            let s = self.staging.as_ref().expect("staging ready");
-            let (queries, layout) = (s.queries, s.layout);
-            let (results_buf, values_buf) = (s.results, s.values);
-            let (loc, parent, leaf) = (s.scratch_loc, s.scratch_parent, s.scratch_leaf);
-            pack_keys_into(&mut self.mem, queries, &layout, &device_keys);
-            for (j, v) in device_values.iter().enumerate() {
-                self.mem.write_u64(values_buf, j * 8, *v);
-            }
-            let kernel = CuartUpdateKernel {
-                tree: self.tree,
-                queries,
-                layout,
-                values: values_buf,
-                results: results_buf,
-                count: device_keys.len(),
-                hash_keys: self.hash_keys,
-                hash_vals: self.hash_vals,
-                table_slots: self.table_slots,
-                scratch_loc: loc,
-                scratch_parent: parent,
-                scratch_leaf: leaf,
-                free_lists: self.free_lists,
+            let launched = if self.degraded {
+                None
+            } else {
+                match self.run_with_retry(|s| {
+                    s.fault_check(FaultSite::Transfer)?;
+                    s.ensure_staging(device_keys.len());
+                    let st = s.staging.as_ref().expect("staging ready");
+                    let (queries, layout) = (st.queries, st.layout);
+                    let (results_buf, values_buf) = (st.results, st.values);
+                    let (loc, parent, leaf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys);
+                    for (j, v) in device_values.iter().enumerate() {
+                        s.mem.write_u64(values_buf, j * 8, *v);
+                    }
+                    s.fault_check(FaultSite::Kernel)?;
+                    s.clear_hash_table();
+                    let kernel = CuartUpdateKernel {
+                        tree: s.tree,
+                        queries,
+                        layout,
+                        values: values_buf,
+                        results: results_buf,
+                        count: device_keys.len(),
+                        hash_keys: s.hash_keys,
+                        hash_vals: s.hash_vals,
+                        table_slots: s.table_slots,
+                        scratch_loc: loc,
+                        scratch_parent: parent,
+                        scratch_leaf: leaf,
+                        free_lists: s.free_lists,
+                    };
+                    let mut r = launch_with_cache(
+                        &s.dev,
+                        &mut s.mem,
+                        &kernel,
+                        device_keys.len(),
+                        &mut s.l2,
+                    );
+                    r.time_ns += crate::update::hash_clear_ns(&s.dev, s.table_slots);
+                    Ok(r)
+                }) {
+                    Ok(r) => Some(r),
+                    Err(CuartError::RetriesExhausted { .. }) => {
+                        self.degrade(ops.len() as u64);
+                        None
+                    }
+                    Err(e) => return Err(e),
+                }
             };
-            report = launch_with_cache(
-                &self.dev,
-                &mut self.mem,
-                &kernel,
-                device_keys.len(),
-                &mut self.l2,
-            );
-            report.time_ns += crate::update::hash_clear_ns(&self.dev, self.table_slots);
-            for (j, &i) in device_idx.iter().enumerate() {
-                statuses[i] = self.mem.read_u64(results_buf, j * 8);
+            match launched {
+                Some(r) => {
+                    report = r;
+                    let results_buf = self.staging.as_ref().expect("staging ready").results;
+                    for (j, &i) in device_idx.iter().enumerate() {
+                        statuses[i] = self.mem.read_u64(results_buf, j * 8);
+                    }
+                    self.rerun_exhausted_updates(
+                        &mut statuses,
+                        &device_idx,
+                        &device_keys,
+                        &device_values,
+                        &mut report,
+                    )?;
+                    self.journal_device_mutations(
+                        &statuses,
+                        &device_idx,
+                        &device_keys,
+                        &device_values,
+                        false,
+                    );
+                }
+                None => {
+                    for (j, &i) in device_idx.iter().enumerate() {
+                        statuses[i] = self.degraded_update(&device_keys[j], device_values[j]);
+                    }
+                    fallback_keys = device_keys.len() as u64;
+                }
             }
         }
+        self.note_cpu_fallback(fallback_keys);
         // Device misses may target keys parked in the overflow table.
         if !self.overflow.is_empty() {
             for (i, (k, v)) in ops.iter().enumerate() {
@@ -575,7 +964,115 @@ impl<'a> CuartSession<'a> {
             e.freelist_refills = refills;
             t.record(e);
         }
-        (statuses, report)
+        Ok((statuses, report))
+    }
+
+    /// Re-run ops starved out of the claim hash table against a freshly
+    /// cleared table. The stage-1 linear probe covers every slot, so
+    /// `EXHAUSTED` for a location means that location is nowhere in the
+    /// table — exhaustion is all-or-nothing per location and a sub-batch
+    /// re-run (original relative order) preserves max-tid-wins
+    /// semantics. Each round resolves at least one location, so the loop
+    /// terminates; a no-progress round means the table cannot hold a
+    /// single entry. Re-runs ride the already-fault-validated launch and
+    /// are not re-checked.
+    fn rerun_exhausted_updates(
+        &mut self,
+        statuses: &mut [u64],
+        device_idx: &[usize],
+        device_keys: &[Vec<u8>],
+        device_values: &[u64],
+        report: &mut KernelReport,
+    ) -> Result<(), CuartError> {
+        loop {
+            let pending: Vec<usize> = (0..device_keys.len())
+                .filter(|&j| statuses[device_idx[j]] == status::EXHAUSTED)
+                .collect();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let sub_keys: Vec<Vec<u8>> = pending.iter().map(|&j| device_keys[j].clone()).collect();
+            let st = self.staging.as_ref().expect("staging ready");
+            let (queries, layout) = (st.queries, st.layout);
+            let (results_buf, values_buf) = (st.results, st.values);
+            let (loc, parent, leaf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
+            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys);
+            for (m, &j) in pending.iter().enumerate() {
+                self.mem.write_u64(values_buf, m * 8, device_values[j]);
+            }
+            self.clear_hash_table();
+            let kernel = CuartUpdateKernel {
+                tree: self.tree,
+                queries,
+                layout,
+                values: values_buf,
+                results: results_buf,
+                count: sub_keys.len(),
+                hash_keys: self.hash_keys,
+                hash_vals: self.hash_vals,
+                table_slots: self.table_slots,
+                scratch_loc: loc,
+                scratch_parent: parent,
+                scratch_leaf: leaf,
+                free_lists: self.free_lists,
+            };
+            let mut sub = launch_with_cache(
+                &self.dev,
+                &mut self.mem,
+                &kernel,
+                sub_keys.len(),
+                &mut self.l2,
+            );
+            sub.time_ns += crate::update::hash_clear_ns(&self.dev, self.table_slots);
+            let mut progressed = false;
+            for (m, &j) in pending.iter().enumerate() {
+                let s = self.mem.read_u64(results_buf, m * 8);
+                if s != status::EXHAUSTED {
+                    progressed = true;
+                }
+                statuses[device_idx[j]] = s;
+            }
+            report.accumulate(&sub);
+            if !progressed {
+                return Err(CuartError::HashTableFull {
+                    table_slots: self.table_slots,
+                });
+            }
+        }
+    }
+
+    /// Shadow device-leg mutations in the journal so a recovery
+    /// re-upload (which restores the pristine build image) loses
+    /// nothing. Only the max-tid winner of each key carries an applied
+    /// status. Runs before the overflow merge so overflow-applied ops
+    /// never enter the journal.
+    fn journal_device_mutations(
+        &mut self,
+        statuses: &[u64],
+        device_idx: &[usize],
+        device_keys: &[Vec<u8>],
+        device_values: &[u64],
+        insert: bool,
+    ) {
+        if self.injector.is_none() && !self.journal_authoritative {
+            return;
+        }
+        for (j, &i) in device_idx.iter().enumerate() {
+            let applied = if insert {
+                statuses[i] == insert_status::UPDATED || statuses[i] == insert_status::INSERTED
+            } else {
+                statuses[i] == status::APPLIED
+            };
+            if applied {
+                let v = device_values[j];
+                let entry = if !insert && v == DELETE {
+                    None
+                } else {
+                    Some(v)
+                };
+                self.journal.insert(device_keys[j].clone(), entry);
+            }
+        }
     }
 
     /// Batch **insert** through the device-side insert engine (the §5.1
@@ -584,7 +1081,14 @@ impl<'a> CuartSession<'a> {
     /// attached on the device where a single-CAS attach point exists, and
     /// spill to the session's host overflow table otherwise. Returns one
     /// [`insert_status`](crate::insert::insert_status) per op.
-    pub fn insert_batch(&mut self, ops: &[(Vec<u8>, u64)]) -> (Vec<u64>, KernelReport) {
+    ///
+    /// A device leg that exhausts its retries degrades to the CPU engine
+    /// rather than failing the batch.
+    pub fn insert_batch(
+        &mut self,
+        ops: &[(Vec<u8>, u64)],
+    ) -> Result<(Vec<u64>, KernelReport), CuartError> {
+        self.try_recover();
         let free_before = if self.telemetry.is_some() {
             self.free_total()
         } else {
@@ -603,6 +1107,8 @@ impl<'a> CuartSession<'a> {
             } else if let Some(slot) = self.overflow.get_mut(k) {
                 *slot = *v;
                 statuses[i] = insert_status::UPDATED;
+            } else if self.journal_routed(k) {
+                statuses[i] = self.degraded_insert(k, *v);
             } else {
                 device_idx.push(i);
                 device_keys.push(k.clone());
@@ -610,51 +1116,98 @@ impl<'a> CuartSession<'a> {
             }
         }
         let mut report = KernelReport::default();
+        let mut fallback_keys = 0u64;
         if !device_keys.is_empty() {
-            self.clear_hash_table();
-            self.ensure_staging(device_keys.len());
-            let s = self.staging.as_ref().expect("staging ready");
-            let (queries, layout) = (s.queries, s.layout);
-            let (results_buf, values_buf) = (s.results, s.values);
-            let (loc, parent, class_buf) = (s.scratch_loc, s.scratch_parent, s.scratch_leaf);
-            pack_keys_into(&mut self.mem, queries, &layout, &device_keys);
-            for (j, v) in device_values.iter().enumerate() {
-                self.mem.write_u64(values_buf, j * 8, *v);
-            }
-            let kernel = CuartInsertKernel {
-                tree: self.tree,
-                queries,
-                layout,
-                values: values_buf,
-                results: results_buf,
-                count: device_keys.len(),
-                hash_keys: self.hash_keys,
-                hash_vals: self.hash_vals,
-                table_slots: self.table_slots,
-                scratch_loc: loc,
-                scratch_parent: parent,
-                scratch_class: class_buf,
-                free_lists: self.free_lists,
-                tails: self.tails,
+            let launched = if self.degraded {
+                None
+            } else {
+                match self.run_with_retry(|s| {
+                    s.fault_check(FaultSite::Transfer)?;
+                    s.ensure_staging(device_keys.len());
+                    let st = s.staging.as_ref().expect("staging ready");
+                    let (queries, layout) = (st.queries, st.layout);
+                    let (results_buf, values_buf) = (st.results, st.values);
+                    let (loc, parent, class_buf) =
+                        (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys);
+                    for (j, v) in device_values.iter().enumerate() {
+                        s.mem.write_u64(values_buf, j * 8, *v);
+                    }
+                    s.fault_check(FaultSite::Kernel)?;
+                    s.clear_hash_table();
+                    let kernel = CuartInsertKernel {
+                        tree: s.tree,
+                        queries,
+                        layout,
+                        values: values_buf,
+                        results: results_buf,
+                        count: device_keys.len(),
+                        hash_keys: s.hash_keys,
+                        hash_vals: s.hash_vals,
+                        table_slots: s.table_slots,
+                        scratch_loc: loc,
+                        scratch_parent: parent,
+                        scratch_class: class_buf,
+                        free_lists: s.free_lists,
+                        tails: s.tails,
+                    };
+                    let mut r = launch_with_cache(
+                        &s.dev,
+                        &mut s.mem,
+                        &kernel,
+                        device_keys.len(),
+                        &mut s.l2,
+                    );
+                    r.time_ns += crate::update::hash_clear_ns(&s.dev, s.table_slots);
+                    Ok(r)
+                }) {
+                    Ok(r) => Some(r),
+                    Err(CuartError::RetriesExhausted { .. }) => {
+                        self.degrade(ops.len() as u64);
+                        None
+                    }
+                    Err(e) => return Err(e),
+                }
             };
-            report = launch_with_cache(
-                &self.dev,
-                &mut self.mem,
-                &kernel,
-                device_keys.len(),
-                &mut self.l2,
-            );
-            report.time_ns += crate::update::hash_clear_ns(&self.dev, self.table_slots);
-            for (j, &i) in device_idx.iter().enumerate() {
-                statuses[i] = self.mem.read_u64(results_buf, j * 8);
-                if statuses[i] == insert_status::SPILLED {
-                    // Parked host-side; later spills of the same key win
-                    // naturally (ops are visited in thread-id order).
-                    self.overflow
-                        .insert(device_keys[j].clone(), device_values[j]);
+            match launched {
+                Some(r) => {
+                    report = r;
+                    let results_buf = self.staging.as_ref().expect("staging ready").results;
+                    for (j, &i) in device_idx.iter().enumerate() {
+                        statuses[i] = self.mem.read_u64(results_buf, j * 8);
+                    }
+                    self.rerun_exhausted_inserts(
+                        &mut statuses,
+                        &device_idx,
+                        &device_keys,
+                        &device_values,
+                        &mut report,
+                    )?;
+                    self.journal_device_mutations(
+                        &statuses,
+                        &device_idx,
+                        &device_keys,
+                        &device_values,
+                        true,
+                    );
+                    for (j, &i) in device_idx.iter().enumerate() {
+                        if statuses[i] == insert_status::SPILLED {
+                            // Parked host-side; later spills of the same key
+                            // win naturally (ops are visited in tid order).
+                            self.overflow
+                                .insert(device_keys[j].clone(), device_values[j]);
+                        }
+                    }
+                }
+                None => {
+                    for (j, &i) in device_idx.iter().enumerate() {
+                        statuses[i] = self.degraded_insert(&device_keys[j], device_values[j]);
+                    }
+                    fallback_keys = device_keys.len() as u64;
                 }
             }
         }
+        self.note_cpu_fallback(fallback_keys);
         if let Some(t) = &self.telemetry {
             let spills = statuses
                 .iter()
@@ -676,7 +1229,76 @@ impl<'a> CuartSession<'a> {
             e.freelist_refills = refills;
             t.record(e);
         }
-        (statuses, report)
+        Ok((statuses, report))
+    }
+
+    /// Insert-engine twin of
+    /// [`rerun_exhausted_updates`](Self::rerun_exhausted_updates): same
+    /// all-or-nothing-per-location argument, same progress guarantee.
+    fn rerun_exhausted_inserts(
+        &mut self,
+        statuses: &mut [u64],
+        device_idx: &[usize],
+        device_keys: &[Vec<u8>],
+        device_values: &[u64],
+        report: &mut KernelReport,
+    ) -> Result<(), CuartError> {
+        loop {
+            let pending: Vec<usize> = (0..device_keys.len())
+                .filter(|&j| statuses[device_idx[j]] == insert_status::EXHAUSTED)
+                .collect();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let sub_keys: Vec<Vec<u8>> = pending.iter().map(|&j| device_keys[j].clone()).collect();
+            let st = self.staging.as_ref().expect("staging ready");
+            let (queries, layout) = (st.queries, st.layout);
+            let (results_buf, values_buf) = (st.results, st.values);
+            let (loc, parent, class_buf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
+            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys);
+            for (m, &j) in pending.iter().enumerate() {
+                self.mem.write_u64(values_buf, m * 8, device_values[j]);
+            }
+            self.clear_hash_table();
+            let kernel = CuartInsertKernel {
+                tree: self.tree,
+                queries,
+                layout,
+                values: values_buf,
+                results: results_buf,
+                count: sub_keys.len(),
+                hash_keys: self.hash_keys,
+                hash_vals: self.hash_vals,
+                table_slots: self.table_slots,
+                scratch_loc: loc,
+                scratch_parent: parent,
+                scratch_class: class_buf,
+                free_lists: self.free_lists,
+                tails: self.tails,
+            };
+            let mut sub = launch_with_cache(
+                &self.dev,
+                &mut self.mem,
+                &kernel,
+                sub_keys.len(),
+                &mut self.l2,
+            );
+            sub.time_ns += crate::update::hash_clear_ns(&self.dev, self.table_slots);
+            let mut progressed = false;
+            for (m, &j) in pending.iter().enumerate() {
+                let s = self.mem.read_u64(results_buf, m * 8);
+                if s != insert_status::EXHAUSTED {
+                    progressed = true;
+                }
+                statuses[device_idx[j]] = s;
+            }
+            report.accumulate(&sub);
+            if !progressed {
+                return Err(CuartError::HashTableFull {
+                    table_slots: self.table_slots,
+                });
+            }
+        }
     }
 
     fn host_insert(&mut self, key: &[u8], value: u64) -> u64 {
@@ -730,8 +1352,12 @@ impl<'a> CuartSession<'a> {
     }
 
     /// Number of freed slots currently on the free list of a leaf class.
+    /// Non-leaf classes have no free list and report zero.
     pub fn free_count(&self, ty: LinkType) -> u64 {
-        self.mem.read_u64(self.free_lists.of(ty), 0)
+        self.free_lists
+            .of(ty)
+            .map(|fl| self.mem.read_u64(fl, 0))
+            .unwrap_or(0)
     }
 
     /// Total freed slots across all leaf classes.
@@ -749,10 +1375,11 @@ impl<'a> CuartSession<'a> {
 
     /// The freed leaf indices of a class (for tests and future inserts).
     pub fn free_entries(&self, ty: LinkType) -> Vec<u64> {
+        let Ok(fl) = self.free_lists.of(ty) else {
+            return Vec::new();
+        };
         let n = self.free_count(ty) as usize;
-        (0..n)
-            .map(|i| self.mem.read_u64(self.free_lists.of(ty), 8 + i * 8))
-            .collect()
+        (0..n).map(|i| self.mem.read_u64(fl, 8 + i * 8)).collect()
     }
 }
 
@@ -788,7 +1415,7 @@ mod tests {
         let dev = cuart_gpu_sim::devices::rtx3090();
         let mut session = idx.device_session(&dev);
         let keys: Vec<Vec<u8>> = (0..200u64).map(|i| i.to_be_bytes().to_vec()).collect();
-        let (results, report) = session.lookup_batch(&keys);
+        let (results, report) = session.lookup_batch(&keys).unwrap();
         for (k, r) in keys.iter().zip(&results) {
             assert_eq!(*r, idx.lookup_cpu(k).unwrap_or(NOT_FOUND));
         }
@@ -801,10 +1428,10 @@ mod tests {
         let dev = cuart_gpu_sim::devices::a100();
         let mut session = idx.device_session(&dev);
         let keys: Vec<Vec<u8>> = (0..64u64).map(|i| i.to_be_bytes().to_vec()).collect();
-        session.lookup_batch(&keys);
+        session.lookup_batch(&keys).unwrap();
         let buffers_before = session.mem.buffer_count();
         for _ in 0..5 {
-            session.lookup_batch(&keys);
+            session.lookup_batch(&keys).unwrap();
         }
         assert_eq!(
             session.mem.buffer_count(),
@@ -821,8 +1448,8 @@ mod tests {
         let keys: Vec<Vec<u8>> = (0..2000u64)
             .map(|i| (i * 2).to_be_bytes().to_vec())
             .collect();
-        let (_, cold) = session.lookup_batch(&keys);
-        let (_, warm) = session.lookup_batch(&keys);
+        let (_, cold) = session.lookup_batch(&keys).unwrap();
+        let (_, warm) = session.lookup_batch(&keys).unwrap();
         assert!(warm.time_ns <= cold.time_ns);
     }
 
@@ -844,12 +1471,14 @@ mod tests {
         let dev = cuart_gpu_sim::devices::a100();
         let mut session = idx.device_session(&dev);
         let keys = vec![b"ab".to_vec(), vec![9u8; 40], b"device_resident".to_vec()];
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         assert_eq!(results, vec![1, 2, 3]);
         // Host-side update + delete stay coherent.
-        let (st, _) = session.update_batch(&[(b"ab".to_vec(), 42), (vec![9u8; 40], DELETE)]);
+        let (st, _) = session
+            .update_batch(&[(b"ab".to_vec(), 42), (vec![9u8; 40], DELETE)])
+            .unwrap();
         assert_eq!(st, vec![status::APPLIED, status::APPLIED]);
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         assert_eq!(results, vec![42, NOT_FOUND, 3]);
     }
 
@@ -869,9 +1498,9 @@ mod tests {
         let idx = CuartIndex::build(&Art::new(), &CuartConfig::for_tests());
         let dev = cuart_gpu_sim::devices::a100();
         let mut session = idx.device_session(&dev);
-        let (results, _) = session.lookup_batch(&[b"anything".to_vec()]);
+        let (results, _) = session.lookup_batch(&[b"anything".to_vec()]).unwrap();
         assert_eq!(results[0], NOT_FOUND);
-        let (st, _) = session.update_batch(&[(b"anything".to_vec(), 5)]);
+        let (st, _) = session.update_batch(&[(b"anything".to_vec(), 5)]).unwrap();
         assert_eq!(st[0], status::MISS);
     }
 }

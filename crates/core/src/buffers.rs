@@ -5,6 +5,7 @@
 //! uses CUDA unified memory for the same purpose, so host and device see one
 //! coherent set of buffers.
 
+use crate::error::CuartError;
 use crate::layout::stride;
 use crate::link::{LinkType, NodeLink};
 
@@ -141,8 +142,11 @@ impl CuartBuffers {
     }
 
     /// Borrow the arena of a fixed-stride link type.
-    pub fn arena(&self, ty: LinkType) -> &Vec<u8> {
-        match ty {
+    ///
+    /// Host leaves live in host memory by definition, so asking for their
+    /// device arena is a typed [`CuartError::NoDeviceArena`] — not a panic.
+    pub fn arena(&self, ty: LinkType) -> Result<&Vec<u8>, CuartError> {
+        Ok(match ty {
             LinkType::N4 => &self.n4,
             LinkType::N16 => &self.n16,
             LinkType::N48 => &self.n48,
@@ -152,12 +156,12 @@ impl CuartBuffers {
             LinkType::Leaf16 => &self.leaf16,
             LinkType::Leaf32 => &self.leaf32,
             LinkType::DynLeaf => &self.dyn_leaves,
-            LinkType::HostLeaf => panic!("host leaves have no device arena"),
-        }
+            LinkType::HostLeaf => return Err(CuartError::NoDeviceArena { link_type: ty }),
+        })
     }
 
-    fn arena_mut(&mut self, ty: LinkType) -> &mut Vec<u8> {
-        match ty {
+    pub(crate) fn arena_mut(&mut self, ty: LinkType) -> Result<&mut Vec<u8>, CuartError> {
+        Ok(match ty {
             LinkType::N4 => &mut self.n4,
             LinkType::N16 => &mut self.n16,
             LinkType::N48 => &mut self.n48,
@@ -167,23 +171,27 @@ impl CuartBuffers {
             LinkType::Leaf16 => &mut self.leaf16,
             LinkType::Leaf32 => &mut self.leaf32,
             LinkType::DynLeaf => &mut self.dyn_leaves,
-            LinkType::HostLeaf => panic!("host leaves have no device arena"),
-        }
+            LinkType::HostLeaf => return Err(CuartError::NoDeviceArena { link_type: ty }),
+        })
     }
 
     /// Append a zeroed record to `ty`'s arena; returns its index.
     pub fn alloc_record(&mut self, ty: LinkType) -> u64 {
         let s = stride(ty);
         assert!(s > 0, "{ty:?} has no fixed-stride arena");
-        let arena = self.arena_mut(ty);
+        let arena = self
+            .arena_mut(ty)
+            .expect("fixed-stride types have a device arena");
         let index = (arena.len() / s) as u64;
         arena.resize(arena.len() + s, 0);
         index
     }
 
-    /// Number of records in `ty`'s arena.
+    /// Number of records in `ty`'s arena (0 for host-resident types).
     pub fn record_count(&self, ty: LinkType) -> usize {
-        self.arena(ty).len().checked_div(stride(ty)).unwrap_or(0)
+        self.arena(ty)
+            .map(|a| a.len().checked_div(stride(ty)).unwrap_or(0))
+            .unwrap_or(0)
     }
 
     /// Byte offset of record `index` in `ty`'s arena.
@@ -191,29 +199,38 @@ impl CuartBuffers {
         index as usize * stride(ty)
     }
 
-    /// Read a field of a record.
+    /// Read a field of a record. Callers guarantee `ty` is device-resident
+    /// (like slice indexing guarantees `index` is in bounds).
     pub fn record(&self, ty: LinkType, index: u64) -> &[u8] {
         let off = self.record_offset(ty, index);
-        &self.arena(ty)[off..off + stride(ty)]
+        let arena = self.arena(ty).expect("record() needs a device arena");
+        &arena[off..off + stride(ty)]
     }
 
     /// Mutable view of a record.
     pub fn record_mut(&mut self, ty: LinkType, index: u64) -> &mut [u8] {
         let off = self.record_offset(ty, index);
         let s = stride(ty);
-        &mut self.arena_mut(ty)[off..off + s]
+        let arena = self
+            .arena_mut(ty)
+            .expect("record_mut() needs a device arena");
+        &mut arena[off..off + s]
     }
 
     /// Read a packed link stored at byte `off` within `ty`'s arena.
     pub fn link_at(&self, ty: LinkType, off: usize) -> NodeLink {
+        let arena = self.arena(ty).expect("link_at() needs a device arena");
         NodeLink(u64::from_le_bytes(
-            self.arena(ty)[off..off + 8].try_into().expect("8 bytes"),
+            arena[off..off + 8].try_into().expect("8 bytes"),
         ))
     }
 
     /// Write a packed link at byte `off` within `ty`'s arena.
     pub fn set_link_at(&mut self, ty: LinkType, off: usize, link: NodeLink) {
-        self.arena_mut(ty)[off..off + 8].copy_from_slice(&link.0.to_le_bytes());
+        let arena = self
+            .arena_mut(ty)
+            .expect("set_link_at() needs a device arena");
+        arena[off..off + 8].copy_from_slice(&link.0.to_le_bytes());
     }
 
     /// Total bytes the device-side structures occupy (arenas + LUT).
@@ -312,9 +329,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn host_leaf_has_no_arena() {
         let b = CuartBuffers::new(CuartConfig::for_tests());
-        b.arena(LinkType::HostLeaf);
+        assert!(matches!(
+            b.arena(LinkType::HostLeaf),
+            Err(CuartError::NoDeviceArena {
+                link_type: LinkType::HostLeaf
+            })
+        ));
+        // And the derived accessors degrade gracefully instead of panicking.
+        assert_eq!(b.record_count(LinkType::HostLeaf), 0);
     }
 }

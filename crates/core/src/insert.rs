@@ -47,6 +47,10 @@ pub mod insert_status {
     pub const SPILLED: u64 = 4;
     /// Invalid operation (empty key): not stored anywhere.
     pub const REJECTED: u64 = 5;
+    /// The claim hash table had no slot for this op: nothing was written;
+    /// the session re-runs the op in a smaller sub-batch. Never surfaces
+    /// through `CuartSession::insert_batch`.
+    pub const EXHAUSTED: u64 = 6;
 }
 
 /// Stage-1 classification codes stored in the scratch-leaf buffer.
@@ -55,6 +59,8 @@ mod class {
     pub const UPDATE: u64 = 1;
     pub const ATTACH_SLOT: u64 = 2;
     pub const ATTACH_N48: u64 = 3;
+    /// Claim failed: every hash-table slot held a different target.
+    pub const EXHAUSTED: u64 = 4;
 }
 
 /// Device buffer holding the bump-allocation tails of the three leaf
@@ -166,7 +172,9 @@ impl CuartInsertKernel {
             }
             h = (h + 1) % self.table_slots;
         }
-        panic!("insert hash table full: increase table_slots");
+        // Claim impossible: mark exhausted (no device write happened) so
+        // the session re-runs this op after the table is cleared.
+        ctx.write_u64(self.scratch_class, tid * 8, class::EXHAUSTED);
     }
 
     /// Stage 2: the winning claimant allocates and publishes.
@@ -174,6 +182,10 @@ impl CuartInsertKernel {
         let cls = ctx.read_u64(self.scratch_class, tid * 8);
         if cls == class::SPILL {
             ctx.write_u64(self.results, tid * 8, insert_status::SPILLED);
+            return;
+        }
+        if cls == class::EXHAUSTED {
+            ctx.write_u64(self.results, tid * 8, insert_status::EXHAUSTED);
             return;
         }
         let primary = ctx.read_u64(self.scratch_loc, tid * 8);
@@ -233,7 +245,7 @@ impl CuartInsertKernel {
             .copy_from_slice(&value.to_le_bytes());
         rec[leaf::len_at(leaf_ty)] = key.len() as u8;
         rec[leaf::live_at(leaf_ty)] = 1;
-        ctx.write_bytes(self.tree.arena(leaf_ty), base, &rec);
+        ctx.write_bytes(self.tree.dev_arena(leaf_ty), base, &rec);
         let link = NodeLink::new(leaf_ty, slot_idx);
 
         let published = match cls {
@@ -255,7 +267,11 @@ impl CuartInsertKernel {
             // concurrently in a richer system): clear the unpublished
             // record (so arena scans never see a live-but-unlinked leaf)
             // and return the slot.
-            ctx.write_bytes(self.tree.arena(leaf_ty), base, &vec![0u8; stride(leaf_ty)]);
+            ctx.write_bytes(
+                self.tree.dev_arena(leaf_ty),
+                base,
+                &vec![0u8; stride(leaf_ty)],
+            );
             self.free_leaf(leaf_ty, slot_idx, ctx);
             ctx.write_u64(self.results, tid * 8, insert_status::SPILLED);
         }
@@ -272,7 +288,7 @@ impl CuartInsertKernel {
         link: NodeLink,
     ) -> bool {
         let (_, index_off) = slot_ref::decode(index_ref);
-        let arena = self.tree.arena(LinkType::N48);
+        let arena = self.tree.dev_arena(LinkType::N48);
         // Other bytes of the same node may be attaching concurrently:
         // claim a link slot with CAS.
         for i in 0..48usize {
@@ -288,7 +304,7 @@ impl CuartInsertKernel {
     /// Pop a freed slot, else bump the arena tail. `None` when exhausted.
     fn alloc_leaf(&self, ty: LinkType, ctx: &mut ThreadCtx<'_>) -> Option<u64> {
         // Free-list pop (CAS loop on the count).
-        let fl = self.free_lists.of(ty);
+        let fl = self.free_lists.dev_of(ty);
         loop {
             let count = ctx.read_u64(fl, 0);
             if count == 0 {
@@ -302,7 +318,7 @@ impl CuartInsertKernel {
             }
         }
         // Bump allocation against the arena capacity.
-        let cap = (ctx.memory().buffer(self.tree.arena(ty)).len() / stride(ty)) as u64;
+        let cap = (ctx.memory().buffer(self.tree.dev_arena(ty)).len() / stride(ty)) as u64;
         let idx = ctx.atomic_add_u64(self.tails.0, ArenaTails::offset(ty), 1);
         if idx < cap {
             Some(idx)
@@ -315,7 +331,7 @@ impl CuartInsertKernel {
 
     /// Return a slot to the free list (publish-race path).
     fn free_leaf(&self, ty: LinkType, idx: u64, ctx: &mut ThreadCtx<'_>) {
-        let fl = self.free_lists.of(ty);
+        let fl = self.free_lists.dev_of(ty);
         let pos = ctx.atomic_add_u64(fl, 0, 1);
         ctx.write_u64(fl, 8 + pos as usize * 8, idx);
     }
@@ -380,7 +396,7 @@ mod tests {
                 )
             })
             .collect();
-        let (statuses, _) = session.insert_batch(&ops);
+        let (statuses, _) = session.insert_batch(&ops).unwrap();
         // Distinct 2-byte prefixes? All share 0xAA00 -> only the FIRST
         // claims the LUT slot; the rest spill (structural). Verify split.
         let inserted = statuses
@@ -395,7 +411,7 @@ mod tests {
         assert_eq!(spilled, 199);
         // Every key is findable afterwards (device or overflow).
         let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, 5000 + i as u64, "key {i}");
         }
@@ -417,14 +433,14 @@ mod tests {
                 (k, 9000 + i)
             })
             .collect();
-        let (statuses, _) = session.insert_batch(&ops);
+        let (statuses, _) = session.insert_batch(&ops).unwrap();
         assert!(
             statuses.iter().all(|&s| s == insert_status::INSERTED),
             "{statuses:?}"
         );
         assert_eq!(session.overflow_len(), 0);
         let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, 9000 + i as u64);
         }
@@ -436,12 +452,14 @@ mod tests {
         let dev = devices::rtx3090();
         let mut session = idx.device_session(&dev);
         let key = (40u64).to_be_bytes().to_vec();
-        let (statuses, _) = session.insert_batch(&[(key.clone(), 777), (key.clone(), 888)]);
+        let (statuses, _) = session
+            .insert_batch(&[(key.clone(), 777), (key.clone(), 888)])
+            .unwrap();
         assert_eq!(
             statuses,
             vec![insert_status::SUPERSEDED, insert_status::UPDATED]
         );
-        let (results, _) = session.lookup_batch(&[key]);
+        let (results, _) = session.lookup_batch(&[key]).unwrap();
         assert_eq!(results[0], 888);
     }
 
@@ -452,14 +470,16 @@ mod tests {
         let mut session = idx.device_session(&dev);
         // Delete a key, then insert a brand-new key of the same class.
         let victim = (80u64).to_be_bytes().to_vec();
-        session.update_batch(&[(victim.clone(), crate::update::DELETE)]);
+        session
+            .update_batch(&[(victim.clone(), crate::update::DELETE)])
+            .unwrap();
         assert_eq!(session.free_count(LinkType::Leaf8), 1);
         let fresh = (0xBB00_0000_0000_0001u64).to_be_bytes().to_vec();
-        let (statuses, _) = session.insert_batch(&[(fresh.clone(), 42)]);
+        let (statuses, _) = session.insert_batch(&[(fresh.clone(), 42)]).unwrap();
         assert_eq!(statuses[0], insert_status::INSERTED);
         // The freed slot was consumed.
         assert_eq!(session.free_count(LinkType::Leaf8), 0);
-        let (results, _) = session.lookup_batch(&[fresh, victim]);
+        let (results, _) = session.lookup_batch(&[fresh, victim]).unwrap();
         assert_eq!(results[0], 42);
         assert_eq!(results[1], NOT_FOUND);
     }
@@ -471,7 +491,7 @@ mod tests {
         let mut session = idx.device_session(&dev);
         let key = (0xCC00_0000_0000_0007u64).to_be_bytes().to_vec();
         let ops = vec![(key.clone(), 1), (key.clone(), 2), (key.clone(), 3)];
-        let (statuses, _) = session.insert_batch(&ops);
+        let (statuses, _) = session.insert_batch(&ops).unwrap();
         assert_eq!(
             statuses,
             vec![
@@ -480,7 +500,7 @@ mod tests {
                 insert_status::INSERTED
             ]
         );
-        let (results, _) = session.lookup_batch(&[key]);
+        let (results, _) = session.lookup_batch(&[key]).unwrap();
         assert_eq!(results[0], 3, "max thread id must win");
         assert_eq!(
             session.overflow_len(),
@@ -494,7 +514,7 @@ mod tests {
         let idx = index(10, &CuartConfig::for_tests());
         let dev = devices::a100();
         let mut session = idx.device_session(&dev);
-        let (statuses, _) = session.insert_batch(&[(Vec::new(), 1)]);
+        let (statuses, _) = session.insert_batch(&[(Vec::new(), 1)]).unwrap();
         assert_eq!(statuses[0], insert_status::REJECTED);
         assert_eq!(session.overflow_len(), 0);
     }
@@ -514,15 +534,19 @@ mod tests {
         let mut session = idx.device_session(&dev);
         let short = b"ab".to_vec();
         let long = vec![7u8; 40];
-        let (statuses, _) = session.insert_batch(&[(short.clone(), 10), (long.clone(), 20)]);
+        let (statuses, _) = session
+            .insert_batch(&[(short.clone(), 10), (long.clone(), 20)])
+            .unwrap();
         assert_eq!(
             statuses,
             vec![insert_status::INSERTED, insert_status::INSERTED]
         );
-        let (results, _) = session.lookup_batch(&[short.clone(), long.clone()]);
+        let (results, _) = session
+            .lookup_batch(&[short.clone(), long.clone()])
+            .unwrap();
         assert_eq!(results, vec![10, 20]);
         // Re-insert updates in place.
-        let (statuses, _) = session.insert_batch(&[(short, 11), (long, 21)]);
+        let (statuses, _) = session.insert_batch(&[(short, 11), (long, 21)]).unwrap();
         assert!(statuses.iter().all(|&s| s == insert_status::UPDATED));
     }
 
@@ -535,18 +559,20 @@ mod tests {
         let ops: Vec<(Vec<u8>, u64)> = (0..50u64)
             .map(|i| ((0xDD00_0000_0000_0000u64 | i).to_be_bytes().to_vec(), i))
             .collect();
-        session.insert_batch(&ops);
+        session.insert_batch(&ops).unwrap();
         assert!(session.overflow_len() > 0);
         let parked = ops[10].0.clone();
         // Update through the normal update path.
-        let (st, _) = session.update_batch(&[(parked.clone(), 999)]);
+        let (st, _) = session.update_batch(&[(parked.clone(), 999)]).unwrap();
         assert_eq!(st[0], crate::update::status::APPLIED);
-        let (results, _) = session.lookup_batch(std::slice::from_ref(&parked));
+        let (results, _) = session.lookup_batch(std::slice::from_ref(&parked)).unwrap();
         assert_eq!(results[0], 999);
         // Delete.
-        let (st, _) = session.update_batch(&[(parked.clone(), crate::update::DELETE)]);
+        let (st, _) = session
+            .update_batch(&[(parked.clone(), crate::update::DELETE)])
+            .unwrap();
         assert_eq!(st[0], crate::update::status::APPLIED);
-        let (results, _) = session.lookup_batch(&[parked]);
+        let (results, _) = session.lookup_batch(&[parked]).unwrap();
         assert_eq!(results[0], NOT_FOUND);
     }
 
@@ -558,16 +584,16 @@ mod tests {
         let ops: Vec<(Vec<u8>, u64)> = (0..10u64)
             .map(|i| ((0xEE00_0000_0000_0000u64 | i).to_be_bytes().to_vec(), i))
             .collect();
-        session.insert_batch(&ops);
+        session.insert_batch(&ops).unwrap();
         let before = session.overflow_len();
-        let (st, _) = session.insert_batch(&[(ops[3].0.clone(), 12345)]);
+        let (st, _) = session.insert_batch(&[(ops[3].0.clone(), 12345)]).unwrap();
         assert_eq!(st[0], insert_status::UPDATED);
         assert_eq!(
             session.overflow_len(),
             before,
             "no duplicate overflow entries"
         );
-        let (results, _) = session.lookup_batch(&[ops[3].0.clone()]);
+        let (results, _) = session.lookup_batch(&[ops[3].0.clone()]).unwrap();
         assert_eq!(results[0], 12345);
     }
 
@@ -589,17 +615,17 @@ mod tests {
         let mut session = idx.device_session(&dev);
         // Attach new children at unused bytes of the N48 root.
         let ops: Vec<(Vec<u8>, u64)> = (200..206u64).map(|b| (vec![1, b as u8, 1, 1], b)).collect();
-        let (statuses, _) = session.insert_batch(&ops);
+        let (statuses, _) = session.insert_batch(&ops).unwrap();
         assert!(
             statuses.iter().all(|&s| s == insert_status::INSERTED),
             "{statuses:?}"
         );
         for (k, v) in &ops {
-            let (results, _) = session.lookup_batch(std::slice::from_ref(k));
+            let (results, _) = session.lookup_batch(std::slice::from_ref(k)).unwrap();
             assert_eq!(results[0], *v);
         }
         // Old keys unharmed.
-        let (results, _) = session.lookup_batch(&[vec![1, 5, 1, 1]]);
+        let (results, _) = session.lookup_batch(&[vec![1, 5, 1, 1]]).unwrap();
         assert_eq!(results[0], 6);
     }
 
@@ -619,7 +645,7 @@ mod tests {
                 (k, i)
             })
             .collect();
-        let (statuses, _) = session.insert_batch(&ops);
+        let (statuses, _) = session.insert_batch(&ops).unwrap();
         let inserted = statuses
             .iter()
             .filter(|&&s| s == insert_status::INSERTED)
@@ -633,7 +659,7 @@ mod tests {
         assert_eq!(inserted, 1024, "headroom bound");
         // All keys remain findable regardless of where they landed.
         let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, i as u64, "key {i}");
         }

@@ -14,6 +14,7 @@
 //! * leaves are one aligned read; key comparison is **word-oriented**
 //!   (§4.4 — the reason GRT wins on very short keys and CuART on long).
 
+use crate::error::CuartError;
 use crate::layout::{self, leaf, stride, EMPTY48, HEADER_BYTES, PREFIX_CAP};
 use crate::link::{LinkType, NodeLink};
 use crate::mapper::lut_slot;
@@ -70,8 +71,11 @@ pub struct DeviceTree {
 
 impl DeviceTree {
     /// The device buffer backing `ty`'s arena.
-    pub fn arena(&self, ty: LinkType) -> BufferId {
-        match ty {
+    ///
+    /// Host leaves never have one; asking for it is a typed
+    /// [`CuartError::NoDeviceArena`], not a panic.
+    pub fn arena(&self, ty: LinkType) -> Result<BufferId, CuartError> {
+        Ok(match ty {
             LinkType::N4 => self.n4,
             LinkType::N16 => self.n16,
             LinkType::N48 => self.n48,
@@ -81,8 +85,16 @@ impl DeviceTree {
             LinkType::Leaf16 => self.leaf16,
             LinkType::Leaf32 => self.leaf32,
             LinkType::DynLeaf => self.dyn_leaves,
-            LinkType::HostLeaf => panic!("host leaves have no device arena"),
-        }
+            LinkType::HostLeaf => return Err(CuartError::NoDeviceArena { link_type: ty }),
+        })
+    }
+
+    /// Infallible arena accessor for traversal-internal types: every
+    /// `ty` that reaches here is guaranteed device-resident by the caller
+    /// (host leaves short-circuit before any arena access).
+    pub(crate) fn dev_arena(&self, ty: LinkType) -> BufferId {
+        self.arena(ty)
+            .expect("traversal link types have device arenas")
     }
 }
 
@@ -112,7 +124,7 @@ pub mod slot_ref {
         match tag {
             TAG_LUT => tree.lut,
             TAG_META => tree.meta,
-            t => tree.arena(LinkType::from_tag(t).expect("valid arena tag")),
+            t => tree.dev_arena(LinkType::from_tag(t).expect("valid arena tag")),
         }
     }
 }
@@ -212,7 +224,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
             LinkType::Leaf8 | LinkType::Leaf16 | LinkType::Leaf32 => {
                 let base = link.index() as usize * stride(ty);
                 // One aligned read covering key + value + metadata.
-                let rec = ctx.read_bytes(tree.arena(ty), base, leaf::read_bytes(ty));
+                let rec = ctx.read_bytes(tree.dev_arena(ty), base, leaf::read_bytes(ty));
                 if rec[leaf::live_at(ty)] == 0 {
                     return DevHit::MISS;
                 }
@@ -257,7 +269,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                 // one header + one link read, both at computable addresses
                 // — one latency for two levels.
                 let base = link.index() as usize * stride(ty);
-                let rec = ctx.read_bytes(tree.arena(ty), base, HEADER_BYTES);
+                let rec = ctx.read_bytes(tree.dev_arena(ty), base, HEADER_BYTES);
                 let plen = rec[1] as usize;
                 debug_assert!(skip <= plen, "LUT skip beyond prefix");
                 let remaining = plen - skip;
@@ -267,7 +279,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                 let slot =
                     ((key[depth + remaining] as usize) << 8) | key[depth + remaining + 1] as usize;
                 let next = NodeLink(ctx.read_u64_dep(
-                    tree.arena(ty),
+                    tree.dev_arena(ty),
                     base + layout::links_at(ty) + slot * 8,
                     Dep::Independent,
                 ));
@@ -298,7 +310,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                 let next = match ty {
                     LinkType::N4 | LinkType::N16 => {
                         // Whole node in one transaction: size known a priori.
-                        let rec = ctx.read_bytes(tree.arena(ty), base, stride(ty));
+                        let rec = ctx.read_bytes(tree.dev_arena(ty), base, stride(ty));
                         match self::match_inner(&rec, key, &mut depth, &mut skip) {
                             Some(byte) => {
                                 let count = rec[0] as usize;
@@ -321,11 +333,11 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                         // Header read; prefix checked first, then the child
                         // index byte (computable address, same step), then
                         // the selected link (dependent).
-                        let rec = ctx.read_bytes(tree.arena(ty), base, HEADER_BYTES);
+                        let rec = ctx.read_bytes(tree.dev_arena(ty), base, HEADER_BYTES);
                         match self::match_inner(&rec, key, &mut depth, &mut skip) {
                             Some(byte) => {
                                 let slot = ctx.read_u8_dep(
-                                    tree.arena(ty),
+                                    tree.dev_arena(ty),
                                     base + HEADER_BYTES + byte as usize,
                                     Dep::Independent,
                                 );
@@ -340,7 +352,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                                     NodeLink::NULL
                                 } else {
                                     NodeLink(ctx.read_u64(
-                                        tree.arena(ty),
+                                        tree.dev_arena(ty),
                                         base + layout::links_at(ty) + slot as usize * 8,
                                     ))
                                 }
@@ -351,7 +363,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                     LinkType::N256 => {
                         // Header and link addresses are both computable from
                         // the link alone: one step, two parallel reads.
-                        let rec = ctx.read_bytes(tree.arena(ty), base, HEADER_BYTES);
+                        let rec = ctx.read_bytes(tree.dev_arena(ty), base, HEADER_BYTES);
                         // Peek the branch byte optimistically using the
                         // *declared* prefix length, so the link read can be
                         // issued in the same step when the prefix fits.
@@ -359,7 +371,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                         let opt_byte = key.get(depth + plen.saturating_sub(skip)).copied();
                         let speculative = opt_byte.map(|byte| {
                             NodeLink(ctx.read_u64_dep(
-                                tree.arena(ty),
+                                tree.dev_arena(ty),
                                 base + layout::links_at(ty) + byte as usize * 8,
                                 Dep::Independent,
                             ))
@@ -438,7 +450,7 @@ fn parent_of_inner(
     let mem = ctx.memory();
     for i in 0..cap {
         let at = base + links_at + i * 8;
-        if mem.read_u64(tree.arena(ty), at) == target.0 {
+        if mem.read_u64(tree.dev_arena(ty), at) == target.0 {
             return slot_ref::encode(ty as u8, at);
         }
     }

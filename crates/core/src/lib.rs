@@ -63,6 +63,7 @@
 pub mod api;
 pub mod buffers;
 pub mod cpu;
+pub mod error;
 pub mod insert;
 pub mod kernels;
 pub mod layout;
@@ -72,8 +73,9 @@ pub mod persist;
 pub mod range;
 pub mod update;
 
-pub use api::{CuartIndex, CuartSession};
+pub use api::{CuartIndex, CuartSession, FaultStats};
 pub use buffers::{CuartBuffers, CuartConfig, LongKeyPolicy};
+pub use error::{CuartError, RetryPolicy};
 pub use kernels::DeviceTree;
 pub use link::NodeLink;
 pub use update::DELETE;

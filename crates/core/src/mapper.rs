@@ -280,14 +280,13 @@ fn try_emit_multilayer(
 }
 
 impl CuartBuffers {
-    /// Write a raw byte into an arena (keys array / child index).
+    /// Write a raw byte into an arena (keys array / child index). Routed
+    /// through the fallible arena accessor: a type without an arena is a
+    /// typed error surfaced in debug builds, not a bespoke panic arm.
     pub(crate) fn arena_key_write(&mut self, ty: LinkType, off: usize, byte: u8) {
-        match ty {
-            LinkType::N4 => self.n4[off] = byte,
-            LinkType::N16 => self.n16[off] = byte,
-            LinkType::N48 => self.n48[off] = byte,
-            LinkType::N256 => self.n256[off] = byte,
-            _ => panic!("{ty:?} has no key bytes"),
+        match self.arena_mut(ty) {
+            Ok(arena) => arena[off] = byte,
+            Err(e) => debug_assert!(false, "arena_key_write: {e}"),
         }
     }
 }

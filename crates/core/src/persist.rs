@@ -1,10 +1,29 @@
-//! Index persistence: save/load the mapped CuART buffers.
+//! Crash-safe index persistence: save/load the mapped CuART buffers.
 //!
 //! Mapping a large ART into the structure of buffers is the expensive
 //! setup step of the paper's pipeline (§4.1). Persisting the mapped image
-//! lets a process restart skip both the ART build and the map: the format
-//! is a plain sectioned binary — magic, version, config, then each arena
-//! and table length-prefixed — written with std I/O only.
+//! lets a process restart skip both the ART build and the map.
+//!
+//! # Format (version 2)
+//!
+//! ```text
+//! header : MAGIC "CUARTIDX" (8 B) | version u32 LE | section_count u32 LE
+//! section: payload_len u64 LE | crc32(payload) u32 LE | payload
+//! ```
+//!
+//! Fourteen sections: the config/scalar block, the nine arenas, the
+//! sparse LUT, and the two host tables. Every section carries its own
+//! IEEE CRC-32, so a torn write, truncation, or bit flip anywhere in the
+//! file is detected at load time and rejected with
+//! [`CuartError::SnapshotCorrupt`] instead of deserialising garbage.
+//!
+//! # Crash safety
+//!
+//! [`CuartIndex::save`] never writes the destination in place: the image
+//! goes to a process-unique temporary file in the same directory, is
+//! flushed and fsynced, and is then atomically renamed over the target.
+//! A crash mid-save leaves either the old snapshot or no snapshot —
+//! never a half-written one.
 //!
 //! ```
 //! use cuart::{CuartConfig, CuartIndex};
@@ -18,179 +37,379 @@
 //! index.save(&path).unwrap();
 //! let loaded = CuartIndex::load(&path).unwrap();
 //! assert_eq!(loaded.lookup_cpu(b"key-0001"), Some(7));
+//! assert!(cuart::persist::verify_snapshot(&path).is_ok());
 //! ```
 
 use crate::buffers::{CuartBuffers, CuartConfig, LongKeyPolicy};
+use crate::error::CuartError;
 use crate::link::NodeLink;
 use crate::CuartIndex;
-use std::io::{self, Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"CUARTIDX";
-const VERSION: u32 = 1;
+/// Current snapshot format version (see the module docs).
+pub const VERSION: u32 = 2;
+const SECTIONS: u32 = 14;
 
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven; the table is built at compile time
+// so the crate stays free of external checksum dependencies.
+// ---------------------------------------------------------------------
 
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
-}
-
-fn write_bytes(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
-    write_u64(w, data.len() as u64)?;
-    w.write_all(data)
-}
-
-fn read_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let len = read_u64(r)? as usize;
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    Ok(buf)
-}
-
-fn write_table(w: &mut impl Write, table: &[(Vec<u8>, u64)]) -> io::Result<()> {
-    write_u64(w, table.len() as u64)?;
-    for (k, v) in table {
-        write_bytes(w, k)?;
-        write_u64(w, *v)?;
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
     }
-    Ok(())
+    table
 }
 
-fn read_table(r: &mut impl Read) -> io::Result<Vec<(Vec<u8>, u64)>> {
-    let n = read_u64(r)? as usize;
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 of `data` (the polynomial used by zip/png/ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Section encoding helpers.
+// ---------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    put_u64(out, data.len() as u64);
+    out.extend_from_slice(data);
+}
+
+fn put_table(out: &mut Vec<u8>, table: &[(Vec<u8>, u64)]) {
+    put_u64(out, table.len() as u64);
+    for (k, v) in table {
+        put_bytes(out, k);
+        put_u64(out, *v);
+    }
+}
+
+/// Bounds-checked reader over a fully-loaded snapshot. Every read that
+/// would run past the end is a corruption, not a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CuartError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| {
+            CuartError::corrupt(format!("{what}: length overflows the file offset"))
+        })?;
+        if end > self.buf.len() {
+            return Err(CuartError::corrupt(format!(
+                "{what}: need {n} bytes at offset {}, file has {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CuartError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CuartError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn get_bytes<'a>(c: &mut Cursor<'a>, what: &str) -> Result<&'a [u8], CuartError> {
+    let len = c.u64(what)? as usize;
+    c.take(len, what)
+}
+
+fn get_table(c: &mut Cursor<'_>, what: &str) -> Result<Vec<(Vec<u8>, u64)>, CuartError> {
+    let n = c.u64(what)? as usize;
+    // Each entry is at least 16 bytes; reject counts the file cannot hold.
+    if n.saturating_mul(16) > c.buf.len() {
+        return Err(CuartError::corrupt(format!(
+            "{what}: entry count {n} exceeds file capacity"
+        )));
+    }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let k = read_bytes(r)?;
-        let v = read_u64(r)?;
+        let k = get_bytes(c, what)?.to_vec();
+        let v = c.u64(what)?;
         out.push((k, v));
     }
     Ok(out)
 }
 
-fn corrupt(msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("corrupt CuART index file: {msg}"),
-    )
+// ---------------------------------------------------------------------
+// Snapshot assembly / parsing.
+// ---------------------------------------------------------------------
+
+fn encode_sections(b: &CuartBuffers) -> Vec<Vec<u8>> {
+    let mut sections = Vec::with_capacity(SECTIONS as usize);
+    // Section 0: config + scalars.
+    let mut meta = Vec::with_capacity(56);
+    put_u64(&mut meta, b.config.lut_span as u64);
+    put_u64(
+        &mut meta,
+        match b.config.long_key_policy {
+            LongKeyPolicy::CpuRoute => 0,
+            LongKeyPolicy::HostLeafLink => 1,
+            LongKeyPolicy::DynamicLeaf => 2,
+        },
+    );
+    put_u64(&mut meta, b.config.multi_layer_nodes as u64);
+    put_u64(&mut meta, b.config.single_leaf_class as u64);
+    put_u64(&mut meta, b.root.0);
+    put_u64(&mut meta, b.entries as u64);
+    put_u64(&mut meta, b.max_key_len as u64);
+    sections.push(meta);
+    // Sections 1–9: arenas (raw).
+    for arena in [
+        &b.n4,
+        &b.n16,
+        &b.n48,
+        &b.n256,
+        &b.n2l,
+        &b.leaf8,
+        &b.leaf16,
+        &b.leaf32,
+        &b.dyn_leaves,
+    ] {
+        sections.push(arena.clone());
+    }
+    // Section 10: LUT, stored sparsely (most of the 2^24 table is null).
+    let mut lut = Vec::new();
+    let occupied: Vec<(u64, u64)> = b
+        .lut
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0)
+        .map(|(i, &v)| (i as u64, v))
+        .collect();
+    put_u64(&mut lut, occupied.len() as u64);
+    for (slot, v) in occupied {
+        put_u64(&mut lut, slot);
+        put_u64(&mut lut, v);
+    }
+    sections.push(lut);
+    // Sections 11–12: host tables.
+    let mut short_keys = Vec::new();
+    put_table(&mut short_keys, &b.short_keys);
+    sections.push(short_keys);
+    let mut host_leaves = Vec::new();
+    put_table(&mut host_leaves, &b.host_leaves);
+    sections.push(host_leaves);
+    // Section 13: reserved trailer (empty; room for future metadata
+    // without a version bump breaking old readers' section count).
+    sections.push(Vec::new());
+    sections
+}
+
+/// Split a raw snapshot into CRC-verified section payloads.
+fn checked_sections(data: &[u8]) -> Result<Vec<&[u8]>, CuartError> {
+    let mut c = Cursor::new(data);
+    let magic = c.take(8, "magic")?;
+    if magic != MAGIC {
+        return Err(CuartError::corrupt("bad magic (not a CuART snapshot)"));
+    }
+    let version = c.u32("version")?;
+    if version != VERSION {
+        return Err(CuartError::corrupt(format!(
+            "unsupported snapshot version {version} (this build reads {VERSION})"
+        )));
+    }
+    let count = c.u32("section count")?;
+    if count != SECTIONS {
+        return Err(CuartError::corrupt(format!(
+            "expected {SECTIONS} sections, header claims {count}"
+        )));
+    }
+    let mut sections = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let what = format!("section {i}");
+        let len = c.u64(&what)? as usize;
+        let stored_crc = c.u32(&what)?;
+        let payload = c.take(len, &what)?;
+        let actual = crc32(payload);
+        if actual != stored_crc {
+            return Err(CuartError::corrupt(format!(
+                "section {i}: CRC mismatch (stored {stored_crc:#010x}, computed {actual:#010x})"
+            )));
+        }
+        sections.push(payload);
+    }
+    if !c.done() {
+        return Err(CuartError::corrupt(format!(
+            "{} trailing bytes after the last section",
+            data.len() - c.pos
+        )));
+    }
+    Ok(sections)
+}
+
+fn parse_buffers(sections: &[&[u8]]) -> Result<CuartBuffers, CuartError> {
+    let mut meta = Cursor::new(sections[0]);
+    let lut_span = meta.u64("lut_span")? as usize;
+    if lut_span > 3 {
+        return Err(CuartError::corrupt(format!(
+            "lut_span {lut_span} out of range"
+        )));
+    }
+    let long_key_policy = match meta.u64("long_key_policy")? {
+        0 => LongKeyPolicy::CpuRoute,
+        1 => LongKeyPolicy::HostLeafLink,
+        2 => LongKeyPolicy::DynamicLeaf,
+        p => return Err(CuartError::corrupt(format!("unknown long-key policy {p}"))),
+    };
+    let multi_layer_nodes = meta.u64("multi_layer_nodes")? != 0;
+    let single_leaf_class = meta.u64("single_leaf_class")? != 0;
+    let config = CuartConfig {
+        lut_span,
+        long_key_policy,
+        multi_layer_nodes,
+        single_leaf_class,
+    };
+    let root = NodeLink(meta.u64("root")?);
+    let entries = meta.u64("entries")? as usize;
+    let max_key_len = meta.u64("max_key_len")? as usize;
+    if !meta.done() {
+        return Err(CuartError::corrupt("config section has trailing bytes"));
+    }
+    let mut b = CuartBuffers::new(config);
+    b.root = root;
+    b.entries = entries;
+    b.max_key_len = max_key_len;
+    b.n4 = sections[1].to_vec();
+    b.n16 = sections[2].to_vec();
+    b.n48 = sections[3].to_vec();
+    b.n256 = sections[4].to_vec();
+    b.n2l = sections[5].to_vec();
+    b.leaf8 = sections[6].to_vec();
+    b.leaf16 = sections[7].to_vec();
+    b.leaf32 = sections[8].to_vec();
+    b.dyn_leaves = sections[9].to_vec();
+    let mut lut = Cursor::new(sections[10]);
+    let occupied = lut.u64("LUT occupancy")? as usize;
+    for _ in 0..occupied {
+        let slot = lut.u64("LUT slot")? as usize;
+        let v = lut.u64("LUT value")?;
+        if slot >= b.lut.len() {
+            return Err(CuartError::corrupt(format!(
+                "LUT slot {slot} out of range ({} slots)",
+                b.lut.len()
+            )));
+        }
+        b.lut[slot] = v;
+    }
+    if !lut.done() {
+        return Err(CuartError::corrupt("LUT section has trailing bytes"));
+    }
+    b.short_keys = get_table(&mut Cursor::new(sections[11]), "short-key table")?;
+    b.host_leaves = get_table(&mut Cursor::new(sections[12]), "host-leaf table")?;
+    Ok(b)
+}
+
+/// Summary returned by [`verify_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format version of the verified file.
+    pub version: u32,
+    /// Number of CRC-verified sections.
+    pub sections: u32,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Keys stored in the index (device + host side).
+    pub entries: u64,
+}
+
+/// Fully validate a snapshot without keeping the index: header, every
+/// section CRC, and a structural parse of all buffers. Returns a summary
+/// on success; any corruption is a [`CuartError::SnapshotCorrupt`].
+pub fn verify_snapshot(path: impl AsRef<Path>) -> Result<SnapshotInfo, CuartError> {
+    let data = std::fs::read(path)?;
+    let sections = checked_sections(&data)?;
+    let b = parse_buffers(&sections)?;
+    Ok(SnapshotInfo {
+        version: VERSION,
+        sections: SECTIONS,
+        file_bytes: data.len() as u64,
+        entries: b.entries as u64,
+    })
 }
 
 impl CuartIndex {
-    /// Serialise the mapped buffers to `path`.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let mut w = io::BufWriter::new(std::fs::File::create(path)?);
-        let b = self.buffers();
-        w.write_all(MAGIC)?;
-        write_u64(&mut w, VERSION as u64)?;
-        // Config.
-        write_u64(&mut w, b.config.lut_span as u64)?;
-        write_u64(
-            &mut w,
-            match b.config.long_key_policy {
-                LongKeyPolicy::CpuRoute => 0,
-                LongKeyPolicy::HostLeafLink => 1,
-                LongKeyPolicy::DynamicLeaf => 2,
-            },
-        )?;
-        write_u64(&mut w, b.config.multi_layer_nodes as u64)?;
-        write_u64(&mut w, b.config.single_leaf_class as u64)?;
-        // Scalars.
-        write_u64(&mut w, b.root.0)?;
-        write_u64(&mut w, b.entries as u64)?;
-        write_u64(&mut w, b.max_key_len as u64)?;
-        // Arenas.
-        for arena in [
-            &b.n4,
-            &b.n16,
-            &b.n48,
-            &b.n256,
-            &b.n2l,
-            &b.leaf8,
-            &b.leaf16,
-            &b.leaf32,
-            &b.dyn_leaves,
-        ] {
-            write_bytes(&mut w, arena)?;
+    /// Serialise the mapped buffers to `path`, crash-safely: the image is
+    /// written to a temporary file in the same directory, fsynced, then
+    /// atomically renamed over `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CuartError> {
+        let path = path.as_ref();
+        let sections = encode_sections(self.buffers());
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&SECTIONS.to_le_bytes());
+        for payload in &sections {
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
         }
-        // LUT (stored sparsely: most slots of the 2^24 table are null).
-        let occupied: Vec<(u64, u64)> = b
-            .lut
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| v != 0)
-            .map(|(i, &v)| (i as u64, v))
-            .collect();
-        write_u64(&mut w, occupied.len() as u64)?;
-        for (slot, v) in occupied {
-            write_u64(&mut w, slot)?;
-            write_u64(&mut w, v)?;
+        // Unique per process so concurrent savers never tear each other's
+        // temporary; rename() then makes the publish atomic.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
         }
-        // Host tables.
-        write_table(&mut w, &b.short_keys)?;
-        write_table(&mut w, &b.host_leaves)?;
-        w.flush()
+        Ok(result?)
     }
 
-    /// Load an index previously written by [`save`](Self::save).
-    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        let mut r = io::BufReader::new(std::fs::File::open(path)?);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(corrupt("bad magic"));
-        }
-        if read_u64(&mut r)? != VERSION as u64 {
-            return Err(corrupt("unsupported version"));
-        }
-        let lut_span = read_u64(&mut r)? as usize;
-        if lut_span > 3 {
-            return Err(corrupt("lut_span out of range"));
-        }
-        let long_key_policy = match read_u64(&mut r)? {
-            0 => LongKeyPolicy::CpuRoute,
-            1 => LongKeyPolicy::HostLeafLink,
-            2 => LongKeyPolicy::DynamicLeaf,
-            _ => return Err(corrupt("unknown long-key policy")),
-        };
-        let multi_layer_nodes = read_u64(&mut r)? != 0;
-        let single_leaf_class = read_u64(&mut r)? != 0;
-        let config = CuartConfig {
-            lut_span,
-            long_key_policy,
-            multi_layer_nodes,
-            single_leaf_class,
-        };
-        let root = NodeLink(read_u64(&mut r)?);
-        let entries = read_u64(&mut r)? as usize;
-        let max_key_len = read_u64(&mut r)? as usize;
-        let mut b = CuartBuffers::new(config);
-        b.root = root;
-        b.entries = entries;
-        b.max_key_len = max_key_len;
-        b.n4 = read_bytes(&mut r)?;
-        b.n16 = read_bytes(&mut r)?;
-        b.n48 = read_bytes(&mut r)?;
-        b.n256 = read_bytes(&mut r)?;
-        b.n2l = read_bytes(&mut r)?;
-        b.leaf8 = read_bytes(&mut r)?;
-        b.leaf16 = read_bytes(&mut r)?;
-        b.leaf32 = read_bytes(&mut r)?;
-        b.dyn_leaves = read_bytes(&mut r)?;
-        let occupied = read_u64(&mut r)? as usize;
-        for _ in 0..occupied {
-            let slot = read_u64(&mut r)? as usize;
-            let v = read_u64(&mut r)?;
-            if slot >= b.lut.len() {
-                return Err(corrupt("LUT slot out of range"));
-            }
-            b.lut[slot] = v;
-        }
-        b.short_keys = read_table(&mut r)?;
-        b.host_leaves = read_table(&mut r)?;
-        Ok(CuartIndex::from_buffers(b))
+    /// Load an index previously written by [`save`](Self::save). Every
+    /// section CRC is checked before any bytes are interpreted; torn,
+    /// truncated or bit-flipped snapshots are rejected with
+    /// [`CuartError::SnapshotCorrupt`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CuartError> {
+        let data = std::fs::read(path)?;
+        let sections = checked_sections(&data)?;
+        Ok(CuartIndex::from_buffers(parse_buffers(&sections)?))
     }
 }
 
@@ -273,9 +492,93 @@ mod tests {
     fn garbage_rejected() {
         let path = temp("garbage");
         std::fs::write(&path, b"definitely not an index").unwrap();
-        assert!(CuartIndex::load(&path).is_err());
+        assert!(matches!(
+            CuartIndex::load(&path),
+            Err(CuartError::SnapshotCorrupt { .. })
+        ));
         std::fs::write(&path, b"CUARTIDX").unwrap(); // truncated after magic
-        assert!(CuartIndex::load(&path).is_err());
+        assert!(matches!(
+            CuartIndex::load(&path),
+            Err(CuartError::SnapshotCorrupt { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let idx = sample(&CuartConfig::for_tests());
+        let path = temp("truncate");
+        idx.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Chop at a spread of prefixes, including mid-header and mid-CRC.
+        for cut in [0, 4, 11, 15, 17, full.len() / 3, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                matches!(
+                    CuartIndex::load(&path),
+                    Err(CuartError::SnapshotCorrupt { .. })
+                ),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let idx = sample(&CuartConfig::for_tests());
+        let path = temp("bitflip");
+        idx.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Flip one bit at a spread of offsets beyond the header; each must
+        // trip a section CRC (or a structural check).
+        for pos in [20usize, 40, full.len() / 2, full.len() - 2] {
+            let mut copy = full.clone();
+            copy[pos] ^= 0x10;
+            std::fs::write(&path, &copy).unwrap();
+            assert!(
+                CuartIndex::load(&path).is_err(),
+                "bit flip at {pos} must be rejected"
+            );
+        }
+        // The pristine image still loads.
+        std::fs::write(&path, &full).unwrap();
+        assert!(CuartIndex::load(&path).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn verify_snapshot_reports_and_rejects() {
+        let idx = sample(&CuartConfig::for_tests());
+        let path = temp("verify");
+        idx.save(&path).unwrap();
+        let info = verify_snapshot(&path).unwrap();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.sections, SECTIONS);
+        assert_eq!(info.entries, idx.len() as u64);
+        assert_eq!(
+            info.file_bytes,
+            std::fs::metadata(&path).unwrap().len(),
+            "info must report the real file size"
+        );
+        let mut copy = std::fs::read(&path).unwrap();
+        let mid = copy.len() / 2;
+        copy[mid] ^= 0x01;
+        std::fs::write(&path, &copy).unwrap();
+        assert!(matches!(
+            verify_snapshot(&path),
+            Err(CuartError::SnapshotCorrupt { .. })
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let idx = sample(&CuartConfig::for_tests());
+        let path = temp("notmp");
+        idx.save(&path).unwrap();
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        assert!(!tmp.exists(), "temporary file must be renamed away");
         std::fs::remove_file(path).ok();
     }
 
@@ -294,5 +597,16 @@ mod tests {
             idx.device_bytes()
         );
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 }

@@ -329,7 +329,7 @@ impl RangeSpanKernel {
         include_equal: bool,
         ctx: &mut ThreadCtx<'_>,
     ) -> u64 {
-        let arena = self.tree.arena(class);
+        let arena = self.tree.dev_arena(class);
         let mut lo = 0u64;
         let mut hi = n;
         while lo < hi {

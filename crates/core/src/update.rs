@@ -24,6 +24,7 @@
 //! batches are large enough to fill the 1 Mi-slot table (Figure 15); the
 //! `figures` harness reproduces that droop with this engine.
 
+use crate::error::CuartError;
 use crate::kernels::{device_traverse, slot_ref, DevHit, DeviceTree};
 use crate::layout::stride;
 use crate::link::LinkType;
@@ -45,7 +46,17 @@ pub mod status {
     pub const APPLIED: u64 = 1;
     /// A higher-priority thread updated the same key.
     pub const SUPERSEDED: u64 = 2;
+    /// The claim hash table had no slot left for this op's location: the
+    /// op performed **no** device write and must be re-submitted (the
+    /// session re-runs exhausted ops as a smaller sub-batch). Never
+    /// surfaces through `CuartSession::update_batch`.
+    pub const EXHAUSTED: u64 = 3;
 }
+
+/// Scratch-location sentinel marking a thread whose hash-table claim was
+/// rejected because every slot was taken (stage 2 reports
+/// [`status::EXHAUSTED`] for it). Distinct from `0`, which means "miss".
+pub(crate) const LOC_EXHAUSTED: u64 = u64::MAX;
 
 /// Free-list device buffer layout: `[count u64][leaf indices ...]`.
 #[derive(Debug, Clone, Copy)]
@@ -59,14 +70,21 @@ pub struct FreeLists {
 }
 
 impl FreeLists {
-    /// The free list for a leaf class.
-    pub fn of(&self, ty: LinkType) -> BufferId {
+    /// The free list for a leaf class; non-leaf types have none and get a
+    /// typed [`CuartError::NoDeviceArena`].
+    pub fn of(&self, ty: LinkType) -> Result<BufferId, CuartError> {
         match ty {
-            LinkType::Leaf8 => self.leaf8,
-            LinkType::Leaf16 => self.leaf16,
-            LinkType::Leaf32 => self.leaf32,
-            _ => panic!("no free list for {ty:?}"),
+            LinkType::Leaf8 => Ok(self.leaf8),
+            LinkType::Leaf16 => Ok(self.leaf16),
+            LinkType::Leaf32 => Ok(self.leaf32),
+            _ => Err(CuartError::NoDeviceArena { link_type: ty }),
         }
+    }
+
+    /// Infallible accessor for kernel-internal sites where `ty` is already
+    /// known to be a device leaf class.
+    pub(crate) fn dev_of(&self, ty: LinkType) -> BufferId {
+        self.of(ty).expect("device leaf classes have free lists")
     }
 }
 
@@ -157,7 +175,10 @@ impl CuartUpdateKernel {
             }
             h = (h + 1) % self.table_slots;
         }
-        panic!("update hash table full: increase table_slots");
+        // Every slot holds a different location: this op cannot claim.
+        // Mark it exhausted — no device write happened for it, so the
+        // session can safely re-run it in a smaller sub-batch.
+        ctx.write_u64(self.scratch_loc, tid * 8, LOC_EXHAUSTED);
     }
 
     /// Stage 2: the winning thread applies the write (or delete).
@@ -165,6 +186,10 @@ impl CuartUpdateKernel {
         let location = ctx.read_u64(self.scratch_loc, tid * 8);
         if location == 0 {
             ctx.write_u64(self.results, tid * 8, status::MISS);
+            return;
+        }
+        if location == LOC_EXHAUSTED {
+            ctx.write_u64(self.results, tid * 8, status::EXHAUSTED);
             return;
         }
         // Probe to our location's slot and read the winner.
@@ -200,9 +225,9 @@ impl CuartUpdateKernel {
         // Clear the leaf contents (§3.3: "its contents are cleared").
         if ty.is_device_leaf() {
             let base = leaf_link.index() as usize * stride(ty);
-            ctx.write_bytes(self.tree.arena(ty), base, &vec![0u8; stride(ty)]);
+            ctx.write_bytes(self.tree.dev_arena(ty), base, &vec![0u8; stride(ty)]);
             // Push the slot onto the free list for future inserts.
-            let fl = self.free_lists.of(ty);
+            let fl = self.free_lists.dev_of(ty);
             let pos = ctx.atomic_add_u64(fl, 0, 1);
             ctx.write_u64(fl, 8 + pos as usize * 8, leaf_link.index());
         } else if ty == LinkType::DynLeaf {
@@ -245,10 +270,10 @@ mod tests {
         let ops: Vec<(Vec<u8>, u64)> = (0..100u64)
             .map(|i| ((i * 3).to_be_bytes().to_vec(), 7_000 + i))
             .collect();
-        let (statuses, _) = session.update_batch(&ops);
+        let (statuses, _) = session.update_batch(&ops).unwrap();
         assert!(statuses.iter().all(|&s| s == status::APPLIED));
         let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, 7_000 + i as u64);
         }
@@ -262,11 +287,11 @@ mod tests {
         let key = (30u64).to_be_bytes().to_vec();
         // Three conflicting updates to the same key in one batch.
         let ops = vec![(key.clone(), 111), (key.clone(), 222), (key.clone(), 333)];
-        let (statuses, report) = session.update_batch(&ops);
+        let (statuses, report) = session.update_batch(&ops).unwrap();
         assert_eq!(statuses[0], status::SUPERSEDED);
         assert_eq!(statuses[1], status::SUPERSEDED);
         assert_eq!(statuses[2], status::APPLIED);
-        let (results, _) = session.lookup_batch(&[key]);
+        let (results, _) = session.lookup_batch(&[key]).unwrap();
         assert_eq!(results[0], 333, "highest thread id must win (§3.4)");
         assert!(
             report.atomic_conflicts > 0,
@@ -280,7 +305,7 @@ mod tests {
         let dev = devices::a100();
         let mut session = idx.device_session(&dev);
         let ops = vec![(vec![0xEEu8; 8], 1u64)];
-        let (statuses, _) = session.update_batch(&ops);
+        let (statuses, _) = session.update_batch(&ops).unwrap();
         assert_eq!(statuses[0], status::MISS);
     }
 
@@ -290,13 +315,15 @@ mod tests {
         let dev = devices::a100();
         let mut session = idx.device_session(&dev);
         let key = (60u64).to_be_bytes().to_vec();
-        let (statuses, _) = session.update_batch(&[(key.clone(), DELETE)]);
+        let (statuses, _) = session.update_batch(&[(key.clone(), DELETE)]).unwrap();
         assert_eq!(statuses[0], status::APPLIED);
         // Deleted key now misses.
-        let (results, _) = session.lookup_batch(std::slice::from_ref(&key));
+        let (results, _) = session.lookup_batch(std::slice::from_ref(&key)).unwrap();
         assert_eq!(results[0], cuart_gpu_sim::batch::NOT_FOUND);
         // Other keys survive.
-        let (alive, _) = session.lookup_batch(&[(63u64).to_be_bytes().to_vec()]);
+        let (alive, _) = session
+            .lookup_batch(&[(63u64).to_be_bytes().to_vec()])
+            .unwrap();
         assert_eq!(alive[0], 21);
         // The slot landed on the free list.
         assert_eq!(session.free_count(LinkType::Leaf8), 1);
@@ -309,9 +336,11 @@ mod tests {
         let dev = devices::a100();
         let mut session = idx.device_session(&dev);
         let key = (30u64).to_be_bytes().to_vec();
-        let (statuses, _) = session.update_batch(&[(key.clone(), DELETE), (key.clone(), 42)]);
+        let (statuses, _) = session
+            .update_batch(&[(key.clone(), DELETE), (key.clone(), 42)])
+            .unwrap();
         assert_eq!(statuses, vec![status::SUPERSEDED, status::APPLIED]);
-        let (results, _) = session.lookup_batch(&[key]);
+        let (results, _) = session.lookup_batch(&[key]).unwrap();
         assert_eq!(results[0], 42);
     }
 
@@ -324,10 +353,10 @@ mod tests {
         let ops: Vec<(Vec<u8>, u64)> = (0..300u64)
             .map(|i| ((i * 3).to_be_bytes().to_vec(), i + 1))
             .collect();
-        let (statuses, _) = session.update_batch(&ops);
+        let (statuses, _) = session.update_batch(&ops).unwrap();
         assert!(statuses.iter().all(|&s| s == status::APPLIED));
         let keys: Vec<Vec<u8>> = ops.iter().map(|(k, _)| k.clone()).collect();
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, i as u64 + 1);
         }

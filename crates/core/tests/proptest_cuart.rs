@@ -108,12 +108,12 @@ proptest! {
             };
             match (val, is_insert) {
                 (Some(v), true) => {
-                    let (st, _) = session.insert_batch(&[(key.clone(), *v)]);
+                    let (st, _) = session.insert_batch(&[(key.clone(), *v)]).unwrap();
                     prop_assert_ne!(st[0], insert_status::REJECTED);
                     model.insert(key, *v);
                 }
                 (Some(v), false) => {
-                    let (st, _) = session.update_batch(&[(key.clone(), *v)]);
+                    let (st, _) = session.update_batch(&[(key.clone(), *v)]).unwrap();
                     if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(key) {
                         prop_assert_eq!(st[0], status::APPLIED);
                         e.insert(*v);
@@ -122,7 +122,7 @@ proptest! {
                     }
                 }
                 (None, _) => {
-                    let (st, _) = session.update_batch(&[(key.clone(), DELETE)]);
+                    let (st, _) = session.update_batch(&[(key.clone(), DELETE)]).unwrap();
                     if model.remove(&key).is_some() {
                         prop_assert_eq!(st[0], status::APPLIED);
                     } else {
@@ -134,7 +134,7 @@ proptest! {
         // Final state agrees for every key ever touched.
         let mut all = preloaded.clone();
         all.extend(fresh);
-        let (results, _) = session.lookup_batch(&all);
+        let (results, _) = session.lookup_batch(&all).unwrap();
         for (k, got) in all.iter().zip(&results) {
             prop_assert_eq!(*got, model.get(k).copied().unwrap_or(NOT_FOUND), "key {:x?}", k);
         }

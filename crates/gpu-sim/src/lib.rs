@@ -62,6 +62,7 @@ pub mod config;
 pub mod devices;
 pub mod dram;
 pub mod exec;
+pub mod faults;
 pub mod kernel;
 pub mod memory;
 pub mod pcie;
@@ -70,6 +71,7 @@ pub mod trace;
 
 pub use config::{CacheConfig, DeviceConfig, MemConfig, MemKind, PcieConfig};
 pub use exec::{launch, launch_phased, KernelReport};
+pub use faults::{DeviceFault, FaultConfig, FaultInjector, FaultSite};
 pub use kernel::{Kernel, PhasedKernel, ThreadCtx};
 pub use memory::{BufferId, DeviceBuffer, DeviceMemory};
 pub use trace::Dep;

@@ -7,8 +7,19 @@
 
 use cuart::CuartIndex;
 use cuart_art::Art;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// The counters and baseline trees guarded here are commutative
+/// accumulations: a panicking worker can at worst lose its own local
+/// contribution, never corrupt another thread's. Poisoning is therefore
+/// recoverable — a fault-tolerant measurement run must not cascade one
+/// worker panic into every later measurement.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Measured lookup throughput (MOps/s) of the classic pointer-based ART.
 pub fn measure_art_lookups(art: &Art<u64>, queries: &[Vec<u8>], threads: usize) -> f64 {
@@ -21,10 +32,10 @@ pub fn measure_art_lookups(art: &Art<u64>, queries: &[Vec<u8>], threads: usize) 
                 local += 1;
             }
         }
-        *hits.lock().unwrap() += local;
+        *lock_recover(&hits) += local;
     });
     let elapsed = start.elapsed().as_secs_f64();
-    std::hint::black_box(*hits.lock().unwrap());
+    std::hint::black_box(*lock_recover(&hits));
     queries.len() as f64 / elapsed / 1e6
 }
 
@@ -40,10 +51,10 @@ pub fn measure_cuart_cpu_lookups(index: &CuartIndex, queries: &[Vec<u8>], thread
                 local += 1;
             }
         }
-        *hits.lock().unwrap() += local;
+        *lock_recover(&hits) += local;
     });
     let elapsed = start.elapsed().as_secs_f64();
-    std::hint::black_box(*hits.lock().unwrap());
+    std::hint::black_box(*lock_recover(&hits));
     queries.len() as f64 / elapsed / 1e6
 }
 
@@ -58,7 +69,7 @@ pub fn measure_art_atomic_updates(
     let start = Instant::now();
     run_chunks(ops, threads, |chunk| {
         for (key, value) in chunk {
-            let mut guard = art.lock().unwrap();
+            let mut guard = lock_recover(art);
             if let Some(v) = guard.get_mut(key) {
                 *v = *value;
             }
@@ -123,5 +134,23 @@ mod tests {
         let (art, _, keys) = setup(2_000);
         assert!(measure_art_lookups(&art, &keys, 1) > 0.0);
         assert!(measure_art_lookups(&art, &keys, 16) > 0.0);
+    }
+
+    #[test]
+    fn poisoned_mutex_is_recovered() {
+        let (art, _, keys) = setup(1_000);
+        let art = Mutex::new(art);
+        // Poison the mutex by panicking while holding its guard.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = art.lock().unwrap();
+            panic!("simulated worker crash");
+        }));
+        assert!(art.is_poisoned(), "mutex should be poisoned by the panic");
+        // Measurements must keep working on the poisoned baseline instead
+        // of cascading the crash into every later run.
+        let ops: Vec<(Vec<u8>, u64)> = keys.iter().take(100).map(|k| (k.clone(), 5u64)).collect();
+        let mops = measure_art_atomic_updates(&art, &ops, 2);
+        assert!(mops > 0.0);
+        assert_eq!(lock_recover(&art).get(&keys[0]), Some(&5));
     }
 }

@@ -136,7 +136,9 @@ pub fn run_cuart_lookups(
     let samples: Vec<(f64, KernelReport)> = (0..cfg.sample_batches.max(2))
         .map(|_| {
             let batch = queries.next_batch(cfg.batch_size);
-            let (_, report) = session.lookup_batch(&batch);
+            let (_, report) = session
+                .lookup_batch(&batch)
+                .expect("device lookup leg failed");
             (report.time_ns, report)
         })
         .collect();
@@ -193,7 +195,9 @@ pub fn run_cuart_updates(
     let samples: Vec<(f64, KernelReport)> = (0..cfg.sample_batches.max(2))
         .map(|_| {
             let batch = updates.next_batch(cfg.batch_size, DELETE);
-            let (_, report) = session.update_batch(&batch);
+            let (_, report) = session
+                .update_batch(&batch)
+                .expect("device update leg failed");
             (report.time_ns, report)
         })
         .collect();

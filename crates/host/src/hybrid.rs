@@ -92,6 +92,27 @@ pub fn hybrid_throughput(
     }
 }
 
+/// Throughput of a **degraded** session: the GPU leg is unavailable (the
+/// device faulted out and the session fell back to the CPU path, see
+/// `cuart::CuartSession`), so the *entire* batch runs on the host thread
+/// pool. This is the floor the fault-tolerant engine guarantees — service
+/// continues, at CPU speed — and the reference point for judging how much
+/// a recovery re-upload buys back.
+pub fn degraded_throughput(
+    batch_size: usize,
+    cpu_threads: usize,
+    cpu_ns_per_op: f64,
+) -> HybridReport {
+    assert!(cpu_threads > 0);
+    let cpu_leg_ns = SPLIT_SYNC_NS + batch_size as f64 * cpu_ns_per_op / cpu_threads as f64;
+    HybridReport {
+        mops: batch_size as f64 / cpu_leg_ns * 1000.0,
+        gpu_leg_ns: 0.0,
+        cpu_leg_ns,
+        cpu_bound: true,
+    }
+}
+
 /// [`hybrid_throughput`] with an optional telemetry sink: when `telemetry`
 /// is attached, the routing decision is recorded via
 /// [`HybridReport::record_into`]. The pure function stays untouched so the
@@ -186,6 +207,26 @@ mod tests {
         let few = hybrid_throughput(&gpu, 32768, 0.10, 8, CPU_LONG_KEY_NS);
         let many = hybrid_throughput(&gpu, 32768, 0.10, 112, CPU_LONG_KEY_NS);
         assert!(many.mops > few.mops);
+    }
+
+    #[test]
+    fn degraded_mode_is_the_cpu_floor() {
+        // Full CPU fallback must be slower than any hybrid split that
+        // still has a working GPU leg, but strictly positive (service
+        // continues), and scale with host threads.
+        let gpu = gpu_report(170.0);
+        let hybrid = hybrid_throughput(&gpu, 32768, 0.03, 56, CPU_LONG_KEY_NS);
+        let degraded = degraded_throughput(32768, 56, CPU_LONG_KEY_NS);
+        assert!(degraded.mops > 0.0);
+        assert!(degraded.cpu_bound);
+        assert!(
+            degraded.mops < hybrid.mops,
+            "all-CPU ({}) must undercut the 3% split ({})",
+            degraded.mops,
+            hybrid.mops
+        );
+        let wider = degraded_throughput(32768, 112, CPU_LONG_KEY_NS);
+        assert!(wider.mops > degraded.mops);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub enum BatchKind {
     Insert,
     /// A hybrid CPU/GPU routing decision over one batch.
     HybridRoute,
+    /// The session lost its device image and fell back to the CPU path.
+    Degraded,
+    /// A degraded session re-uploaded the tree and resumed device service.
+    Recovered,
 }
 
 impl BatchKind {
@@ -29,6 +33,8 @@ impl BatchKind {
             BatchKind::Update => "update",
             BatchKind::Insert => "insert",
             BatchKind::HybridRoute => "hybrid_route",
+            BatchKind::Degraded => "degraded",
+            BatchKind::Recovered => "recovered",
         }
     }
 }

@@ -110,6 +110,22 @@ pub mod names {
     pub const HYBRID_GPU_KEYS: &str = "cuart.hybrid.gpu_keys";
     /// Gauge: fraction of keys routed to the CPU in the last hybrid run.
     pub const HYBRID_CPU_FRACTION: &str = "cuart.hybrid.cpu_fraction";
+    /// Device faults injected (or observed) across the session.
+    pub const FAULTS_INJECTED: &str = "cuart.faults.injected";
+    /// Batch retries after a device fault.
+    pub const FAULT_RETRIES: &str = "cuart.faults.retries";
+    /// Histogram: modeled retry backoff ns per attempt.
+    pub const FAULT_BACKOFF_NS: &str = "cuart.faults.backoff_ns";
+    /// Times the session degraded to the CPU path.
+    pub const FAULT_DEGRADATIONS: &str = "cuart.faults.degradations";
+    /// Times a degraded session recovered its device image.
+    pub const FAULT_RECOVERIES: &str = "cuart.faults.recoveries";
+    /// Batches served entirely by the CPU fallback while degraded.
+    pub const FAULT_CPU_FALLBACK_BATCHES: &str = "cuart.faults.cpu_fallback_batches";
+    /// Keys served by the CPU fallback while degraded.
+    pub const FAULT_CPU_FALLBACK_KEYS: &str = "cuart.faults.cpu_fallback_keys";
+    /// Gauge: 1 while the session is degraded, 0 otherwise.
+    pub const FAULT_DEGRADED: &str = "cuart.faults.degraded";
     /// GRT lookup batches.
     pub const GRT_LOOKUP_BATCHES: &str = "grt.lookup.batches";
     /// GRT keys submitted to lookups.

@@ -49,7 +49,7 @@ fn main() {
         // 90% read batches, every 10th round is a write batch.
         if round % 10 == 9 {
             let ops = writes.next_batch(batch, DELETE);
-            let (statuses, rep) = session.update_batch(&ops);
+            let (statuses, rep) = session.update_batch(&ops).unwrap();
             kernel_ns += rep.time_ns;
             for s in statuses {
                 match s {
@@ -60,7 +60,7 @@ fn main() {
             }
         } else {
             let queries = reads.next_batch(batch);
-            let (results, rep) = session.lookup_batch(&queries);
+            let (results, rep) = session.lookup_batch(&queries).unwrap();
             kernel_ns += rep.time_ns;
             total_reads += results.len();
             total_hits += results.iter().filter(|&&r| r != NOT_FOUND).count();
@@ -79,7 +79,7 @@ fn main() {
 
     // A point read after the storm, proving coherence.
     let probe = user_key(123);
-    let (r, _) = session.lookup_batch(std::slice::from_ref(&probe));
+    let (r, _) = session.lookup_batch(std::slice::from_ref(&probe)).unwrap();
     println!(
         "final state of {:?}: {:?}",
         String::from_utf8_lossy(&probe),

@@ -61,7 +61,7 @@ fn main() {
                     .map(move |m| (series_key(h, m), (h as u64) * 100 + round))
             })
             .collect();
-        session.update_batch(&updates);
+        session.update_batch(&updates).unwrap();
         // ...and 20 freshly deployed hosts appear per round (inserts).
         let fresh: Vec<(Vec<u8>, u64)> = (0..20)
             .flat_map(|i| {
@@ -69,7 +69,7 @@ fn main() {
                 METRICS.iter().map(move |m| (series_key(host, m), round))
             })
             .collect();
-        session.insert_batch(&fresh);
+        session.insert_batch(&fresh).unwrap();
     }
 
     // Everything the old hand-rolled counters tracked now comes out of the
@@ -113,7 +113,7 @@ fn main() {
         series_key(1005, "mem.rss"),  // inserted series
         series_key(9999, "cpu.user"), // never existed
     ];
-    let (values, _) = session.lookup_batch(&probes);
+    let (values, _) = session.lookup_batch(&probes).unwrap();
     println!("h0042.cpu.user = {}", values[0]);
     println!("h1005.mem.rss  = {}", values[1]);
     assert_ne!(values[0], NOT_FOUND);

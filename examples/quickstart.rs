@@ -50,7 +50,7 @@ fn main() {
     let queries: Vec<Vec<u8>> = (0..32_768u64)
         .map(|i| (i * 3).to_be_bytes().to_vec())
         .collect();
-    let (results, report) = session.lookup_batch(&queries);
+    let (results, report) = session.lookup_batch(&queries).unwrap();
     let hits = results.iter().filter(|&&r| r != NOT_FOUND).count();
     println!(
         "GPU batch: {} queries, {} hits, modeled kernel time {:.1} µs \
@@ -69,13 +69,14 @@ fn main() {
         (7u64.to_be_bytes().to_vec(), 2222), // wins over the 1111
         (13u64.to_be_bytes().to_vec(), DELETE),
     ];
-    let (statuses, _) = session.update_batch(&ops);
+    let (statuses, _) = session.update_batch(&ops).unwrap();
     assert_eq!(
         statuses,
         vec![status::SUPERSEDED, status::APPLIED, status::APPLIED]
     );
-    let (check, _) =
-        session.lookup_batch(&[7u64.to_be_bytes().to_vec(), 13u64.to_be_bytes().to_vec()]);
+    let (check, _) = session
+        .lookup_batch(&[7u64.to_be_bytes().to_vec(), 13u64.to_be_bytes().to_vec()])
+        .unwrap();
     println!(
         "after update: key 7 -> {}, key 13 -> deleted ({})",
         check[0], check[1]

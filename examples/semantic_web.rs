@@ -53,7 +53,7 @@ fn main() {
         let index = CuartIndex::build(&art, &cfg);
         let mut session = index.device_session(&dev);
         let probes: Vec<Vec<u8>> = keys.iter().take(8192).cloned().collect();
-        let (results, report) = session.lookup_batch(&probes);
+        let (results, report) = session.lookup_batch(&probes).unwrap();
         let correct = probes
             .iter()
             .zip(&results)

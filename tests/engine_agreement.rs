@@ -25,7 +25,7 @@ fn check_agreement(art: &Art<u64>, grt: &GrtIndex, cuart: &CuartIndex, probes: &
     let dev = devices::a100();
     let (grt_dev, _) = grt.lookup_batch_device(&dev, probes, stride);
     let mut session = cuart.device_session(&dev);
-    let (cuart_dev, _) = session.lookup_batch(probes);
+    let (cuart_dev, _) = session.lookup_batch(probes).unwrap();
     for (i, key) in probes.iter().enumerate() {
         let want = art.get(key).copied();
         assert_eq!(grt.lookup_cpu(key), want, "GRT CPU, key {key:x?}");
@@ -94,7 +94,7 @@ fn agreement_with_every_long_key_policy() {
         // Device session answers (host-routing included) must also agree.
         let mut session = cuart.device_session(&devices::rtx3090());
         let probes: Vec<Vec<u8>> = keys.iter().take(200).cloned().collect();
-        let (results, _) = session.lookup_batch(&probes);
+        let (results, _) = session.lookup_batch(&probes).unwrap();
         for (key, got) in probes.iter().zip(&results) {
             assert_eq!(
                 *got,

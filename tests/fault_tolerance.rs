@@ -1,0 +1,216 @@
+//! Fault-tolerance integration suite: the retry → degrade → recover
+//! session loop under a deterministic device-fault injector, checked
+//! against a `BTreeMap` oracle at every step.
+//!
+//! The suite is feature-aware: without `--features faults` the injector
+//! is inert (every check compiles to `Ok`), so the tests still run the
+//! full session workload and verify correctness — they just skip the
+//! assertions that require faults to actually fire. CI runs both builds.
+
+use cuart::{CuartConfig, CuartIndex, DELETE};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::NOT_FOUND;
+use cuart_gpu_sim::{devices, FaultConfig, FaultInjector};
+use cuart_telemetry::{names, BatchKind, Telemetry};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("ft-{i:07}").into_bytes()
+}
+
+/// Build an index over `n` keys (value = key index) plus a matching oracle.
+fn build(n: u64) -> (Art<u64>, BTreeMap<Vec<u8>, u64>) {
+    let mut art = Art::new();
+    let mut oracle = BTreeMap::new();
+    for i in 0..n {
+        art.insert(&key(i), i).unwrap();
+        oracle.insert(key(i), i);
+    }
+    (art, oracle)
+}
+
+/// Drive `rounds` mixed batches (updates, deletes, inserts, lookups)
+/// through `session`, mirroring every mutation into `oracle` and
+/// checking every lookup against it. Returns the number of wrong
+/// lookups (must be 0).
+fn drive_rounds(
+    session: &mut cuart::CuartSession<'_>,
+    oracle: &mut BTreeMap<Vec<u8>, u64>,
+    n: u64,
+    rounds: u64,
+) -> usize {
+    let mut wrong = 0;
+    for round in 0..rounds {
+        // Updates over a rotating window, every 7th op a delete.
+        let updates: Vec<(Vec<u8>, u64)> = (0..128u64)
+            .map(|i| {
+                let k = (round * 128 + i) % n;
+                let v = if i % 7 == 3 { DELETE } else { round * 1000 + i };
+                (key(k), v)
+            })
+            .collect();
+        session.update_batch(&updates).unwrap();
+        for (k, v) in &updates {
+            if *v == DELETE {
+                oracle.remove(k);
+            } else {
+                oracle.insert(k.clone(), *v);
+            }
+        }
+        // Fresh inserts beyond the mapped key space.
+        let fresh: Vec<(Vec<u8>, u64)> = (0..16u64)
+            .map(|i| (key(n + round * 16 + i), 7_000_000 + round * 16 + i))
+            .collect();
+        session.insert_batch(&fresh).unwrap();
+        for (k, v) in &fresh {
+            oracle.insert(k.clone(), *v);
+        }
+        // Lookups across stored, deleted, inserted and absent keys.
+        let probes: Vec<Vec<u8>> = (0..256u64)
+            .map(|i| key((i * 31 + round * 17) % (n + rounds * 16 + 50)))
+            .collect();
+        let (values, _) = session.lookup_batch(&probes).unwrap();
+        for (probe, got) in probes.iter().zip(&values) {
+            let want = oracle.get(probe).copied().unwrap_or(NOT_FOUND);
+            if *got != want {
+                wrong += 1;
+            }
+        }
+    }
+    wrong
+}
+
+/// The acceptance drill: a 5 % per-op fault rate plus one scheduled
+/// burst long enough to exhaust the retry budget. The session must
+/// complete every batch with zero wrong lookups, retry at least once,
+/// degrade at least once and recover at least once — and the telemetry
+/// trace must show the Degraded → Recovered transition.
+#[test]
+fn five_percent_fault_rate_never_corrupts_and_recovers() {
+    let n = 6_000;
+    let (art, mut oracle) = build(n);
+    let telemetry = Arc::new(Telemetry::new());
+    let index =
+        CuartIndex::build(&art, &CuartConfig::for_tests()).with_telemetry(telemetry.clone());
+    let dev = devices::rtx3090();
+    // The burst at ops [30, 46) covers 16 consecutive device ops — more
+    // than the default 4-attempt budget can absorb.
+    let injector = FaultInjector::new(FaultConfig::uniform(0x5EED, 0.05).fail_range(30, 46));
+    let mut session = index.device_session_with_faults(&dev, injector);
+
+    let wrong = drive_rounds(&mut session, &mut oracle, n, 20);
+    assert_eq!(wrong, 0, "fault handling returned wrong lookup results");
+
+    if !FaultInjector::is_active() {
+        return; // injector inert without --features faults
+    }
+    let stats = session.fault_stats();
+    assert!(stats.injected > 0, "5% rate should have fired");
+    assert!(
+        stats.retries > 0,
+        "transient faults should have been retried"
+    );
+    assert!(stats.degradations >= 1, "the burst should have degraded");
+    assert!(stats.recoveries >= 1, "a later batch should have recovered");
+
+    let snap = telemetry.snapshot();
+    assert!(snap.counters[names::FAULTS_INJECTED] > 0);
+    assert!(snap.counters[names::FAULT_RETRIES] > 0);
+    let kinds: Vec<BatchKind> = snap
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, BatchKind::Degraded | BatchKind::Recovered))
+        .map(|e| e.kind)
+        .collect();
+    let first_degraded = kinds.iter().position(|k| *k == BatchKind::Degraded);
+    let first_recovered = kinds.iter().position(|k| *k == BatchKind::Recovered);
+    match (first_degraded, first_recovered) {
+        (Some(d), Some(r)) => assert!(d < r, "Degraded must precede Recovered"),
+        other => panic!("expected a Degraded -> Recovered transition, got {other:?}"),
+    }
+}
+
+/// Even an injector that fails *every* device op must not take the
+/// service down: the very first batch exhausts its retries, the session
+/// degrades, and everything — lookups, updates, deletes, inserts — is
+/// served correctly by the CPU path.
+#[test]
+fn total_device_loss_degrades_but_serves_correctly() {
+    if !FaultInjector::is_active() {
+        return;
+    }
+    let n = 2_000;
+    let (art, mut oracle) = build(n);
+    let index = CuartIndex::build(&art, &CuartConfig::for_tests());
+    let dev = devices::gtx1070();
+    let injector = FaultInjector::new(FaultConfig::uniform(1, 1.0));
+    let mut session = index.device_session_with_faults(&dev, injector);
+
+    let wrong = drive_rounds(&mut session, &mut oracle, n, 6);
+    assert_eq!(wrong, 0);
+    let stats = session.fault_stats();
+    assert!(stats.degraded, "session must still be degraded");
+    assert!(stats.recoveries == 0, "nothing can recover at rate 1.0");
+    assert!(stats.degradations >= 1);
+}
+
+/// Identical seeds must replay identical fault schedules: the whole
+/// drill — stats included — is deterministic.
+#[test]
+fn fault_schedules_replay_deterministically() {
+    if !FaultInjector::is_active() {
+        return;
+    }
+    let n = 1_500;
+    let run = || {
+        let (art, mut oracle) = build(n);
+        let index = CuartIndex::build(&art, &CuartConfig::for_tests());
+        let dev = devices::rtx3090();
+        let injector = FaultInjector::new(FaultConfig::uniform(0xC0FFEE, 0.08));
+        let mut session = index.device_session_with_faults(&dev, injector);
+        let wrong = drive_rounds(&mut session, &mut oracle, n, 8);
+        (wrong, session.fault_stats())
+    };
+    let (wrong_a, stats_a) = run();
+    let (wrong_b, stats_b) = run();
+    assert_eq!(wrong_a, 0);
+    assert_eq!(wrong_b, 0);
+    assert_eq!(stats_a, stats_b, "same seed must replay the same schedule");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: *no* seeded fault schedule — any seed, rates up to a
+    /// brutal 30 %, plus a random scheduled burst — may ever corrupt the
+    /// index. Post-run, every key agrees with the oracle, whether the
+    /// session ended healthy, degraded, or somewhere in between.
+    #[test]
+    fn random_fault_schedules_never_corrupt_the_index(
+        seed in any::<u64>(),
+        rate_permille in 0u64..300,
+        burst_start in 10u64..120,
+        burst_len in 0u64..24,
+    ) {
+        let n = 1_200;
+        let (art, mut oracle) = build(n);
+        let index = CuartIndex::build(&art, &CuartConfig::for_tests());
+        let dev = devices::rtx3090();
+        let cfg = FaultConfig::uniform(seed, rate_permille as f64 / 1000.0)
+            .fail_range(burst_start, burst_start + burst_len);
+        let mut session = index.device_session_with_faults(&dev, FaultInjector::new(cfg));
+
+        let wrong = drive_rounds(&mut session, &mut oracle, n, 6);
+        prop_assert_eq!(wrong, 0, "schedule seed={} corrupted results", seed);
+
+        // Final sweep: every oracle key readable, every deleted key gone.
+        let probes: Vec<Vec<u8>> = (0..n + 200).map(key).collect();
+        let (values, _) = session.lookup_batch(&probes).unwrap();
+        for (probe, got) in probes.iter().zip(&values) {
+            let want = oracle.get(probe).copied().unwrap_or(NOT_FOUND);
+            prop_assert_eq!(*got, want, "final sweep mismatch (seed {})", seed);
+        }
+    }
+}

@@ -34,7 +34,7 @@ fn mixed_index(n: usize, long_fraction: f64) -> (Art<u64>, CuartIndex, Vec<Vec<u
 fn session_routes_long_keys_correctly_end_to_end() {
     let (art, cuart, keys) = mixed_index(3000, 0.15);
     let mut session = cuart.device_session(&devices::a100());
-    let (results, report) = session.lookup_batch(&keys);
+    let (results, report) = session.lookup_batch(&keys).unwrap();
     for (k, got) in keys.iter().zip(&results) {
         assert_eq!(
             *got,

@@ -29,15 +29,15 @@ fn round_trip_emits_expected_event_sequence() {
     let mut session = index.device_session(&dev);
 
     // lookup -> update -> lookup -> insert, in this order.
-    session.lookup_batch(&keys[..512]);
+    session.lookup_batch(&keys[..512]).unwrap();
     let updates: Vec<(Vec<u8>, u64)> = keys[..256].iter().map(|k| (k.clone(), 7)).collect();
-    session.update_batch(&updates);
-    session.lookup_batch(&keys[512..768]);
+    session.update_batch(&updates).unwrap();
+    session.lookup_batch(&keys[512..768]).unwrap();
     let fresh: Vec<(Vec<u8>, u64)> = uniform_keys(64, 8, 4242)
         .into_iter()
         .map(|k| (k, 9))
         .collect();
-    session.insert_batch(&fresh);
+    session.insert_batch(&fresh).unwrap();
 
     let snap = telemetry.snapshot();
 
@@ -104,7 +104,7 @@ fn session_without_telemetry_stays_silent() {
     let index = CuartIndex::build(&art, &CuartConfig::for_tests());
     assert!(index.telemetry().is_none());
     let mut session = index.device_session(&devices::gtx1070());
-    let (results, _) = session.lookup_batch(&keys[..32]);
+    let (results, _) = session.lookup_batch(&keys[..32]).unwrap();
     assert_eq!(results.len(), 32);
 }
 
@@ -112,7 +112,7 @@ fn session_without_telemetry_stays_silent() {
 fn exporters_agree_with_snapshot() {
     let (index, keys, telemetry) = instrumented_index(1000);
     let mut session = index.device_session(&devices::rtx3090());
-    session.lookup_batch(&keys[..128]);
+    session.lookup_batch(&keys[..128]).unwrap();
 
     let snap = telemetry.snapshot();
     let json = snap.to_json();
@@ -138,8 +138,8 @@ fn two_sessions_share_the_index_registry() {
     let (index, keys, telemetry) = instrumented_index(1000);
     let mut a = index.device_session(&devices::a100());
     let mut b = index.device_session(&devices::gtx1070());
-    a.lookup_batch(&keys[..64]);
-    b.lookup_batch(&keys[64..128]);
+    a.lookup_batch(&keys[..64]).unwrap();
+    b.lookup_batch(&keys[64..128]).unwrap();
     let snap = telemetry.snapshot();
     assert_eq!(snap.counters[names::LOOKUP_BATCHES], 2);
     assert_eq!(snap.counters[names::LOOKUP_KEYS], 128);

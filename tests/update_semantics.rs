@@ -55,10 +55,10 @@ fn batched_updates_match_reference_over_many_rounds() {
     let mut us = UpdateStream::new(keys.clone(), 0.2, 0.3, 99);
     for round in 0..5 {
         let ops = us.next_batch(512, DELETE);
-        session.update_batch(&ops);
+        session.update_batch(&ops).unwrap();
         reference_apply(&mut model, &ops);
         // Verify every key's state through the device lookup kernel.
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         for (k, got) in keys.iter().zip(&results) {
             let want = model.get(k).copied().unwrap_or(NOT_FOUND);
             assert_eq!(*got, want, "round {round}, key {k:x?}");
@@ -73,11 +73,11 @@ fn deleted_keys_free_slots_and_stay_deleted() {
     let dev = devices::rtx3090();
     let mut session = cuart.device_session(&dev);
     let victims: Vec<(Vec<u8>, u64)> = keys[..100].iter().map(|k| (k.clone(), DELETE)).collect();
-    let (statuses, _) = session.update_batch(&victims);
+    let (statuses, _) = session.update_batch(&victims).unwrap();
     assert!(statuses.iter().all(|&s| s == status::APPLIED));
     assert_eq!(session.free_count(cuart::link::LinkType::Leaf16), 100);
     // Deleted keys miss; survivors unaffected.
-    let (results, _) = session.lookup_batch(&keys);
+    let (results, _) = session.lookup_batch(&keys).unwrap();
     for (i, r) in results.iter().enumerate() {
         if i < 100 {
             assert_eq!(*r, NOT_FOUND, "victim {i} still visible");
@@ -86,7 +86,7 @@ fn deleted_keys_free_slots_and_stay_deleted() {
         }
     }
     // Deleting again is a miss, not a double-free.
-    let (statuses, _) = session.update_batch(&victims[..10]);
+    let (statuses, _) = session.update_batch(&victims[..10]).unwrap();
     assert!(statuses.iter().all(|&s| s == status::MISS));
     assert_eq!(session.free_count(cuart::link::LinkType::Leaf16), 100);
 }
@@ -104,9 +104,9 @@ fn grt_and_cuart_converge_on_conflict_free_batches() {
         .enumerate()
         .map(|(i, k)| (k.clone(), 10_000 + i as u64))
         .collect();
-    session.update_batch(&ops);
+    session.update_batch(&ops).unwrap();
     grt.update_batch(&ops, &dev);
-    let (cu_results, _) = session.lookup_batch(&keys);
+    let (cu_results, _) = session.lookup_batch(&keys).unwrap();
     for (i, k) in keys.iter().enumerate() {
         assert_eq!(cu_results[i], 10_000 + i as u64);
         assert_eq!(grt.lookup_cpu(k), Some(10_000 + i as u64));
@@ -129,9 +129,9 @@ proptest! {
             .collect();
         let dev = devices::a100();
         let mut session = cuart.device_session_with_table(&dev, 1 << 10);
-        session.update_batch(&ops);
+        session.update_batch(&ops).unwrap();
         reference_apply(&mut model, &ops);
-        let (results, _) = session.lookup_batch(&keys);
+        let (results, _) = session.lookup_batch(&keys).unwrap();
         for (k, got) in keys.iter().zip(&results) {
             prop_assert_eq!(*got, model.get(k).copied().unwrap_or(NOT_FOUND));
         }
