@@ -7,6 +7,7 @@
 //! figures all --full             # paper-scale (needs a big machine)
 //! figures all --out results/     # output directory (default: results/)
 //! figures all --telemetry        # also dump results/telemetry.json
+//! figures fig19 --smoke          # CI-sized sweep (threads/ops shrunk)
 //! ```
 
 use cuart_bench::{figures, RunCtx};
@@ -20,6 +21,7 @@ fn main() {
     let mut scale = 16usize;
     let mut out_dir = "results".to_string();
     let mut want_telemetry = false;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,20 +35,23 @@ fn main() {
                 out_dir = args[i].clone();
             }
             "--telemetry" => want_telemetry = true,
+            "--smoke" => smoke = true,
             "all" => ids.extend(figures::ALL.iter().map(|s| s.to_string())),
             id => ids.push(id.to_string()),
         }
         i += 1;
     }
     if ids.is_empty() {
-        eprintln!("usage: figures <all|figN ...> [--scale N] [--full] [--out DIR] [--telemetry]");
+        eprintln!(
+            "usage: figures <all|figN ...> [--scale N] [--full] [--out DIR] [--telemetry] [--smoke]"
+        );
         eprintln!("known figures: {:?}", figures::ALL);
         std::process::exit(2);
     }
     ids.dedup();
 
     let telemetry = want_telemetry.then(|| Arc::new(Telemetry::new()));
-    let mut ctx = RunCtx::new(scale, &out_dir);
+    let mut ctx = RunCtx::new(scale, &out_dir).with_smoke(smoke);
     if let Some(t) = &telemetry {
         if !t.is_enabled() {
             eprintln!("warning: built without the `telemetry` feature; snapshot will be empty");

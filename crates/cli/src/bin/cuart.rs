@@ -18,6 +18,9 @@ USAGE:
                [--fault-seed N] [--fault-rate P]
   cuart metrics INDEX [--keys FILE] [--hex] [--device NAME] [--batch N]
                 [--batches N] [--format json|prom] [--metrics-out FILE]
+  cuart serve-sim INDEX [--producers 4] [--deadline-us 200] [--batch 32768]
+                  [--ops 65536] [--unsorted] [--device NAME] [--metrics-out FILE]
+                  [--fault-seed N] [--fault-rate P]
   cuart verify-snapshot INDEX
 
 DEVICES: a100 (server), rtx3090 (workstation), gtx1070 (notebook)
@@ -42,7 +45,7 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let takes_value = !matches!(name, "hex");
+                let takes_value = !matches!(name, "hex" | "unsorted");
                 if takes_value && i + 1 < raw.len() {
                     flags.push((name.to_string(), Some(raw[i + 1].clone())));
                     i += 2;
@@ -197,6 +200,37 @@ fn main() {
                 batches,
                 args.flag("format").unwrap_or("json"),
                 metrics_out.as_deref(),
+            )
+        }
+        "serve-sim" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let producers = args
+                .flag("producers")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --producers")))
+                .unwrap_or(4);
+            let deadline_us = args
+                .flag("deadline-us")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --deadline-us")))
+                .unwrap_or(200);
+            let batch = args
+                .flag("batch")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch")))
+                .unwrap_or(32 * 1024);
+            let ops = args
+                .flag("ops")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --ops")))
+                .unwrap_or(64 * 1024);
+            let metrics_out = args.flag("metrics-out").map(PathBuf::from);
+            cmd_serve_sim(
+                &idx,
+                args.flag("device").unwrap_or("rtx3090"),
+                producers,
+                deadline_us,
+                batch,
+                ops,
+                args.has("unsorted"),
+                metrics_out.as_deref(),
+                fault_options(&args),
             )
         }
         "verify-snapshot" => cmd_verify_snapshot(&required_path(&args, "INDEX", args.pos(0))),

@@ -11,6 +11,9 @@
 //!              [--fault-seed N] [--fault-rate P]
 //! cuart metrics idx.cuart [--keys probes.txt] [--hex] [--device NAME]
 //!               [--batch N] [--batches N] [--format json|prom] [--metrics-out FILE]
+//! cuart serve-sim idx.cuart [--producers 4] [--deadline-us 200] [--batch 32768]
+//!                 [--ops 65536] [--unsorted] [--device NAME] [--metrics-out FILE]
+//!                 [--fault-seed N] [--fault-rate P]
 //! cuart verify-snapshot idx.cuart
 //! ```
 //!
@@ -28,6 +31,7 @@ use cuart::{CuartConfig, CuartIndex, CuartSession};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
 use cuart_gpu_sim::{devices, DeviceConfig, FaultInjector};
+use cuart_host::scheduler::{SchedError, Scheduler, SchedulerConfig};
 use cuart_telemetry::{Snapshot, Telemetry};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -454,6 +458,106 @@ pub fn cmd_metrics(
     }
 }
 
+/// Drive the concurrent serving layer against a saved index: N producer
+/// threads submit point lookups through the
+/// [`scheduler`](cuart_host::scheduler), whose executor coalesces them
+/// into adaptive batches (size target `batch`, flush deadline
+/// `deadline_us`), sorted for locality unless `unsorted` is set.
+///
+/// Probes replay the stored keys round-robin (all hits) in shuffled
+/// order. With `metrics_out`, a JSON telemetry snapshot of the run —
+/// including the `cuart.sched.*` series — is written too.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_serve_sim(
+    path: &Path,
+    device: &str,
+    producers: usize,
+    deadline_us: u64,
+    batch: usize,
+    ops: usize,
+    unsorted: bool,
+    metrics_out: Option<&Path>,
+    faults: Option<FaultOptions>,
+) -> Result<String, CliError> {
+    let producers = producers.max(1);
+    let index = CuartIndex::load(path)?;
+    let dev = device_by_name(device)?;
+    let telemetry = Arc::new(Telemetry::new());
+    let index = Arc::new(index.with_telemetry(telemetry.clone()));
+    let stored = cuart::range::range_query(
+        index.buffers(),
+        &[0u8],
+        &vec![0xFFu8; index.buffers().max_key_len.max(1)],
+    );
+    if stored.is_empty() {
+        return Err(CliError::Input("index is empty".into()));
+    }
+    if faults.is_some() && !FaultInjector::is_active() {
+        eprintln!(
+            "warning: built without the `faults` feature; \
+             --fault-seed/--fault-rate have no effect"
+        );
+    }
+    let cfg = SchedulerConfig {
+        batch_target: batch.max(1),
+        deadline: std::time::Duration::from_micros(deadline_us),
+        sort_batches: !unsorted,
+        fault_injector: faults.map(|f| FaultInjector::uniform(f.seed, f.rate)),
+    };
+    let sched = Scheduler::spawn(Arc::clone(&index), dev, cfg);
+    let per_producer = ops.div_ceil(producers).max(1);
+    const REQUEST_KEYS: usize = 256;
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let client = sched.client();
+        // Each producer strides through the stored keys from its own
+        // offset, so arrival order at the executor is interleaved and
+        // unsorted.
+        let probes: Vec<Vec<u8>> = (0..per_producer)
+            .map(|i| stored[(p * 131 + i * 7) % stored.len()].0.clone())
+            .collect();
+        handles.push(std::thread::spawn(move || -> Result<u64, SchedError> {
+            let mut hits = 0u64;
+            for chunk in probes.chunks(REQUEST_KEYS) {
+                let results = client.lookup(chunk.to_vec())?;
+                hits += results.iter().filter(|&&r| r != NOT_FOUND).count() as u64;
+            }
+            Ok(hits)
+        }));
+    }
+    let mut hits = 0u64;
+    for h in handles {
+        hits += h
+            .join()
+            .map_err(|_| CliError::Input("producer thread panicked".into()))?
+            .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+    }
+    let stats = sched.join();
+    let mut out = format!(
+        "{} lookups from {producers} producers on {} — {} batches \
+         (mean fill {:.0}, {} size / {} deadline / {} final flushes)\n\
+         modeled kernel {:.1} µs total, {:.2} ns/key, L2 hit rate {:.0}%, {} hits",
+        stats.ops_enqueued,
+        dev.name,
+        stats.batches,
+        stats.mean_batch_fill(),
+        stats.size_flushes,
+        stats.deadline_flushes,
+        stats.final_flushes,
+        stats.kernel_time_ns / 1e3,
+        stats.kernel_ns_per_key(),
+        100.0 * stats.l2_hit_rate(),
+        hits,
+    );
+    if !cfg!(feature = "telemetry") {
+        eprintln!("warning: built without the `telemetry` feature; metrics will be empty");
+    }
+    if let Some(path) = metrics_out {
+        out.push_str(&spill_metrics(&telemetry, path)?);
+    }
+    Ok(out)
+}
+
 fn preview(key: &[u8]) -> String {
     String::from_utf8_lossy(&key[..key.len().min(24)]).into_owned()
 }
@@ -633,6 +737,43 @@ mod tests {
         assert!(q.starts_with("300/300 hits"), "{q}");
         std::fs::remove_file(keys).ok();
         std::fs::remove_file(idx).ok();
+    }
+
+    #[test]
+    fn serve_sim_runs_producers_and_reports() {
+        let lines: Vec<String> = (0..400u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("serve", &refs);
+        let idx = tmp("serve-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let out_file = tmp("serve-metrics");
+        let out = cmd_serve_sim(
+            &idx,
+            "gtx1070",
+            2,
+            200,
+            512,
+            1024,
+            false,
+            Some(&out_file),
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("1024 lookups from 2 producers"), "{out}");
+        assert!(out.contains("1024 hits"), "{out}");
+        assert!(out.contains("metrics ->"), "{out}");
+        #[cfg(feature = "telemetry")]
+        {
+            let written = std::fs::read_to_string(&out_file).unwrap();
+            assert!(written.contains("cuart.sched.batches"), "{written}");
+            assert!(written.contains("cuart.sched.enqueued"), "{written}");
+        }
+        // The unsorted control also runs.
+        let out = cmd_serve_sim(&idx, "gtx1070", 1, 100, 256, 256, true, None, None).unwrap();
+        assert!(out.contains("256 lookups from 1 producers"), "{out}");
+        for p in [keys, idx, out_file] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -201,7 +201,9 @@ impl CuartIndex {
     }
 
     /// As [`lookup_batch_device`](Self::lookup_batch_device) but returning
-    /// raw kernel results (host signals unresolved).
+    /// raw kernel results (host signals unresolved). Queries longer than
+    /// the batch stride saturate to [`NOT_FOUND`] — a key that does not
+    /// fit the stride cannot be stored under it either.
     pub fn lookup_batch_device_raw(
         &self,
         dev: &DeviceConfig,
@@ -210,21 +212,8 @@ impl CuartIndex {
     ) -> (Vec<u64>, KernelReport) {
         let mut mem = DeviceMemory::new();
         let tree = self.upload(&mut mem);
-        let (qbuf, layout) = pack_keys(&mut mem, "queries", queries, stride);
-        let results = cuart_gpu_sim::batch::alloc_results(&mut mem, "results", queries.len());
-        let kernel = CuartLookupKernel {
-            tree,
-            queries: qbuf,
-            layout,
-            results,
-            count: queries.len(),
-        };
         let mut l2 = Cache::new(&dev.l2);
-        let report = launch_with_cache(dev, &mut mem, &kernel, queries.len(), &mut l2);
-        (
-            cuart_gpu_sim::batch::read_results(&mem, results, queries.len()),
-            report,
-        )
+        run_lookup_batch(dev, &mut mem, &tree, &mut l2, queries, stride)
     }
 
     /// Resolve a raw kernel result: follow host-leaf signals into the host
@@ -287,6 +276,11 @@ impl CuartIndex {
 /// without a [`CuartSession`]. Used by the out-of-core partition manager
 /// (`cuart-host::oversized`), which juggles many resident trees in one
 /// device memory. Allocates fresh query/result staging per call.
+///
+/// Queries longer than the batch stride (or the 255-byte length field)
+/// saturate to [`NOT_FOUND`] instead of panicking: a key that cannot be
+/// packed under this stride cannot be stored under it either, so the miss
+/// is the semantically correct answer.
 pub fn run_lookup_batch(
     dev: &DeviceConfig,
     mem: &mut DeviceMemory,
@@ -295,7 +289,37 @@ pub fn run_lookup_batch(
     queries: &[Vec<u8>],
     stride: usize,
 ) -> (Vec<u64>, KernelReport) {
-    let (qbuf, layout) = pack_keys(mem, "oversized-queries", queries, stride);
+    let max = KeyBatchLayout { stride }.max_key_len();
+    if queries.iter().any(|q| q.len() > max) {
+        let keep: Vec<usize> = (0..queries.len())
+            .filter(|&i| queries[i].len() <= max)
+            .collect();
+        let mut out = vec![NOT_FOUND; queries.len()];
+        if keep.is_empty() {
+            return (out, KernelReport::default());
+        }
+        let sub: Vec<Vec<u8>> = keep.iter().map(|&i| queries[i].clone()).collect();
+        let (sub_results, report) = run_packable_lookup_batch(dev, mem, tree, l2, &sub, stride);
+        for (j, &i) in keep.iter().enumerate() {
+            out[i] = sub_results[j];
+        }
+        return (out, report);
+    }
+    run_packable_lookup_batch(dev, mem, tree, l2, queries, stride)
+}
+
+/// [`run_lookup_batch`] after oversized-query filtering: every key is
+/// guaranteed to fit the stride.
+fn run_packable_lookup_batch(
+    dev: &DeviceConfig,
+    mem: &mut DeviceMemory,
+    tree: &DeviceTree,
+    l2: &mut Cache,
+    queries: &[Vec<u8>],
+    stride: usize,
+) -> (Vec<u64>, KernelReport) {
+    let (qbuf, layout) =
+        pack_keys(mem, "oversized-queries", queries, stride).expect("keys pre-filtered to stride");
     let results = cuart_gpu_sim::batch::alloc_results(mem, "oversized-results", queries.len());
     let kernel = CuartLookupKernel {
         tree: *tree,
@@ -681,7 +705,8 @@ impl<'a> CuartSession<'a> {
         if need_new {
             let cap = batch.next_power_of_two().max(64);
             let blank = vec![Vec::new(); cap];
-            let (queries, layout) = pack_keys(&mut self.mem, "stage-queries", &blank, stride);
+            let (queries, layout) = pack_keys(&mut self.mem, "stage-queries", &blank, stride)
+                .expect("blank keys always fit");
             self.staging = Some(Staging {
                 queries,
                 layout,
@@ -715,6 +740,10 @@ impl<'a> CuartSession<'a> {
         keys: &[Vec<u8>],
     ) -> Result<(Vec<u64>, KernelReport), CuartError> {
         self.try_recover();
+        let stride_max = KeyBatchLayout {
+            stride: self.index.device_key_stride(),
+        }
+        .max_key_len();
         let mut results = vec![NOT_FOUND; keys.len()];
         let mut device_idx = Vec::new();
         let mut device_keys = Vec::new();
@@ -722,6 +751,11 @@ impl<'a> CuartSession<'a> {
         for (i, k) in keys.iter().enumerate() {
             if self.index.is_host_routed(k) || k.is_empty() {
                 results[i] = self.host_lookup(k);
+                host_spills += 1;
+            } else if k.len() > stride_max {
+                // The key cannot be packed at the device stride — and the
+                // stride covers every stored key, so this is a guaranteed
+                // miss (the overflow merge below still gets its say).
                 host_spills += 1;
             } else if self.journal_routed(k) {
                 results[i] = self.journal.get(k).copied().flatten().unwrap_or(NOT_FOUND);
@@ -742,7 +776,8 @@ impl<'a> CuartSession<'a> {
                     s.ensure_staging(device_keys.len());
                     let st = s.staging.as_ref().expect("staging ready");
                     let (queries, layout, results_buf) = (st.queries, st.layout, st.results);
-                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys);
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)
+                        .expect("staging sized and keys pre-filtered");
                     s.fault_check(FaultSite::Kernel)?;
                     let kernel = CuartLookupKernel {
                         tree: s.tree,
@@ -835,6 +870,10 @@ impl<'a> CuartSession<'a> {
         ops: &[(Vec<u8>, u64)],
     ) -> Result<(Vec<u64>, KernelReport), CuartError> {
         self.try_recover();
+        let stride_max = KeyBatchLayout {
+            stride: self.index.device_key_stride(),
+        }
+        .max_key_len();
         let free_before = if self.telemetry.is_some() {
             self.free_total()
         } else {
@@ -847,6 +886,10 @@ impl<'a> CuartSession<'a> {
         for (i, (k, v)) in ops.iter().enumerate() {
             if self.index.is_host_routed(k) || k.is_empty() {
                 statuses[i] = self.host_update(k, *v);
+            } else if k.len() > stride_max {
+                // Unpackable at the device stride — no stored key can match,
+                // so the op is a MISS here; the overflow merge below applies
+                // it if the key is parked host-side.
             } else if self.journal_routed(k) {
                 statuses[i] = self.degraded_update(k, *v);
             } else {
@@ -868,7 +911,8 @@ impl<'a> CuartSession<'a> {
                     let (queries, layout) = (st.queries, st.layout);
                     let (results_buf, values_buf) = (st.results, st.values);
                     let (loc, parent, leaf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys);
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)
+                        .expect("staging sized and keys pre-filtered");
                     for (j, v) in device_values.iter().enumerate() {
                         s.mem.write_u64(values_buf, j * 8, *v);
                     }
@@ -996,7 +1040,8 @@ impl<'a> CuartSession<'a> {
             let (queries, layout) = (st.queries, st.layout);
             let (results_buf, values_buf) = (st.results, st.values);
             let (loc, parent, leaf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys);
+            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys)
+                .expect("staging sized and keys pre-filtered");
             for (m, &j) in pending.iter().enumerate() {
                 self.mem.write_u64(values_buf, m * 8, device_values[j]);
             }
@@ -1089,6 +1134,10 @@ impl<'a> CuartSession<'a> {
         ops: &[(Vec<u8>, u64)],
     ) -> Result<(Vec<u64>, KernelReport), CuartError> {
         self.try_recover();
+        let stride_max = KeyBatchLayout {
+            stride: self.index.device_key_stride(),
+        }
+        .max_key_len();
         let free_before = if self.telemetry.is_some() {
             self.free_total()
         } else {
@@ -1104,6 +1153,12 @@ impl<'a> CuartSession<'a> {
             }
             if self.index.is_host_routed(k) {
                 statuses[i] = self.host_insert(k, *v);
+            } else if k.len() > stride_max {
+                // Unpackable at the device stride: no structural attach
+                // point can exist for it, so it spills to the host overflow
+                // table like any other structurally impossible insert.
+                self.overflow.insert(k.clone(), *v);
+                statuses[i] = insert_status::SPILLED;
             } else if let Some(slot) = self.overflow.get_mut(k) {
                 *slot = *v;
                 statuses[i] = insert_status::UPDATED;
@@ -1129,7 +1184,8 @@ impl<'a> CuartSession<'a> {
                     let (results_buf, values_buf) = (st.results, st.values);
                     let (loc, parent, class_buf) =
                         (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys);
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)
+                        .expect("staging sized and keys pre-filtered");
                     for (j, v) in device_values.iter().enumerate() {
                         s.mem.write_u64(values_buf, j * 8, *v);
                     }
@@ -1255,7 +1311,8 @@ impl<'a> CuartSession<'a> {
             let (queries, layout) = (st.queries, st.layout);
             let (results_buf, values_buf) = (st.results, st.values);
             let (loc, parent, class_buf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys);
+            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys)
+                .expect("staging sized and keys pre-filtered");
             for (m, &j) in pending.iter().enumerate() {
                 self.mem.write_u64(values_buf, m * 8, device_values[j]);
             }

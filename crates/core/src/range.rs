@@ -91,7 +91,16 @@ fn partition(b: &CuartBuffers, class: LinkType, bound: &[u8], include_equal: boo
     lo
 }
 
-/// Compute the `[lo, hi]`-inclusive span for each leaf class.
+/// Compute one [`LeafSpan`] per leaf class for the **inclusive key
+/// interval** `[lo, hi]`.
+///
+/// Contract (one sentence, both halves): the *key* interval is closed on
+/// both ends — a stored key equal to `lo` or `hi` is in range — while the
+/// returned *index* span is half-open `[start, end)`, per [`LeafSpan`].
+/// Degenerate inputs follow from the same rule: `lo == hi` selects exactly
+/// the leaves storing that key (a span of length 0 or 1 per class);
+/// `lo > hi` yields empty spans; bounds absent from the tree snap to the
+/// nearest stored neighbors; a class with no leaves yields `0..0`.
 pub fn range_spans(b: &CuartBuffers, lo: &[u8], hi: &[u8]) -> Vec<LeafSpan> {
     [LinkType::Leaf8, LinkType::Leaf16, LinkType::Leaf32]
         .into_iter()
@@ -112,8 +121,9 @@ pub fn materialize_span(b: &CuartBuffers, span: &LeafSpan) -> Vec<(Vec<u8>, u64)
         .collect()
 }
 
-/// Full inclusive range query: device spans plus host-side tables, merged
-/// in lexicographic order. Matches `Art::range` on the same data.
+/// Full range query over the **inclusive key interval** `[lo, hi]`:
+/// device spans plus host-side tables, merged in lexicographic order.
+/// Matches `Art::range` on the same data.
 pub fn range_query(b: &CuartBuffers, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, u64)> {
     let mut out: Vec<(Vec<u8>, u64)> = Vec::new();
     for span in range_spans(b, lo, hi) {
@@ -235,6 +245,69 @@ mod tests {
         // Range search still works around the hole.
         let q = range_query(&b, &4u64.to_be_bytes(), &6u64.to_be_bytes());
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn point_interval_lo_equals_hi() {
+        // `lo == hi` under the inclusive-key contract selects exactly that
+        // key: a one-element index span when stored, empty when absent.
+        let keys: Vec<Vec<u8>> = (0..100u64)
+            .map(|i| (i * 2).to_be_bytes().to_vec())
+            .collect();
+        let (_, b) = build(&keys);
+        let stored = 40u64.to_be_bytes();
+        let spans = range_spans(&b, &stored, &stored);
+        let total: u64 = spans.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 1, "stored point interval covers exactly one leaf");
+        let rows = range_query(&b, &stored, &stored);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, stored.to_vec());
+        // An absent key (odd — only evens stored) yields nothing.
+        let absent = 41u64.to_be_bytes();
+        let spans = range_spans(&b, &absent, &absent);
+        assert!(spans.iter().all(|s| s.is_empty()));
+        assert!(range_query(&b, &absent, &absent).is_empty());
+    }
+
+    #[test]
+    fn bounds_absent_from_tree_snap_to_neighbors() {
+        // lo/hi not stored: the span still covers every stored key inside
+        // the inclusive interval, exactly like Art::range.
+        let keys: Vec<Vec<u8>> = (0..200u64)
+            .map(|i| (i * 10).to_be_bytes().to_vec())
+            .collect();
+        let (art, b) = build(&keys);
+        // 95 and 1234 are not multiples of 10.
+        let lo = 95u64.to_be_bytes();
+        let hi = 1234u64.to_be_bytes();
+        let got = range_query(&b, &lo, &hi);
+        let want: Vec<(Vec<u8>, u64)> = art.range(&lo, &hi).map(|(k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+        assert_eq!(got.first().unwrap().0, 100u64.to_be_bytes().to_vec());
+        assert_eq!(got.last().unwrap().0, 1230u64.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn empty_leaf_class_yields_zero_span() {
+        // All keys are 8-byte: leaf16/leaf32 arenas are empty and must
+        // report the 0..0 span, not panic or fabricate indices.
+        let keys: Vec<Vec<u8>> = (0..30u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let (_, b) = build(&keys);
+        let spans = range_spans(&b, &0u64.to_be_bytes(), &29u64.to_be_bytes());
+        for span in &spans {
+            if span.class != LinkType::Leaf8 {
+                assert_eq!((span.start, span.end), (0, 0), "class {:?}", span.class);
+                assert!(span.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_interval_is_empty() {
+        let keys: Vec<Vec<u8>> = (0..50u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let (_, b) = build(&keys);
+        let spans = range_spans(&b, &40u64.to_be_bytes(), &10u64.to_be_bytes());
+        assert!(spans.iter().all(|s| s.is_empty()));
     }
 
     #[test]

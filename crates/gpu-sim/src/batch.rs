@@ -4,11 +4,63 @@
 //! fixed stride in a device buffer and produce one 64-bit result per query.
 //! Keys shorter than the stride are zero-padded; their true length is
 //! prepended so kernels can compare exactly.
+//!
+//! Packing is fallible from the caller's point of view: a key longer than
+//! the batch stride (or than the 255-byte length field) cannot be
+//! represented, and a reused staging buffer may be smaller than the batch.
+//! Both conditions surface as [`PackError`] instead of a panic so service
+//! layers (sessions, schedulers) can route the offending key elsewhere.
+//!
+//! The module also hosts the **sorted-batch** helpers ([`sort_permutation`],
+//! [`gather`], [`scatter_inverse`]): packing a batch in key order makes
+//! adjacent kernel threads traverse neighboring tree paths, which the
+//! coalescing and cache models reward (§3.1 of the paper). The permutation
+//! is inverted on result return so callers still see results in submission
+//! order.
 
 use crate::memory::{BufferId, DeviceMemory};
+use std::fmt;
 
 /// Sentinel returned for queries whose key is not in the index.
 pub const NOT_FOUND: u64 = u64::MAX;
+
+/// Why a batch of keys could not be packed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackError {
+    /// A key does not fit the per-record stride (or the one-byte length
+    /// field). The index identifies the offending key within the batch.
+    KeyTooLong {
+        /// Position of the key inside the batch.
+        index: usize,
+        /// Length of the offending key in bytes.
+        len: usize,
+        /// Largest representable key length for this layout.
+        max: usize,
+    },
+    /// The destination buffer cannot hold the batch.
+    BufferTooSmall {
+        /// Bytes required by the batch.
+        needed: usize,
+        /// Bytes available in the buffer.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::KeyTooLong { index, len, max } => {
+                write!(f, "key {index} of {len} bytes exceeds batch stride {max}")
+            }
+            PackError::BufferTooSmall { needed, available } => write!(
+                f,
+                "batch buffer too small: need {needed} bytes, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
 
 /// Per-key record layout inside a packed batch: one length byte followed by
 /// `stride` key bytes (zero-padded).
@@ -29,60 +81,82 @@ impl KeyBatchLayout {
     pub fn offset(&self, i: usize) -> usize {
         i * self.record_bytes()
     }
+
+    /// Largest key length this layout can represent: bounded by the stride
+    /// and by the one-byte length field.
+    pub fn max_key_len(&self) -> usize {
+        self.stride.min(u8::MAX as usize)
+    }
+
+    /// Check every key fits the layout; identifies the first that does not.
+    pub fn check_keys(&self, keys: &[Vec<u8>]) -> Result<(), PackError> {
+        let max = self.max_key_len();
+        for (index, key) in keys.iter().enumerate() {
+            if key.len() > max {
+                return Err(PackError::KeyTooLong {
+                    index,
+                    len: key.len(),
+                    max,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Pack `keys` into a new device buffer with the given per-record stride.
-/// Panics if any key exceeds the stride.
+/// Fails with [`PackError::KeyTooLong`] if any key exceeds the stride (or
+/// the 255-byte length field).
 pub fn pack_keys(
     mem: &mut DeviceMemory,
     name: &str,
     keys: &[Vec<u8>],
     stride: usize,
-) -> (BufferId, KeyBatchLayout) {
+) -> Result<(BufferId, KeyBatchLayout), PackError> {
     let layout = KeyBatchLayout { stride };
+    layout.check_keys(keys)?;
     let rec = layout.record_bytes();
     let mut data = vec![0u8; keys.len() * rec];
     for (i, key) in keys.iter().enumerate() {
-        assert!(
-            key.len() <= stride,
-            "key of {} bytes exceeds batch stride {}",
-            key.len(),
-            stride
-        );
-        assert!(
-            key.len() <= u8::MAX as usize,
-            "key too long for length byte"
-        );
         let off = layout.offset(i);
         data[off] = key.len() as u8;
         data[off + 1..off + 1 + key.len()].copy_from_slice(key);
     }
     let id = mem.alloc_from(name, &data, 32);
-    (id, layout)
+    Ok((id, layout))
 }
 
 /// Re-pack `keys` into an existing batch buffer (allocated by
 /// [`pack_keys`] with at least as many records). The host pipeline reuses
 /// one staging buffer per stream instead of allocating per batch.
+///
+/// Every record in the live region `[0, keys.len())` is written in full —
+/// length byte, key bytes **and** zero padding up to the record stride — so
+/// a reused buffer cannot leak key bytes or length fields from a previous,
+/// larger batch into the records a kernel will read. (Records past
+/// `keys.len()` may still hold stale data; kernels are bounded by the batch
+/// `count` and never read them.)
 pub fn pack_keys_into(
     mem: &mut DeviceMemory,
     buf: BufferId,
     layout: &KeyBatchLayout,
     keys: &[Vec<u8>],
-) {
+) -> Result<(), PackError> {
     let rec = layout.record_bytes();
-    assert!(
-        keys.len() * rec <= mem.buffer(buf).len(),
-        "batch buffer too small"
-    );
+    let needed = keys.len() * rec;
+    let available = mem.buffer(buf).len();
+    if needed > available {
+        return Err(PackError::BufferTooSmall { needed, available });
+    }
+    layout.check_keys(keys)?;
     for (i, key) in keys.iter().enumerate() {
-        assert!(key.len() <= layout.stride, "key exceeds batch stride");
         let off = layout.offset(i);
         let mut record = vec![0u8; rec];
         record[0] = key.len() as u8;
         record[1..1 + key.len()].copy_from_slice(key);
         mem.write_bytes(buf, off, &record);
     }
+    Ok(())
 }
 
 /// Allocate a result buffer of one u64 per query, initialised to
@@ -98,6 +172,37 @@ pub fn alloc_results(mem: &mut DeviceMemory, name: &str, queries: usize) -> Buff
 /// Read back all results.
 pub fn read_results(mem: &DeviceMemory, results: BufferId, queries: usize) -> Vec<u64> {
     (0..queries).map(|i| mem.read_u64(results, i * 8)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Sorted-batch composition
+// ---------------------------------------------------------------------------
+
+/// Compute the permutation that **stably** sorts `keys` ascending:
+/// `perm[i]` is the original index of the key placed at sorted position
+/// `i`. Stability matters for update batches — duplicate keys keep their
+/// submission order, so "last write wins" semantics survive sorting.
+pub fn sort_permutation(keys: &[Vec<u8>]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..keys.len()).collect();
+    perm.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+    perm
+}
+
+/// Gather `items` into permutation order: `out[i] = items[perm[i]]`.
+/// Used to build the sorted batch that is handed to the device.
+pub fn gather<T: Clone>(items: &[T], perm: &[usize]) -> Vec<T> {
+    perm.iter().map(|&i| items[i].clone()).collect()
+}
+
+/// Scatter `results` (in sorted/batch order) back to submission order by
+/// applying the **inverse** permutation: `out[perm[i]] = results[i]`.
+pub fn scatter_inverse<T: Clone + Default>(results: &[T], perm: &[usize]) -> Vec<T> {
+    debug_assert_eq!(results.len(), perm.len());
+    let mut out = vec![T::default(); results.len()];
+    for (i, &orig) in perm.iter().enumerate() {
+        out[orig] = results[i].clone();
+    }
+    out
 }
 
 #[cfg(test)]
@@ -117,7 +222,7 @@ mod tests {
     fn pack_and_inspect() {
         let mut mem = DeviceMemory::new();
         let keys = vec![b"abc".to_vec(), b"".to_vec(), vec![0xFF; 8]];
-        let (buf, layout) = pack_keys(&mut mem, "q", &keys, 8);
+        let (buf, layout) = pack_keys(&mut mem, "q", &keys, 8).unwrap();
         for (i, key) in keys.iter().enumerate() {
             let off = layout.offset(i);
             assert_eq!(mem.read_u8(buf, off) as usize, key.len());
@@ -128,10 +233,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds batch stride")]
-    fn oversized_key_rejected() {
+    fn oversized_key_is_an_error_not_a_panic() {
         let mut mem = DeviceMemory::new();
-        pack_keys(&mut mem, "q", &[vec![0u8; 9]], 8);
+        let err = pack_keys(&mut mem, "q", &[vec![0u8; 4], vec![0u8; 9]], 8).unwrap_err();
+        assert_eq!(
+            err,
+            PackError::KeyTooLong {
+                index: 1,
+                len: 9,
+                max: 8
+            }
+        );
+        // The length byte caps representable keys at 255 even for huge
+        // strides.
+        let err = pack_keys(&mut mem, "q", &[vec![0u8; 300]], 512).unwrap_err();
+        assert_eq!(
+            err,
+            PackError::KeyTooLong {
+                index: 0,
+                len: 300,
+                max: 255
+            }
+        );
+    }
+
+    #[test]
+    fn undersized_buffer_is_an_error() {
+        let mut mem = DeviceMemory::new();
+        let (buf, layout) = pack_keys(&mut mem, "q", &vec![vec![1u8; 8]; 2], 8).unwrap();
+        let err = pack_keys_into(&mut mem, buf, &layout, &vec![vec![1u8; 8]; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            PackError::BufferTooSmall {
+                needed: 48,
+                available: 32
+            }
+        );
+    }
+
+    #[test]
+    fn repack_overwrites_full_live_region() {
+        // Regression for staging reuse: a smaller batch re-packed into a
+        // buffer that previously held longer keys must not leave stale key
+        // bytes or length fields inside its live records.
+        let mut mem = DeviceMemory::new();
+        let big = vec![vec![0xAAu8; 8], vec![0xBBu8; 8], vec![0xCCu8; 8]];
+        let (buf, layout) = pack_keys(&mut mem, "q", &big, 8).unwrap();
+        let small = vec![vec![0x11u8; 2]];
+        pack_keys_into(&mut mem, buf, &layout, &small).unwrap();
+        let off = layout.offset(0);
+        assert_eq!(mem.read_u8(buf, off), 2);
+        assert_eq!(mem.read_bytes(buf, off + 1, 2), vec![0x11, 0x11]);
+        // Bytes 3..8 of record 0 must be zero, not stale 0xAA.
+        assert_eq!(mem.read_bytes(buf, off + 3, 6), vec![0u8; 6]);
     }
 
     #[test]
@@ -141,5 +295,32 @@ mod tests {
         assert_eq!(read_results(&mem, res, 4), vec![NOT_FOUND; 4]);
         mem.write_u64(res, 8, 42);
         assert_eq!(read_results(&mem, res, 4)[1], 42);
+    }
+
+    #[test]
+    fn sort_permutation_roundtrips() {
+        let keys = vec![
+            b"delta".to_vec(),
+            b"alpha".to_vec(),
+            b"charlie".to_vec(),
+            b"bravo".to_vec(),
+        ];
+        let perm = sort_permutation(&keys);
+        let sorted = gather(&keys, &perm);
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(sorted, expect);
+        // Results computed in sorted order come back in submission order.
+        let sorted_results: Vec<u64> = perm.iter().map(|&i| i as u64 * 10).collect();
+        let restored = scatter_inverse(&sorted_results, &perm);
+        assert_eq!(restored, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn sort_permutation_is_stable_for_duplicates() {
+        let keys = vec![b"same".to_vec(), b"aaa".to_vec(), b"same".to_vec()];
+        let perm = sort_permutation(&keys);
+        // Duplicates keep submission order: index 0 before index 2.
+        assert_eq!(perm, vec![1, 0, 2]);
     }
 }

@@ -26,12 +26,19 @@ pub struct PipelineParams {
     pub batches: usize,
     /// Queries per batch.
     pub items_per_batch: usize,
-    /// Host threads feeding the GPU.
+    /// Host threads feeding the GPU. Saturates to 1 if zero.
     pub host_threads: usize,
-    /// Command streams (in-flight batches on the device).
+    /// Command streams (in-flight batches on the device). Saturates to 1
+    /// if zero.
     pub streams: usize,
-    /// Host CPU time per batch (batch assembly + result handling).
-    pub host_ns_per_batch: f64,
+    /// Host CPU time spent **preparing** a batch before submit (batch
+    /// assembly, packing, sorting).
+    pub host_prepare_ns: f64,
+    /// Host CPU time spent **post-processing** a batch after its results
+    /// copy down (unpacking, scatter to callers). Charged back to the
+    /// owning host thread — a thread cannot prepare its next batch while
+    /// it is still digesting the previous one.
+    pub host_post_ns: f64,
     /// Host→device transfer time per batch.
     pub h2d_ns: f64,
     /// Kernel execution time per batch.
@@ -40,6 +47,19 @@ pub struct PipelineParams {
     pub d2h_ns: f64,
     /// Driver launch overhead per kernel dispatch.
     pub launch_overhead_ns: f64,
+}
+
+impl PipelineParams {
+    /// Split a single per-batch host cost into equal prepare/post halves —
+    /// the common case when the caller only knows the total host time.
+    pub fn split_host_ns(total_host_ns: f64) -> (f64, f64) {
+        (total_host_ns * 0.5, total_host_ns * 0.5)
+    }
+
+    /// Total host CPU time per batch (prepare + post).
+    pub fn host_ns_per_batch(&self) -> f64 {
+        self.host_prepare_ns + self.host_post_ns
+    }
 }
 
 /// Pipeline stage names, for bottleneck reporting.
@@ -67,20 +87,25 @@ pub struct PipelineReport {
 }
 
 /// Run the event model.
+///
+/// `host_threads` / `streams` of zero saturate to 1 instead of panicking —
+/// a degenerate configuration still produces a (serial) schedule, so
+/// callers sweeping parameter grids need no special-casing.
 pub fn simulate(p: &PipelineParams) -> PipelineReport {
-    assert!(p.host_threads > 0 && p.streams > 0);
-    let mut host_avail = vec![0.0f64; p.host_threads];
-    let mut stream_avail = vec![0.0f64; p.streams];
+    let host_threads = p.host_threads.max(1);
+    let streams = p.streams.max(1);
+    let mut host_avail = vec![0.0f64; host_threads];
+    let mut stream_avail = vec![0.0f64; streams];
     let mut copy_up_avail = 0.0f64;
     let mut compute_avail = 0.0f64;
     let mut copy_down_avail = 0.0f64;
     let mut makespan = 0.0f64;
 
     for b in 0..p.batches {
-        let t = b % p.host_threads;
-        let s = b % p.streams;
+        let t = b % host_threads;
+        let s = b % streams;
         // Host prepares the batch (serial per thread).
-        let submit = host_avail[t] + p.host_ns_per_batch;
+        let submit = host_avail[t] + p.host_prepare_ns;
         host_avail[t] = submit;
         // Wait for the stream slot, then the copy-up engine.
         let ready = submit.max(stream_avail[s]);
@@ -96,7 +121,13 @@ pub fn simulate(p: &PipelineParams) -> PipelineReport {
         let d_end = d_start + p.d2h_ns;
         copy_down_avail = d_end;
         stream_avail[s] = d_end;
-        makespan = makespan.max(d_end);
+        // The owning host thread post-processes the results serially: it
+        // is busy from copy-down end for `host_post_ns`, and cannot start
+        // preparing its next batch before that. (Leaving this out models
+        // host threads as free after submit and overstates Fig. 9
+        // host-thread scaling.)
+        host_avail[t] = host_avail[t].max(d_end) + p.host_post_ns;
+        makespan = makespan.max(host_avail[t]);
     }
 
     let total_items = (p.batches * p.items_per_batch) as f64;
@@ -109,7 +140,10 @@ pub fn simulate(p: &PipelineParams) -> PipelineReport {
     // Aggregate demand per stage determines the nominal bottleneck.
     let n = p.batches as f64;
     let demands = [
-        (Stage::Host, n * p.host_ns_per_batch / p.host_threads as f64),
+        (
+            Stage::Host,
+            n * (p.host_prepare_ns + p.host_post_ns) / host_threads as f64,
+        ),
         (Stage::CopyUp, n * p.h2d_ns),
         (Stage::Compute, n * (p.kernel_ns + p.launch_overhead_ns)),
         (Stage::CopyDown, n * p.d2h_ns),
@@ -137,7 +171,8 @@ mod tests {
             items_per_batch: 32768,
             host_threads: 8,
             streams: 4,
-            host_ns_per_batch: 50_000.0,
+            host_prepare_ns: 25_000.0,
+            host_post_ns: 25_000.0,
             h2d_ns: 45_000.0,
             kernel_ns: 100_000.0,
             d2h_ns: 12_000.0,
@@ -162,7 +197,9 @@ mod tests {
     #[test]
     fn more_host_threads_help_when_host_bound() {
         let mut p = base();
-        p.host_ns_per_batch = 500_000.0; // host dominates
+        // Host dominates.
+        p.host_prepare_ns = 250_000.0;
+        p.host_post_ns = 250_000.0;
         p.host_threads = 1;
         let one = simulate(&p);
         assert_eq!(one.bottleneck, Stage::Host);
@@ -212,7 +249,8 @@ mod tests {
     fn launch_overhead_dominates_tiny_batches() {
         let mut p = base();
         p.items_per_batch = 128;
-        p.host_ns_per_batch = 1_000.0;
+        p.host_prepare_ns = 500.0;
+        p.host_post_ns = 500.0;
         p.h2d_ns = 10_100.0; // latency floor
         p.kernel_ns = 1_500.0;
         p.d2h_ns = 10_000.0;
@@ -233,10 +271,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_threads_rejected() {
+    fn zero_threads_and_streams_saturate_to_one() {
+        // Degenerate configurations produce a (serial) schedule rather
+        // than panicking on caller-supplied sizes.
         let mut p = base();
         p.host_threads = 0;
-        simulate(&p);
+        p.streams = 0;
+        let degen = simulate(&p);
+        p.host_threads = 1;
+        p.streams = 1;
+        let one = simulate(&p);
+        assert!(degen.makespan_ns > 0.0);
+        assert_eq!(degen.makespan_ns, one.makespan_ns);
+        assert_eq!(degen.mops, one.mops);
+    }
+
+    #[test]
+    fn host_post_processing_is_charged() {
+        // Regression: post-processing must occupy the owning host thread.
+        // With a single host thread, every batch costs at least
+        // prepare + post of serial host work, so the makespan has a hard
+        // host-side floor — before the fix, the model only charged
+        // prepare and the post-heavy makespan collapsed to device time.
+        let p = PipelineParams {
+            batches: 32,
+            items_per_batch: 1024,
+            host_threads: 1,
+            streams: 8,
+            host_prepare_ns: 10_000.0,
+            host_post_ns: 400_000.0,
+            h2d_ns: 1_000.0,
+            kernel_ns: 2_000.0,
+            d2h_ns: 1_000.0,
+            launch_overhead_ns: 500.0,
+        };
+        let r = simulate(&p);
+        let host_floor = p.batches as f64 * (p.host_prepare_ns + p.host_post_ns);
+        assert!(
+            r.makespan_ns >= host_floor,
+            "post-processing not charged: makespan {} < host floor {}",
+            r.makespan_ns,
+            host_floor
+        );
+        assert_eq!(r.bottleneck, Stage::Host);
+    }
+
+    #[test]
+    fn host_post_processing_bottleneck_limits_thread_scaling() {
+        // Fig. 9 regression: when host post-processing is the bottleneck,
+        // doubling streams buys nothing — only more host threads do, and
+        // throughput stays pinned to aggregate host demand.
+        let p = PipelineParams {
+            batches: 64,
+            items_per_batch: 32768,
+            host_threads: 4,
+            streams: 4,
+            host_prepare_ns: 50_000.0,
+            host_post_ns: 450_000.0,
+            h2d_ns: 5_000.0,
+            kernel_ns: 10_000.0,
+            d2h_ns: 2_000.0,
+            launch_overhead_ns: 1_000.0,
+        };
+        let r = simulate(&p);
+        assert_eq!(r.bottleneck, Stage::Host);
+        let more_streams = simulate(&PipelineParams { streams: 16, ..p });
+        assert!(
+            (more_streams.mops - r.mops).abs() / r.mops < 0.05,
+            "streams must not relieve a host-post bottleneck"
+        );
+        let more_threads = simulate(&PipelineParams {
+            host_threads: 16,
+            ..p
+        });
+        assert!(
+            more_threads.mops > 2.0 * r.mops,
+            "host threads must relieve a host-post bottleneck: {} vs {}",
+            more_threads.mops,
+            r.mops
+        );
     }
 }

@@ -81,7 +81,8 @@ proptest! {
             items_per_batch: 1024,
             host_threads: 4,
             streams: 4,
-            host_ns_per_batch: 10_000.0,
+            host_prepare_ns: 5_000.0,
+            host_post_ns: 5_000.0,
             h2d_ns: 20_000.0,
             kernel_ns: kernel_us * 1000.0,
             d2h_ns: 10_000.0,
@@ -107,7 +108,8 @@ proptest! {
                 items_per_batch: 4096,
                 host_threads: t,
                 streams: 4,
-                host_ns_per_batch: 200_000.0,
+                host_prepare_ns: 100_000.0,
+                host_post_ns: 100_000.0,
                 h2d_ns: 10_000.0,
                 kernel_ns: 50_000.0,
                 d2h_ns: 5_000.0,

@@ -143,7 +143,9 @@ impl GrtIndex {
 
     /// Convenience: run one batch of lookups on a fresh simulated device.
     /// Returns the results (one per query, [`NOT_FOUND`] on miss) and the
-    /// kernel report. `stride` is the per-record key capacity.
+    /// kernel report. `stride` is the per-record key capacity; queries
+    /// longer than the stride saturate to [`NOT_FOUND`] (they cannot be
+    /// stored under this stride either) instead of panicking.
     ///
     /// [`NOT_FOUND`]: cuart_gpu_sim::batch::NOT_FOUND
     pub fn lookup_batch_device(
@@ -152,19 +154,32 @@ impl GrtIndex {
         queries: &[Vec<u8>],
         stride: usize,
     ) -> (Vec<u64>, KernelReport) {
+        use cuart_gpu_sim::batch::{KeyBatchLayout, NOT_FOUND};
+        let max = KeyBatchLayout { stride }.max_key_len();
+        let oversized = queries.iter().any(|q| q.len() > max);
+        let keep: Vec<usize> = (0..queries.len())
+            .filter(|&i| queries[i].len() <= max)
+            .collect();
+        let packable: Vec<Vec<u8>> = if oversized {
+            keep.iter().map(|&i| queries[i].clone()).collect()
+        } else {
+            Vec::new()
+        };
+        let device_queries: &[Vec<u8>] = if oversized { &packable } else { queries };
         let mut mem = DeviceMemory::new();
         let handle = self.upload(&mut mem);
-        let (qbuf, layout) = pack_keys(&mut mem, "queries", queries, stride);
-        let results = alloc_results(&mut mem, "results", queries.len());
+        let (qbuf, layout) = pack_keys(&mut mem, "queries", device_queries, stride)
+            .expect("keys pre-filtered to stride");
+        let results = alloc_results(&mut mem, "results", device_queries.len());
         let kernel = GrtLookupKernel {
             tree: handle.tree,
             root: handle.root,
             queries: qbuf,
             layout,
             results,
-            count: queries.len(),
+            count: device_queries.len(),
         };
-        let report = launch(dev, &mut mem, &kernel, queries.len());
+        let report = launch(dev, &mut mem, &kernel, device_queries.len());
         if let Some(t) = &self.telemetry {
             t.incr(names::GRT_LOOKUP_BATCHES, 1);
             t.incr(names::GRT_LOOKUP_KEYS, queries.len() as u64);
@@ -172,7 +187,15 @@ impl GrtIndex {
             report.record_into(t);
             t.record(report.to_event(BatchKind::Lookup, queries.len() as u64));
         }
-        (read_results(&mem, results, queries.len()), report)
+        let device_results = read_results(&mem, results, device_queries.len());
+        if !oversized {
+            return (device_results, report);
+        }
+        let mut out = vec![NOT_FOUND; queries.len()];
+        for (j, &i) in keep.iter().enumerate() {
+            out[i] = device_results[j];
+        }
+        (out, report)
     }
 
     /// Apply a host-side update batch (see [`update`](crate::update)).

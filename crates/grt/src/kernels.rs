@@ -152,7 +152,7 @@ mod tests {
         let dev = devices::a100();
         let mut mem = DeviceMemory::new();
         let tree = mem.alloc_from("grt", &buf.padded_bytes(), 16);
-        let (qbuf, layout) = pack_keys(&mut mem, "queries", queries, stride);
+        let (qbuf, layout) = pack_keys(&mut mem, "queries", queries, stride).unwrap();
         let results = alloc_results(&mut mem, "results", queries.len());
         let kernel = GrtLookupKernel {
             tree,
@@ -216,7 +216,7 @@ mod tests {
         let dev = devices::a100();
         let mut mem = DeviceMemory::new();
         let tree = mem.alloc_from("grt", &buf.padded_bytes(), 16);
-        let (qbuf, layout) = pack_keys(&mut mem, "q", &keys[..1], 8);
+        let (qbuf, layout) = pack_keys(&mut mem, "q", &keys[..1], 8).unwrap();
         let results = alloc_results(&mut mem, "r", 1);
         let kernel = GrtLookupKernel {
             tree,
@@ -243,7 +243,7 @@ mod tests {
         let dev = devices::gtx1070();
         let mut mem = DeviceMemory::new();
         let tree = mem.alloc_from("grt", &buf.padded_bytes(), 16);
-        let (qbuf, layout) = pack_keys(&mut mem, "q", &keys, 8);
+        let (qbuf, layout) = pack_keys(&mut mem, "q", &keys, 8).unwrap();
         let results = alloc_results(&mut mem, "r", 1);
         let kernel = GrtLookupKernel {
             tree,

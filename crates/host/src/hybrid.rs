@@ -62,6 +62,10 @@ impl HybridReport {
 /// * `cpu_fraction` — fraction of each batch routed to the CPU,
 /// * `cpu_threads` — host threads working the CPU leg,
 /// * `cpu_ns_per_op` — per-op CPU cost (see [`CPU_LONG_KEY_NS`]).
+///
+/// Degenerate caller input saturates instead of panicking: `cpu_fraction`
+/// is clamped into `[0, 1]` (NaN counts as 0) and `cpu_threads == 0` is
+/// treated as a single thread — a parameter sweep never aborts mid-grid.
 pub fn hybrid_throughput(
     gpu: &E2eReport,
     batch_size: usize,
@@ -69,8 +73,12 @@ pub fn hybrid_throughput(
     cpu_threads: usize,
     cpu_ns_per_op: f64,
 ) -> HybridReport {
-    assert!((0.0..=1.0).contains(&cpu_fraction));
-    assert!(cpu_threads > 0);
+    let cpu_fraction = if cpu_fraction.is_nan() {
+        0.0
+    } else {
+        cpu_fraction.clamp(0.0, 1.0)
+    };
+    let cpu_threads = cpu_threads.max(1);
     let cpu_keys = batch_size as f64 * cpu_fraction;
     // GPU leg: the engine's steady-state batch time. Removing a few keys
     // does not shrink it — transfer latency, dispatch and pipeline
@@ -98,12 +106,15 @@ pub fn hybrid_throughput(
 /// pool. This is the floor the fault-tolerant engine guarantees — service
 /// continues, at CPU speed — and the reference point for judging how much
 /// a recovery re-upload buys back.
+///
+/// `cpu_threads == 0` saturates to a single thread instead of panicking —
+/// the degraded path must never abort on caller-supplied sizes.
 pub fn degraded_throughput(
     batch_size: usize,
     cpu_threads: usize,
     cpu_ns_per_op: f64,
 ) -> HybridReport {
-    assert!(cpu_threads > 0);
+    let cpu_threads = cpu_threads.max(1);
     let cpu_leg_ns = SPLIT_SYNC_NS + batch_size as f64 * cpu_ns_per_op / cpu_threads as f64;
     HybridReport {
         mops: batch_size as f64 / cpu_leg_ns * 1000.0,
@@ -148,7 +159,8 @@ mod tests {
                 items_per_batch: 1,
                 host_threads: 1,
                 streams: 1,
-                host_ns_per_batch: 1.0,
+                host_prepare_ns: 1.0,
+                host_post_ns: 0.0,
                 h2d_ns: 0.0,
                 kernel_ns: 0.0,
                 d2h_ns: 0.0,
@@ -227,6 +239,26 @@ mod tests {
         );
         let wider = degraded_throughput(32768, 112, CPU_LONG_KEY_NS);
         assert!(wider.mops > degraded.mops);
+    }
+
+    #[test]
+    fn degenerate_parameters_saturate_instead_of_panicking() {
+        // Zero threads behaves like one thread; fractions outside [0, 1]
+        // (and NaN) clamp. A parameter sweep over caller-supplied grids
+        // must never abort.
+        let gpu = gpu_report(170.0);
+        let zero = degraded_throughput(32768, 0, CPU_LONG_KEY_NS);
+        let one = degraded_throughput(32768, 1, CPU_LONG_KEY_NS);
+        assert_eq!(zero.mops, one.mops);
+        let h_zero = hybrid_throughput(&gpu, 32768, 0.10, 0, CPU_LONG_KEY_NS);
+        let h_one = hybrid_throughput(&gpu, 32768, 0.10, 1, CPU_LONG_KEY_NS);
+        assert_eq!(h_zero.mops, h_one.mops);
+        let over = hybrid_throughput(&gpu, 32768, 1.5, 56, CPU_LONG_KEY_NS);
+        let full = hybrid_throughput(&gpu, 32768, 1.0, 56, CPU_LONG_KEY_NS);
+        assert_eq!(over.mops, full.mops);
+        let nan = hybrid_throughput(&gpu, 32768, f64::NAN, 56, CPU_LONG_KEY_NS);
+        let none = hybrid_throughput(&gpu, 32768, 0.0, 56, CPU_LONG_KEY_NS);
+        assert_eq!(nan.mops, none.mops);
     }
 
     #[test]

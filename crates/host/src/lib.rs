@@ -15,7 +15,11 @@
 //!   by host threads while the GPU serves the rest (Figures 13/14),
 //! * [`oversized`] — the §5.1 out-of-core extension: indexes larger than
 //!   device memory, partitioned by key range with access-driven migration
-//!   between device and host.
+//!   between device and host,
+//! * [`scheduler`] — the concurrent serving layer: N producer threads
+//!   submit point ops through an MPSC queue; an executor thread coalesces
+//!   them into adaptive batches (size target or deadline), sorts each
+//!   batch for locality and inverts the permutation on return.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +28,8 @@ pub mod cpu_runner;
 pub mod gpu_runner;
 pub mod hybrid;
 pub mod oversized;
+pub mod scheduler;
 
 pub use gpu_runner::{E2eReport, Engine, RunConfig};
 pub use hybrid::HybridReport;
+pub use scheduler::{SchedError, Scheduler, SchedulerClient, SchedulerConfig, SchedulerStats};

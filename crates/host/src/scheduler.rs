@@ -1,0 +1,787 @@
+//! Concurrent batch scheduler with sorted-batch execution.
+//!
+//! The paper's end-to-end numbers assume an *upstream* component that turns
+//! a stream of point operations into device-sized batches (§4.1 "batching
+//! on the host"). This module is that component: N producer threads submit
+//! point lookups / updates / inserts through a cloneable
+//! [`SchedulerClient`]; a single executor thread owns the
+//! [`CuartSession`](cuart::CuartSession) and coalesces submissions into
+//! adaptive batches that flush when either
+//!
+//! * the queued key count reaches [`SchedulerConfig::batch_target`]
+//!   (**size flush**), or
+//! * the oldest queued operation has waited
+//!   [`SchedulerConfig::deadline`] (**deadline flush**), or
+//! * every client has disconnected (**final flush**, on shutdown).
+//!
+//! Before dispatch the batch keys are **sorted** (stable, via
+//! [`sort_permutation`]) so that adjacent kernel lanes traverse neighboring
+//! tree paths — the coalescing win §3.1 argues for — and the **inverse
+//! permutation** is applied on return so every caller sees results in its
+//! own submission order. Stability preserves last-write-wins semantics for
+//! duplicate update keys.
+//!
+//! Cross-kind ordering is preserved: the pending queue is FIFO over whole
+//! requests, and a flush executes it as maximal same-kind *head runs* (all
+//! leading lookups as one batch, then the following updates as one batch,
+//! …), so an update submitted before a lookup by the same producer is
+//! applied before that lookup executes.
+//!
+//! Everything here is `std`-only: `std::sync::mpsc` for the submission
+//! queue and per-request reply channels, `std::thread` for the executor.
+
+use cuart::{CuartError, CuartIndex};
+use cuart_gpu_sim::batch::{gather, scatter_inverse, sort_permutation};
+use cuart_gpu_sim::exec::KernelReport;
+use cuart_gpu_sim::{DeviceConfig, FaultInjector};
+use cuart_telemetry::names;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the executor should form device batches.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Flush as soon as this many keys are queued (size flush). The batch
+    /// handed to the session may exceed the target by at most one
+    /// request's worth of keys.
+    pub batch_target: usize,
+    /// Flush when the oldest queued operation has waited this long
+    /// (deadline flush), even if the batch is underfilled.
+    pub deadline: Duration,
+    /// Sort batch keys before dispatch and invert the permutation on
+    /// return. `false` packs in arrival order (used by the benchmarks to
+    /// measure the locality win, and by tests as the control).
+    pub sort_batches: bool,
+    /// Optional fault injector attached to the executor's session at open
+    /// time (so the journal covers the whole scheduler lifetime).
+    pub fault_injector: Option<FaultInjector>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            batch_target: 32_768,
+            deadline: Duration::from_micros(200),
+            sort_batches: true,
+            fault_injector: None,
+        }
+    }
+}
+
+/// Why a submission could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The scheduler thread has shut down (or panicked) and can no longer
+    /// accept or answer requests.
+    Disconnected,
+    /// The session failed the batch with a non-transient error. Carries
+    /// the rendered [`CuartError`](cuart::CuartError).
+    Session(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Disconnected => write!(f, "scheduler disconnected"),
+            SchedError::Session(e) => write!(f, "session error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<&CuartError> for SchedError {
+    fn from(e: &CuartError) -> Self {
+        SchedError::Session(e.to_string())
+    }
+}
+
+/// Operation kind of one queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Lookup,
+    Update,
+    Insert,
+}
+
+/// What travels over the submission queue.
+enum Msg {
+    /// A client request.
+    Req(Request),
+    /// Explicit shutdown from [`Scheduler::join`]/`Drop`: drain the
+    /// pending queue and exit, even though clients may still hold
+    /// senders.
+    Shutdown,
+}
+
+/// One queued submission: a slice of same-kind point ops from one client
+/// call, plus the channel its results go back on.
+struct Request {
+    kind: OpKind,
+    keys: Vec<Vec<u8>>,
+    /// One value per key for updates/inserts; empty for lookups.
+    values: Vec<u64>,
+    reply: SyncSender<Result<Vec<u64>, SchedError>>,
+    enqueued: Instant,
+}
+
+/// Counters and model totals accumulated by the executor thread, returned
+/// by [`Scheduler::join`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedulerStats {
+    /// Point operations accepted from clients.
+    pub ops_enqueued: u64,
+    /// Client calls (requests) served.
+    pub requests: u64,
+    /// Device batches dispatched to the session.
+    pub batches: u64,
+    /// Batches dispatched sorted (the locality path).
+    pub sorted_batches: u64,
+    /// Flushes triggered by reaching the size target.
+    pub size_flushes: u64,
+    /// Flushes triggered by the oldest op hitting its deadline.
+    pub deadline_flushes: u64,
+    /// Flushes triggered by client disconnect at shutdown.
+    pub final_flushes: u64,
+    /// Keys handed to the session across all batches.
+    pub keys_dispatched: u64,
+    /// Largest key backlog observed at any flush.
+    pub max_queue_depth: u64,
+    /// Modeled kernel time across all batches, nanoseconds.
+    pub kernel_time_ns: f64,
+    /// L2 hits across all batches.
+    pub l2_hits: u64,
+    /// L2 sector accesses across all batches.
+    pub sectors: u64,
+    /// DRAM transactions across all batches.
+    pub dram_transactions: u64,
+    /// Raw per-lane accesses across all batches (pre-coalescing).
+    pub raw_accesses: u64,
+    /// Batches that failed with a session error.
+    pub failed_batches: u64,
+}
+
+impl SchedulerStats {
+    /// Mean keys per dispatched batch (0 when no batch ran).
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.keys_dispatched as f64 / self.batches as f64
+        }
+    }
+
+    /// Aggregate L2 hit rate across all batches (1.0 with no traffic).
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.sectors == 0 {
+            1.0
+        } else {
+            self.l2_hits as f64 / self.sectors as f64
+        }
+    }
+
+    /// Modeled kernel nanoseconds per dispatched key (0 when idle).
+    pub fn kernel_ns_per_key(&self) -> f64 {
+        if self.keys_dispatched == 0 {
+            0.0
+        } else {
+            self.kernel_time_ns / self.keys_dispatched as f64
+        }
+    }
+
+    fn absorb_report(&mut self, keys: usize, report: &KernelReport) {
+        self.batches += 1;
+        self.keys_dispatched += keys as u64;
+        self.kernel_time_ns += report.time_ns;
+        self.l2_hits += report.l2_hits;
+        self.sectors += report.sectors;
+        self.dram_transactions += report.dram_transactions;
+        self.raw_accesses += report.raw_accesses;
+    }
+}
+
+/// Cloneable producer-side handle. Each call blocks until its batch has
+/// executed and returns results in the caller's submission order.
+#[derive(Clone)]
+pub struct SchedulerClient {
+    tx: Sender<Msg>,
+}
+
+impl SchedulerClient {
+    fn submit(
+        &self,
+        kind: OpKind,
+        keys: Vec<Vec<u8>>,
+        values: Vec<u64>,
+    ) -> Result<Vec<u64>, SchedError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Rendezvous channel: the executor's send blocks only if this
+        // thread died between submit and recv, which recv's Err covers.
+        let (reply, result) = mpsc::sync_channel(1);
+        let req = Request {
+            kind,
+            keys,
+            values,
+            reply,
+            enqueued: Instant::now(),
+        };
+        self.tx
+            .send(Msg::Req(req))
+            .map_err(|_| SchedError::Disconnected)?;
+        result.recv().map_err(|_| SchedError::Disconnected)?
+    }
+
+    /// Submit a slice of point lookups; blocks until the batch containing
+    /// them executes. Returns one result per key in submission order
+    /// ([`NOT_FOUND`](cuart_gpu_sim::batch::NOT_FOUND) for absent keys).
+    pub fn lookup(&self, keys: Vec<Vec<u8>>) -> Result<Vec<u64>, SchedError> {
+        self.submit(OpKind::Lookup, keys, Vec::new())
+    }
+
+    /// Submit one point lookup.
+    pub fn lookup_one(&self, key: Vec<u8>) -> Result<u64, SchedError> {
+        Ok(self.lookup(vec![key])?[0])
+    }
+
+    /// Submit point updates (`DELETE` as the value deletes). Returns one
+    /// status per op (see [`status`](cuart::update::status)).
+    pub fn update(&self, ops: Vec<(Vec<u8>, u64)>) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = split_ops(ops);
+        self.submit(OpKind::Update, keys, values)
+    }
+
+    /// Submit point inserts. Returns one status per op (see
+    /// [`insert_status`](cuart::insert::insert_status)).
+    pub fn insert(&self, ops: Vec<(Vec<u8>, u64)>) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = split_ops(ops);
+        self.submit(OpKind::Insert, keys, values)
+    }
+}
+
+fn split_ops(ops: Vec<(Vec<u8>, u64)>) -> (Vec<Vec<u8>>, Vec<u64>) {
+    let mut keys = Vec::with_capacity(ops.len());
+    let mut values = Vec::with_capacity(ops.len());
+    for (k, v) in ops {
+        keys.push(k);
+        values.push(v);
+    }
+    (keys, values)
+}
+
+/// Owning handle for the executor thread. Dropping it shuts the executor
+/// down; [`join`](Scheduler::join) does the same and returns the stats.
+pub struct Scheduler {
+    tx: Option<Sender<Msg>>,
+    handle: Option<JoinHandle<SchedulerStats>>,
+}
+
+impl Scheduler {
+    /// Spawn the executor thread. It opens a
+    /// [`device_session`](CuartIndex::device_session) on `index` (attaching
+    /// `cfg.fault_injector` if present, so the journal covers the session's
+    /// whole life) and serves batches until every client hangs up.
+    pub fn spawn(index: Arc<CuartIndex>, dev: DeviceConfig, cfg: SchedulerConfig) -> Scheduler {
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || executor(index, dev, cfg, rx));
+        Scheduler {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// A new producer handle. Clients are cheap to clone and `Send`, so
+    /// each producer thread can own one.
+    pub fn client(&self) -> SchedulerClient {
+        SchedulerClient {
+            tx: self.tx.as_ref().expect("scheduler already joined").clone(),
+        }
+    }
+
+    /// Shut down: signal the executor, wait for it to drain its queue, and
+    /// return the accumulated [`SchedulerStats`]. Requests submitted
+    /// before the shutdown signal are served (the queue is FIFO); clients
+    /// that submit afterwards get [`SchedError::Disconnected`].
+    pub fn join(mut self) -> SchedulerStats {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => SchedulerStats::default(),
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The executor loop: block for work, coalesce, flush on size / deadline /
+/// disconnect.
+fn executor(
+    index: Arc<CuartIndex>,
+    dev: DeviceConfig,
+    cfg: SchedulerConfig,
+    rx: Receiver<Msg>,
+) -> SchedulerStats {
+    let mut session = index.device_session(&dev);
+    if let Some(injector) = cfg.fault_injector.clone() {
+        session.attach_fault_injector(injector);
+    }
+    let telemetry = index.telemetry().cloned();
+    let batch_target = cfg.batch_target.max(1);
+
+    let mut stats = SchedulerStats::default();
+    let mut pending: VecDeque<Request> = VecDeque::new();
+    let mut pending_keys = 0usize;
+
+    loop {
+        // Wait for work: block indefinitely with an empty queue, else only
+        // until the oldest queued op's deadline.
+        let msg = if pending.is_empty() {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break, // all senders gone, queue empty
+            }
+        } else {
+            let oldest = pending.front().expect("non-empty").enqueued;
+            let remaining = cfg.deadline.saturating_sub(oldest.elapsed());
+            match rx.recv_timeout(remaining) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Deadline expired for the oldest queued op.
+                    let depth = pending_keys as u64;
+                    flush(
+                        &mut session,
+                        &mut pending,
+                        &mut pending_keys,
+                        &cfg,
+                        &mut stats,
+                    );
+                    stats.deadline_flushes += 1;
+                    record_flush(&telemetry, Some(names::SCHED_DEADLINE_FLUSHES), depth);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => Msg::Shutdown,
+            }
+        };
+
+        match msg {
+            Msg::Req(req) => {
+                stats.ops_enqueued += req.keys.len() as u64;
+                if let Some(t) = &telemetry {
+                    t.incr(names::SCHED_ENQUEUED, req.keys.len() as u64);
+                }
+                pending_keys += req.keys.len();
+                pending.push_back(req);
+                if pending_keys >= batch_target {
+                    let depth = pending_keys as u64;
+                    flush(
+                        &mut session,
+                        &mut pending,
+                        &mut pending_keys,
+                        &cfg,
+                        &mut stats,
+                    );
+                    stats.size_flushes += 1;
+                    record_flush(&telemetry, Some(names::SCHED_SIZE_FLUSHES), depth);
+                }
+            }
+            Msg::Shutdown => {
+                if !pending.is_empty() {
+                    let depth = pending_keys as u64;
+                    flush(
+                        &mut session,
+                        &mut pending,
+                        &mut pending_keys,
+                        &cfg,
+                        &mut stats,
+                    );
+                    stats.final_flushes += 1;
+                    record_flush(&telemetry, None, depth);
+                }
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Telemetry bookkeeping for one flush (optional counter + queue-depth
+/// gauge recording the backlog the flush drained).
+fn record_flush(
+    telemetry: &Option<Arc<cuart_telemetry::Telemetry>>,
+    counter: Option<&'static str>,
+    depth: u64,
+) {
+    if let Some(t) = telemetry {
+        if let Some(c) = counter {
+            t.incr(c, 1);
+        }
+        t.gauge_set(names::SCHED_QUEUE_DEPTH, depth as f64);
+    }
+}
+
+/// Drain the whole pending queue as maximal same-kind head runs, each run
+/// one device batch.
+fn flush(
+    session: &mut cuart::CuartSession<'_>,
+    pending: &mut VecDeque<Request>,
+    pending_keys: &mut usize,
+    cfg: &SchedulerConfig,
+    stats: &mut SchedulerStats,
+) {
+    stats.max_queue_depth = stats.max_queue_depth.max(*pending_keys as u64);
+    while !pending.is_empty() {
+        let kind = pending.front().expect("non-empty").kind;
+        let mut run: Vec<Request> = Vec::new();
+        while pending.front().is_some_and(|r| r.kind == kind) {
+            run.push(pending.pop_front().expect("checked front"));
+        }
+        execute_run(session, kind, run, cfg, stats);
+    }
+    *pending_keys = 0;
+}
+
+/// Execute one same-kind run as a single (optionally sorted) device batch
+/// and reply to every request in it.
+fn execute_run(
+    session: &mut cuart::CuartSession<'_>,
+    kind: OpKind,
+    run: Vec<Request>,
+    cfg: &SchedulerConfig,
+    stats: &mut SchedulerStats,
+) {
+    let telemetry = session.telemetry().cloned();
+    // Concatenate the run into one batch, remembering per-request extents.
+    let total: usize = run.iter().map(|r| r.keys.len()).sum();
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(total);
+    let mut values: Vec<u64> = Vec::with_capacity(total);
+    let mut extents: Vec<usize> = Vec::with_capacity(run.len());
+    let oldest = run.iter().map(|r| r.enqueued).min();
+    for r in &run {
+        extents.push(r.keys.len());
+        keys.extend(r.keys.iter().cloned());
+        values.extend(r.values.iter().cloned());
+    }
+
+    // Sorted-batch composition: stable sort keeps duplicate keys in
+    // submission order, so kernel-side "highest tid wins" still resolves
+    // to the latest submitted op.
+    let perm = if cfg.sort_batches && total > 1 {
+        let p = sort_permutation(&keys);
+        keys = gather(&keys, &p);
+        if !values.is_empty() {
+            values = gather(&values, &p);
+        }
+        Some(p)
+    } else {
+        None
+    };
+
+    let outcome = match kind {
+        OpKind::Lookup => session.lookup_batch(&keys),
+        OpKind::Update => {
+            let ops: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
+            session.update_batch(&ops)
+        }
+        OpKind::Insert => {
+            let ops: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
+            session.insert_batch(&ops)
+        }
+    };
+
+    match outcome {
+        Ok((batch_results, report)) => {
+            stats.absorb_report(total, &report);
+            if perm.is_some() {
+                stats.sorted_batches += 1;
+            }
+            let results = match &perm {
+                Some(p) => scatter_inverse(&batch_results, p),
+                None => batch_results,
+            };
+            if let Some(t) = &telemetry {
+                t.incr(names::SCHED_BATCHES, 1);
+                t.observe(names::SCHED_BATCH_FILL, total as u64);
+                if perm.is_some() {
+                    t.incr(names::SCHED_SORTED_BATCHES, 1);
+                }
+                if let Some(start) = oldest {
+                    t.observe(
+                        names::SCHED_QUEUE_LATENCY_NS,
+                        start.elapsed().as_nanos() as u64,
+                    );
+                }
+            }
+            // Slice results back out per request, in FIFO order.
+            let mut off = 0usize;
+            for (req, len) in run.into_iter().zip(extents) {
+                stats.requests += 1;
+                let slice = results[off..off + len].to_vec();
+                off += len;
+                let _ = req.reply.send(Ok(slice));
+            }
+        }
+        Err(e) => {
+            stats.failed_batches += 1;
+            let err = SchedError::from(&e);
+            for req in run {
+                stats.requests += 1;
+                let _ = req.reply.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuart::{CuartConfig, CuartIndex};
+    use cuart_art::Art;
+    use cuart_gpu_sim::batch::NOT_FOUND;
+    use cuart_gpu_sim::devices;
+
+    fn build_index(n: u64) -> Arc<CuartIndex> {
+        let mut art = Art::new();
+        for i in 0..n {
+            art.insert(&i.to_be_bytes(), i * 10).unwrap();
+        }
+        Arc::new(CuartIndex::build(&art, &CuartConfig::default()))
+    }
+
+    fn spawn(index: &Arc<CuartIndex>, cfg: SchedulerConfig) -> Scheduler {
+        Scheduler::spawn(Arc::clone(index), devices::gtx1070(), cfg)
+    }
+
+    #[test]
+    fn single_client_lookup_roundtrip() {
+        let index = build_index(256);
+        let sched = spawn(&index, SchedulerConfig::default());
+        let client = sched.client();
+        let keys: Vec<Vec<u8>> = (0..64u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let results = client.lookup(keys).unwrap();
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, i as u64 * 10);
+        }
+        assert_eq!(
+            client.lookup_one(9999u64.to_be_bytes().to_vec()),
+            Ok(NOT_FOUND)
+        );
+        drop(client);
+        let stats = sched.join();
+        assert_eq!(stats.ops_enqueued, 65);
+        assert_eq!(stats.requests, 2);
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.keys_dispatched, 65);
+    }
+
+    #[test]
+    fn empty_request_answers_without_executor_roundtrip() {
+        let index = build_index(8);
+        let sched = spawn(&index, SchedulerConfig::default());
+        let client = sched.client();
+        assert_eq!(client.lookup(Vec::new()), Ok(Vec::new()));
+        drop(client);
+        assert_eq!(sched.join().requests, 0);
+    }
+
+    #[test]
+    fn size_flush_triggers_at_target() {
+        let index = build_index(512);
+        let cfg = SchedulerConfig {
+            batch_target: 32,
+            deadline: Duration::from_secs(3600), // never
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        // Two producers, each submitting 32 keys: both requests can only
+        // complete via size flushes (the deadline is an hour away).
+        let mut handles = Vec::new();
+        for p in 0..2u64 {
+            let client = sched.client();
+            handles.push(std::thread::spawn(move || {
+                let keys: Vec<Vec<u8>> = (p * 32..p * 32 + 32)
+                    .map(|i| i.to_be_bytes().to_vec())
+                    .collect();
+                client.lookup(keys).unwrap()
+            }));
+        }
+        for (p, h) in handles.into_iter().enumerate() {
+            let results = h.join().unwrap();
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(*r, (p as u64 * 32 + i as u64) * 10);
+            }
+        }
+        let stats = sched.join();
+        assert!(stats.size_flushes >= 1, "expected a size flush: {stats:?}");
+        assert_eq!(stats.deadline_flushes, 0);
+        assert_eq!(stats.keys_dispatched, 64);
+    }
+
+    #[test]
+    fn deadline_flush_serves_underfilled_batches() {
+        let index = build_index(64);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000, // size target unreachable
+            deadline: Duration::from_millis(2),
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let client = sched.client();
+        let r = client.lookup_one(7u64.to_be_bytes().to_vec()).unwrap();
+        assert_eq!(r, 70);
+        drop(client);
+        let stats = sched.join();
+        assert!(
+            stats.deadline_flushes + stats.final_flushes >= 1,
+            "an underfilled batch must flush on deadline or shutdown: {stats:?}"
+        );
+        assert_eq!(stats.size_flushes, 0);
+    }
+
+    #[test]
+    fn updates_then_lookups_preserve_order() {
+        let index = build_index(128);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(300),
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let client = sched.client();
+        // Update then read the same key. FIFO + head-run batching
+        // guarantees the update batch executes before the lookup batch
+        // even though both wait in the same deadline flush.
+        let key = 42u64.to_be_bytes().to_vec();
+        let c2 = client.clone();
+        let k2 = key.clone();
+        let upd = std::thread::spawn(move || c2.update(vec![(k2, 4242)]).unwrap());
+        // Generous head start: the update must be queued well before the
+        // lookup, and the 300 ms deadline keeps both in one flush.
+        std::thread::sleep(Duration::from_millis(100));
+        let looked = client.lookup(vec![key]).unwrap();
+        let statuses = upd.join().unwrap();
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(looked, vec![4242]);
+        drop(client);
+        let stats = sched.join();
+        // Two kinds in one flush → at least two batches (head runs).
+        assert!(stats.batches >= 2, "head runs split by kind: {stats:?}");
+    }
+
+    #[test]
+    fn duplicate_update_keys_keep_last_write_wins_when_sorted() {
+        let index = build_index(64);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(5),
+            sort_batches: true,
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let client = sched.client();
+        let key = 5u64.to_be_bytes().to_vec();
+        // One request with the same key twice: sorted packing is stable,
+        // so the second (later) op must win.
+        client
+            .update(vec![(key.clone(), 111), (key.clone(), 222)])
+            .unwrap();
+        assert_eq!(client.lookup_one(key).unwrap(), 222);
+        drop(client);
+        sched.join();
+    }
+
+    #[test]
+    fn inserts_flow_through_the_scheduler() {
+        let index = build_index(64);
+        let sched = spawn(&index, SchedulerConfig::default());
+        let client = sched.client();
+        let key = 1_000_000u64.to_be_bytes().to_vec();
+        assert_eq!(client.lookup_one(key.clone()).unwrap(), NOT_FOUND);
+        let statuses = client.insert(vec![(key.clone(), 777)]).unwrap();
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(client.lookup_one(key).unwrap(), 777);
+        drop(client);
+        sched.join();
+    }
+
+    #[test]
+    fn oversized_keys_do_not_poison_a_sorted_batch() {
+        let index = build_index(64);
+        let sched = spawn(&index, SchedulerConfig::default());
+        let client = sched.client();
+        // A 300-byte key cannot be packed at any device stride; the
+        // session answers NOT_FOUND without panicking, and the short key
+        // in the same request still resolves.
+        let results = client
+            .lookup(vec![vec![0xAB; 300], 3u64.to_be_bytes().to_vec()])
+            .unwrap();
+        assert_eq!(results, vec![NOT_FOUND, 30]);
+        drop(client);
+        sched.join();
+    }
+
+    #[test]
+    fn disconnect_after_join_yields_sched_error() {
+        let index = build_index(8);
+        let sched = spawn(&index, SchedulerConfig::default());
+        let client = sched.client();
+        sched.join();
+        assert_eq!(
+            client.lookup_one(vec![1, 2, 3]),
+            Err(SchedError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn multi_producer_results_match_cpu_reference() {
+        let index = build_index(1024);
+        let cfg = SchedulerConfig {
+            batch_target: 256,
+            deadline: Duration::from_micros(500),
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let producers = 4;
+        let per = 512u64;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let client = sched.client();
+            let index = Arc::clone(&index);
+            handles.push(std::thread::spawn(move || {
+                // Shuffled-ish stride pattern so producers interleave keys.
+                let keys: Vec<Vec<u8>> = (0..per)
+                    .map(|i| ((i * 37 + p * 13) % 2048).to_be_bytes().to_vec())
+                    .collect();
+                let expect: Vec<u64> = index
+                    .lookup_batch_cpu(&keys)
+                    .into_iter()
+                    .map(|r| r.unwrap_or(NOT_FOUND))
+                    .collect();
+                let got = client.lookup(keys).unwrap();
+                assert_eq!(got, expect);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = sched.join();
+        assert_eq!(stats.ops_enqueued, producers * per);
+        assert_eq!(stats.keys_dispatched, producers * per);
+        assert!(stats.sorted_batches >= 1);
+    }
+}

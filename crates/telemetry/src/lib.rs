@@ -136,6 +136,23 @@ pub mod names {
     pub const GRT_UPDATE_BATCHES: &str = "grt.update.batches";
     /// Gauge: device-resident bytes of the built GRT.
     pub const GRT_DEVICE_BYTES: &str = "grt.build.device_bytes";
+    /// Operations accepted by the batch scheduler's submission queue.
+    pub const SCHED_ENQUEUED: &str = "cuart.sched.enqueued";
+    /// Batches the scheduler dispatched to the session.
+    pub const SCHED_BATCHES: &str = "cuart.sched.batches";
+    /// Batches flushed because the size target was reached.
+    pub const SCHED_SIZE_FLUSHES: &str = "cuart.sched.size_flushes";
+    /// Batches flushed because the oldest queued op hit its deadline.
+    pub const SCHED_DEADLINE_FLUSHES: &str = "cuart.sched.deadline_flushes";
+    /// Gauge: ops waiting in the scheduler queue at the last flush.
+    pub const SCHED_QUEUE_DEPTH: &str = "cuart.sched.queue_depth";
+    /// Histogram: per-batch queueing latency (enqueue of the oldest op to
+    /// dispatch), nanoseconds.
+    pub const SCHED_QUEUE_LATENCY_NS: &str = "cuart.sched.queue_latency_ns";
+    /// Histogram: keys per dispatched scheduler batch.
+    pub const SCHED_BATCH_FILL: &str = "cuart.sched.batch_fill";
+    /// Batches packed in sorted key order (the locality path).
+    pub const SCHED_SORTED_BATCHES: &str = "cuart.sched.sorted_batches";
 }
 
 #[cfg(test)]
