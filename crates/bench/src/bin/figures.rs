@@ -8,12 +8,58 @@
 //! figures all --out results/     # output directory (default: results/)
 //! figures all --telemetry        # also dump results/telemetry.json
 //! figures fig19 --smoke          # CI-sized sweep (threads/ops shrunk)
+//! figures fig-regress            # perf gate vs results/baseline.json
+//! figures fig-regress --update-baseline   # re-pin the baseline
 //! ```
 
-use cuart_bench::{figures, RunCtx};
+use cuart_bench::{figures, regress, RunCtx};
 use cuart_telemetry::Telemetry;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The `fig-regress` pseudo-figure: run the pinned smoke workload and
+/// gate on the checked-in baseline (see [`regress`]). Exits the process
+/// on failure so CI trips; `--update-baseline` re-pins instead.
+fn run_regress_gate(baseline_path: &str, update: bool, threshold: f64) {
+    let current = regress::run_smoke();
+    if update {
+        if let Some(dir) = std::path::Path::new(baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        std::fs::write(baseline_path, regress::to_json(&current)).expect("write baseline");
+        println!("fig-regress: baseline re-pinned -> {baseline_path}");
+        return;
+    }
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!(
+            "fig-regress: cannot read {baseline_path}: {e}\n\
+             (generate it with: figures fig-regress --update-baseline)"
+        );
+        std::process::exit(2);
+    });
+    let base = regress::parse_baseline(&text).unwrap_or_else(|e| {
+        eprintln!("fig-regress: bad baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    if !cfg!(feature = "telemetry") {
+        eprintln!("warning: built without `telemetry`; stage-share metrics are skipped");
+    }
+    print!("{}", regress::diff_report(&current, &base));
+    let regressions = regress::compare(&current, &base, threshold);
+    if regressions.is_empty() {
+        println!(
+            "fig-regress: OK ({} metrics within {:.0}% of {baseline_path})",
+            base.len(),
+            threshold * 100.0
+        );
+    } else {
+        eprintln!("fig-regress: FAILED against {baseline_path}:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +68,9 @@ fn main() {
     let mut out_dir = "results".to_string();
     let mut want_telemetry = false;
     let mut smoke = false;
+    let mut baseline = "results/baseline.json".to_string();
+    let mut update_baseline = false;
+    let mut threshold = regress::DEFAULT_THRESHOLD;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,14 +85,31 @@ fn main() {
             }
             "--telemetry" => want_telemetry = true,
             "--smoke" => smoke = true,
+            "--baseline" => {
+                i += 1;
+                baseline = args[i].clone();
+            }
+            "--update-baseline" => update_baseline = true,
+            "--threshold" => {
+                i += 1;
+                threshold = args[i].parse().expect("--threshold takes a float");
+            }
             "all" => ids.extend(figures::ALL.iter().map(|s| s.to_string())),
             id => ids.push(id.to_string()),
         }
         i += 1;
     }
+    if ids.iter().any(|id| id == "fig-regress") {
+        run_regress_gate(&baseline, update_baseline, threshold);
+        ids.retain(|id| id != "fig-regress");
+        if ids.is_empty() {
+            return;
+        }
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: figures <all|figN ...> [--scale N] [--full] [--out DIR] [--telemetry] [--smoke]"
+            "usage: figures <all|figN|fig-regress ...> [--scale N] [--full] [--out DIR] \
+             [--telemetry] [--smoke] [--baseline FILE] [--update-baseline] [--threshold F]"
         );
         eprintln!("known figures: {:?}", figures::ALL);
         std::process::exit(2);

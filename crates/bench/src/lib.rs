@@ -25,6 +25,7 @@
 
 pub mod context;
 pub mod figures;
+pub mod regress;
 pub mod series;
 
 pub use context::RunCtx;

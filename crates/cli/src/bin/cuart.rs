@@ -19,8 +19,12 @@ USAGE:
   cuart metrics INDEX [--keys FILE] [--hex] [--device NAME] [--batch N]
                 [--batches N] [--format json|prom] [--metrics-out FILE]
   cuart serve-sim INDEX [--producers 4] [--deadline-us 200] [--batch 32768]
-                  [--ops 65536] [--unsorted] [--device NAME] [--metrics-out FILE]
+                  [--ops 65536] [--unsorted] [--smoke] [--device NAME]
+                  [--metrics-out FILE] [--trace-out FILE] [--folded-out FILE]
                   [--fault-seed N] [--fault-rate P]
+  cuart trace  INDEX [--device NAME] [--batch N] [--batches N]
+               [--out trace.json] [--folded out.txt]
+  cuart verify-trace TRACE.json
   cuart verify-snapshot INDEX
 
 DEVICES: a100 (server), rtx3090 (workstation), gtx1070 (notebook)
@@ -30,6 +34,12 @@ run, as JSON (default) or Prometheus text
 FAULTS: --fault-rate P injects device faults with probability P per op
 (seeded by --fault-seed, default 0) to drill the retry/degrade/recover
 path; needs a binary built with `--features faults` to actually fire.
+TRACING: `trace` (and serve-sim --trace-out) export hierarchical span
+trees as Chrome-trace JSON — open in chrome://tracing or Perfetto;
+--folded writes flamegraph-style folded stacks. --smoke pins the
+serve-sim workload to 8192 ops in batches of 1024 for comparable CI
+runs. verify-trace checks a trace file nests and that every batch
+tree's leaf durations reproduce the modeled batch time (±1%).
 verify-snapshot checks a saved index (header, per-section CRCs,
 structural parse) without loading it";
 
@@ -45,7 +55,7 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let takes_value = !matches!(name, "hex" | "unsorted");
+                let takes_value = !matches!(name, "hex" | "unsorted" | "smoke");
                 if takes_value && i + 1 < raw.len() {
                     flags.push((name.to_string(), Some(raw[i + 1].clone())));
                     i += 2;
@@ -221,6 +231,8 @@ fn main() {
                 .map(|s| s.parse().unwrap_or_else(|_| fail("bad --ops")))
                 .unwrap_or(64 * 1024);
             let metrics_out = args.flag("metrics-out").map(PathBuf::from);
+            let trace_out = args.flag("trace-out").map(PathBuf::from);
+            let folded_out = args.flag("folded-out").map(PathBuf::from);
             cmd_serve_sim(
                 &idx,
                 args.flag("device").unwrap_or("rtx3090"),
@@ -229,10 +241,35 @@ fn main() {
                 batch,
                 ops,
                 args.has("unsorted"),
+                args.has("smoke"),
                 metrics_out.as_deref(),
+                trace_out.as_deref(),
+                folded_out.as_deref(),
                 fault_options(&args),
             )
         }
+        "trace" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let batch = args
+                .flag("batch")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch")))
+                .unwrap_or(4096);
+            let batches = args
+                .flag("batches")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batches")))
+                .unwrap_or(8);
+            let out = args.flag("out").map(PathBuf::from);
+            let folded = args.flag("folded").map(PathBuf::from);
+            cmd_trace(
+                &idx,
+                args.flag("device").unwrap_or("rtx3090"),
+                batch,
+                batches,
+                out.as_deref(),
+                folded.as_deref(),
+            )
+        }
+        "verify-trace" => cmd_verify_trace(&required_path(&args, "TRACE.json", args.pos(0))),
         "verify-snapshot" => cmd_verify_snapshot(&required_path(&args, "INDEX", args.pos(0))),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");

@@ -12,8 +12,11 @@
 //! cuart metrics idx.cuart [--keys probes.txt] [--hex] [--device NAME]
 //!               [--batch N] [--batches N] [--format json|prom] [--metrics-out FILE]
 //! cuart serve-sim idx.cuart [--producers 4] [--deadline-us 200] [--batch 32768]
-//!                 [--ops 65536] [--unsorted] [--device NAME] [--metrics-out FILE]
-//!                 [--fault-seed N] [--fault-rate P]
+//!                 [--ops 65536] [--unsorted] [--smoke] [--device NAME] [--metrics-out FILE]
+//!                 [--trace-out FILE] [--folded-out FILE] [--fault-seed N] [--fault-rate P]
+//! cuart trace  idx.cuart [--device NAME] [--batch N] [--batches N]
+//!              [--out trace.json] [--folded out.txt]
+//! cuart verify-trace trace.json
 //! cuart verify-snapshot idx.cuart
 //! ```
 //!
@@ -32,6 +35,7 @@ use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
 use cuart_gpu_sim::{devices, DeviceConfig, FaultInjector};
 use cuart_host::scheduler::{SchedError, Scheduler, SchedulerConfig};
+use cuart_telemetry::tracing::{critical_paths, to_chrome_json, to_folded};
 use cuart_telemetry::{Snapshot, Telemetry};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -466,7 +470,10 @@ pub fn cmd_metrics(
 ///
 /// Probes replay the stored keys round-robin (all hits) in shuffled
 /// order. With `metrics_out`, a JSON telemetry snapshot of the run —
-/// including the `cuart.sched.*` series — is written too.
+/// including the `cuart.sched.*` series — is written too. `smoke` pins
+/// the workload shape (8192 ops in batches of 1024) so CI runs are
+/// comparable; `trace_out` / `folded_out` export the recorded
+/// `sched.batch.*` span trees as Chrome-trace JSON / folded stacks.
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_serve_sim(
     path: &Path,
@@ -476,10 +483,14 @@ pub fn cmd_serve_sim(
     batch: usize,
     ops: usize,
     unsorted: bool,
+    smoke: bool,
     metrics_out: Option<&Path>,
+    trace_out: Option<&Path>,
+    folded_out: Option<&Path>,
     faults: Option<FaultOptions>,
 ) -> Result<String, CliError> {
     let producers = producers.max(1);
+    let (ops, batch) = if smoke { (8192, 1024) } else { (ops, batch) };
     let index = CuartIndex::load(path)?;
     let dev = device_by_name(device)?;
     let telemetry = Arc::new(Telemetry::new());
@@ -555,7 +566,202 @@ pub fn cmd_serve_sim(
     if let Some(path) = metrics_out {
         out.push_str(&spill_metrics(&telemetry, path)?);
     }
+    if trace_out.is_some() || folded_out.is_some() {
+        let snap = telemetry.snapshot();
+        if let Some(p) = trace_out {
+            std::fs::write(p, to_chrome_json(&snap.spans))?;
+            let _ = write!(
+                out,
+                "\ntrace -> {} ({} spans)",
+                p.display(),
+                snap.spans.len()
+            );
+        }
+        if let Some(p) = folded_out {
+            std::fs::write(p, to_folded(&snap.spans))?;
+            let _ = write!(out, "\nfolded -> {}", p.display());
+        }
+    }
     Ok(out)
+}
+
+/// Run an instrumented lookup workload and export the recorded span trees
+/// as Chrome-trace / Perfetto JSON (`out`) and, optionally, flamegraph
+/// folded stacks (`folded_out`). With `out` unset the Chrome-trace JSON
+/// goes to stdout. The returned summary names each batch tree's dominant
+/// (critical-path) stage.
+pub fn cmd_trace(
+    path: &Path,
+    device: &str,
+    batch: usize,
+    batches: usize,
+    out: Option<&Path>,
+    folded_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let dev = device_by_name(device)?;
+    let telemetry = Arc::new(Telemetry::new());
+    let index = index.with_telemetry(telemetry.clone());
+    let stored = cuart::range::range_query(
+        index.buffers(),
+        &[0u8],
+        &vec![0xFFu8; index.buffers().max_key_len.max(1)],
+    );
+    if stored.is_empty() {
+        return Err(CliError::Input("index is empty".into()));
+    }
+    let mut session = index.device_session(&dev);
+    for b in 0..batches {
+        let queries: Vec<Vec<u8>> = (0..batch)
+            .map(|i| stored[(b * batch + i * 7) % stored.len()].0.clone())
+            .collect();
+        session.lookup_batch(&queries)?;
+    }
+    if !telemetry.is_enabled() {
+        eprintln!("warning: built without the `telemetry` feature; trace is empty");
+    }
+    let snap = telemetry.snapshot();
+    let json = to_chrome_json(&snap.spans);
+    let mut msg = match out {
+        Some(p) => {
+            std::fs::write(p, &json)?;
+            format!(
+                "{} spans from {batches} batches of {batch} on {} -> {}",
+                snap.spans.len(),
+                dev.name,
+                p.display()
+            )
+        }
+        None => json,
+    };
+    if let Some(p) = folded_out {
+        std::fs::write(p, to_folded(&snap.spans))?;
+        let _ = write!(msg, "\nfolded -> {}", p.display());
+    }
+    if out.is_some() {
+        for cp in critical_paths(&snap.spans) {
+            let _ = write!(
+                msg,
+                "\n{}: critical path {} ({:.0}% of leaf time, {:.1} µs)",
+                cp.root_name,
+                cp.stage,
+                cp.share * 100.0,
+                cp.stage_ns as f64 / 1e3
+            );
+        }
+    }
+    Ok(msg)
+}
+
+/// One parsed Chrome-trace event, microsecond timestamps.
+struct TraceEvent {
+    id: u64,
+    parent: u64,
+    name: String,
+    ts: f64,
+    dur: f64,
+}
+
+/// Validate an exported Chrome-trace file: the JSON parses, every event
+/// is a complete ("X") event with `ts`/`dur` and span ids, children nest
+/// inside their parents, and for every sequential batch tree (`batch.*` /
+/// `sched.batch.*` roots) the leaf durations sum to the root duration
+/// within 1 % — the invariant that makes the traces trustworthy as a
+/// breakdown of modeled batch time.
+pub fn cmd_verify_trace(path: &Path) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let doc = cuart_telemetry::json::parse(&text)
+        .map_err(|e| CliError::Input(format!("{}: invalid JSON: {e}", path.display())))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| CliError::Input(format!("{}: no traceEvents array", path.display())))?;
+    let mut evs: Vec<TraceEvent> = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        let field = |k: &str| {
+            e.get(k)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| CliError::Input(format!("event {i}: missing number {k:?}")))
+        };
+        let ph = e.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+        if ph != "X" {
+            return Err(CliError::Input(format!(
+                "event {i}: ph {ph:?}, expected complete event \"X\""
+            )));
+        }
+        let args = e
+            .get("args")
+            .ok_or_else(|| CliError::Input(format!("event {i}: missing args")))?;
+        let id_of = |k: &str| {
+            args.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| CliError::Input(format!("event {i}: missing span id args.{k}")))
+        };
+        evs.push(TraceEvent {
+            id: id_of("id")?,
+            parent: id_of("parent")?,
+            name: e
+                .get("name")
+                .and_then(|n| n.as_str())
+                .unwrap_or_default()
+                .to_string(),
+            ts: field("ts")?,
+            dur: field("dur")?,
+        });
+    }
+    let by_id: std::collections::BTreeMap<u64, &TraceEvent> =
+        evs.iter().map(|e| (e.id, e)).collect();
+    let mut children: std::collections::BTreeMap<u64, Vec<&TraceEvent>> = Default::default();
+    // Sub-microsecond slack: spans are ns-exact, rendered at µs scale.
+    const EPS: f64 = 0.002;
+    let mut nested = 0usize;
+    for e in &evs {
+        if e.parent == 0 {
+            continue;
+        }
+        let p = by_id.get(&e.parent).ok_or_else(|| {
+            CliError::Input(format!(
+                "span {} ({}): unknown parent {}",
+                e.id, e.name, e.parent
+            ))
+        })?;
+        if e.ts < p.ts - EPS || e.ts + e.dur > p.ts + p.dur + EPS {
+            return Err(CliError::Input(format!(
+                "span {} ({}) [{} +{}] escapes parent {} ({}) [{} +{}]",
+                e.id, e.name, e.ts, e.dur, p.id, p.name, p.ts, p.dur
+            )));
+        }
+        nested += 1;
+        children.entry(e.parent).or_default().push(e);
+    }
+    let mut batch_trees = 0usize;
+    for root in evs.iter().filter(|e| {
+        e.parent == 0 && (e.name.starts_with("batch.") || e.name.starts_with("sched.batch."))
+    }) {
+        // Leaf durations of the subtree must reproduce the root duration.
+        let mut leaf_sum = 0.0f64;
+        let mut stack = vec![root];
+        while let Some(e) = stack.pop() {
+            match children.get(&e.id) {
+                Some(kids) => stack.extend(kids.iter().copied()),
+                None => leaf_sum += e.dur,
+            }
+        }
+        if (leaf_sum - root.dur).abs() > root.dur * 0.01 + EPS {
+            return Err(CliError::Input(format!(
+                "batch tree {} ({}): leaf durations sum to {leaf_sum} µs, root spans {} µs",
+                root.id, root.name, root.dur
+            )));
+        }
+        batch_trees += 1;
+    }
+    Ok(format!(
+        "{}: OK — {} spans, {} nested, {} batch trees leaf-sum-verified (±1%)",
+        path.display(),
+        evs.len(),
+        nested,
+        batch_trees
+    ))
 }
 
 fn preview(key: &[u8]) -> String {
@@ -755,7 +961,10 @@ mod tests {
             512,
             1024,
             false,
+            false,
             Some(&out_file),
+            None,
+            None,
             None,
         )
         .unwrap();
@@ -769,11 +978,109 @@ mod tests {
             assert!(written.contains("cuart.sched.enqueued"), "{written}");
         }
         // The unsorted control also runs.
-        let out = cmd_serve_sim(&idx, "gtx1070", 1, 100, 256, 256, true, None, None).unwrap();
+        let out = cmd_serve_sim(
+            &idx, "gtx1070", 1, 100, 256, 256, true, false, None, None, None, None,
+        )
+        .unwrap();
         assert!(out.contains("256 lookups from 1 producers"), "{out}");
         for p in [keys, idx, out_file] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn trace_exports_verify_clean() {
+        let lines: Vec<String> = (0..300u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("trace", &refs);
+        let idx = tmp("trace-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let trace = tmp("trace-json");
+        let folded = tmp("trace-folded");
+        let out = cmd_trace(&idx, "rtx3090", 128, 4, Some(&trace), Some(&folded)).unwrap();
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(out.contains("spans from 4 batches of 128"), "{out}");
+            assert!(out.contains("critical path"), "{out}");
+            let verdict = cmd_verify_trace(&trace).unwrap();
+            assert!(verdict.contains("OK"), "{verdict}");
+            assert!(verdict.contains("4 batch trees"), "{verdict}");
+            let stacks = std::fs::read_to_string(&folded).unwrap();
+            assert!(stacks.contains("batch.lookup;"), "{stacks}");
+        }
+        #[cfg(not(feature = "telemetry"))]
+        assert!(out.contains("0 spans"), "{out}");
+        for p in [keys, idx, trace, folded] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_sim_smoke_writes_verifiable_trace() {
+        let lines: Vec<String> = (0..400u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("smoke", &refs);
+        let idx = tmp("smoke-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let trace = tmp("smoke-trace");
+        let out = cmd_serve_sim(
+            &idx,
+            "gtx1070",
+            2,
+            200,
+            64, // smoke overrides the batch/ops knobs
+            128,
+            false,
+            true,
+            None,
+            Some(&trace),
+            None,
+            None,
+        )
+        .unwrap();
+        // Smoke mode pins the workload shape regardless of the flags.
+        assert!(out.contains("8192 lookups from 2 producers"), "{out}");
+        assert!(out.contains("trace ->"), "{out}");
+        #[cfg(feature = "telemetry")]
+        {
+            let verdict = cmd_verify_trace(&trace).unwrap();
+            assert!(verdict.contains("OK"), "{verdict}");
+            let text = std::fs::read_to_string(&trace).unwrap();
+            assert!(text.contains("sched.batch.lookup"), "{text}");
+        }
+        for p in [keys, idx, trace] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn verify_trace_rejects_malformed_files() {
+        let bad = tmp("bad-trace");
+        std::fs::write(&bad, "{not json").unwrap();
+        assert!(matches!(cmd_verify_trace(&bad), Err(CliError::Input(_))));
+        // Parses, but a child escapes its parent's interval.
+        std::fs::write(
+            &bad,
+            r#"{"traceEvents":[
+                {"name":"batch.lookup","ph":"X","pid":1,"tid":1,"ts":0,"dur":10,"args":{"id":1,"parent":0}},
+                {"name":"kernel","ph":"X","pid":1,"tid":1,"ts":5,"dur":10,"args":{"id":2,"parent":1}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = cmd_verify_trace(&bad).unwrap_err();
+        assert!(err.to_string().contains("escapes parent"), "{err}");
+        // Nests fine, but the leaves don't sum to the root.
+        std::fs::write(
+            &bad,
+            r#"{"traceEvents":[
+                {"name":"batch.lookup","ph":"X","pid":1,"tid":1,"ts":0,"dur":10,"args":{"id":1,"parent":0}},
+                {"name":"kernel","ph":"X","pid":1,"tid":1,"ts":0,"dur":4,"args":{"id":2,"parent":1}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = cmd_verify_trace(&bad).unwrap_err();
+        assert!(err.to_string().contains("leaf durations"), "{err}");
+        std::fs::remove_file(bad).ok();
     }
 
     #[test]

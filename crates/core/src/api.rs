@@ -18,7 +18,7 @@ use cuart_gpu_sim::batch::{pack_keys, pack_keys_into, KeyBatchLayout, NOT_FOUND}
 use cuart_gpu_sim::cache::Cache;
 use cuart_gpu_sim::exec::{launch_with_cache, KernelReport};
 use cuart_gpu_sim::{BufferId, DeviceConfig, DeviceMemory, FaultInjector, FaultSite};
-use cuart_telemetry::{names, BatchEvent, BatchKind, Telemetry};
+use cuart_telemetry::{names, BatchEvent, BatchKind, SpanNode, Telemetry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -459,6 +459,10 @@ pub struct CuartSession<'a> {
     retries_total: u64,
     degradations: u64,
     recoveries: u64,
+    /// When `false`, batch ops skip committing their own span trees —
+    /// used by callers (the scheduler) that record a richer tree around
+    /// the same device leg, so stages are never double-counted.
+    record_spans: bool,
 }
 
 impl<'a> CuartSession<'a> {
@@ -488,12 +492,60 @@ impl<'a> CuartSession<'a> {
             retries_total: 0,
             degradations: 0,
             recoveries: 0,
+            record_spans: true,
         }
     }
 
     /// The device configuration this session runs on.
     pub fn device(&self) -> &DeviceConfig {
         &self.dev
+    }
+
+    /// The packed per-key byte stride of the device key layout (what one
+    /// key costs on the PCIe upload).
+    pub fn device_key_stride(&self) -> usize {
+        self.index.device_key_stride()
+    }
+
+    /// Enable or disable per-batch span trees (`batch.lookup` /
+    /// `batch.update` / `batch.insert`). On by default; the batch
+    /// scheduler turns it off because it records the whole
+    /// `sched.batch.*` tree (queueing, sort, scatter **and** the device
+    /// leg) itself.
+    pub fn set_span_recording(&mut self, on: bool) {
+        self.record_spans = on;
+    }
+
+    /// Build and commit a `batch.<kind>` span tree for a device leg:
+    /// `h2d` (PCIe upload of the packed keys), the kernel's `dram`/`exec`
+    /// decomposition, and `d2h` (PCIe download of one `u64` per key). The
+    /// children run back to back, so the leaf durations sum to the root's
+    /// modeled batch time.
+    fn record_batch_span(
+        &self,
+        t: &Telemetry,
+        name: &str,
+        report: &KernelReport,
+        device_keys: usize,
+        total_keys: usize,
+    ) {
+        if !self.record_spans || device_keys == 0 || report.time_ns <= 0.0 {
+            return;
+        }
+        let stride = self.index.device_key_stride();
+        let up = cuart_gpu_sim::pcie::upload(&self.dev.pcie, device_keys, stride);
+        let down = cuart_gpu_sim::pcie::download(&self.dev.pcie, device_keys, 8);
+        let root = SpanNode::node(
+            name,
+            vec![
+                SpanNode::leaf("h2d", up.time_ns as u64).with_attr("bytes", up.bytes),
+                report.to_span(),
+                SpanNode::leaf("d2h", down.time_ns as u64).with_attr("bytes", down.bytes),
+            ],
+        )
+        .with_attr("keys", total_keys)
+        .with_attr("device_keys", device_keys);
+        t.record_span_tree(&root);
     }
 
     /// Attach a fault injector. Attach **before** the first mutating
@@ -852,6 +904,7 @@ impl<'a> CuartSession<'a> {
             let mut e = report.to_event(BatchKind::Lookup, keys.len() as u64);
             e.host_spills = host_spills;
             t.record(e);
+            self.record_batch_span(t, "batch.lookup", &report, device_keys.len(), keys.len());
         }
         Ok((results, report))
     }
@@ -1007,6 +1060,7 @@ impl<'a> CuartSession<'a> {
             e.claim_conflicts = report.atomic_conflicts;
             e.freelist_refills = refills;
             t.record(e);
+            self.record_batch_span(t, "batch.update", &report, device_keys.len(), ops.len());
         }
         Ok((statuses, report))
     }
@@ -1284,6 +1338,7 @@ impl<'a> CuartSession<'a> {
             e.claim_conflicts = report.atomic_conflicts;
             e.freelist_refills = refills;
             t.record(e);
+            self.record_batch_span(t, "batch.insert", &report, device_keys.len(), ops.len());
         }
         Ok((statuses, report))
     }

@@ -166,6 +166,30 @@ impl KernelReport {
         e.raw_accesses = self.raw_accesses;
         e
     }
+
+    /// Decompose this kernel into a span subtree: a `kernel` node whose
+    /// two leaves tile its modeled time exactly — `dram` is the share
+    /// covered by the bandwidth bound (the most-loaded channel's busy
+    /// time, capped at the kernel time) and `exec` is the rest (latency
+    /// chains, compute issue, sync and atomic serialisation).
+    pub fn to_span(&self) -> cuart_telemetry::SpanNode {
+        let total = self.time_ns.max(0.0) as u64;
+        let dram = (self.bandwidth_bound_ns.max(0.0) as u64).min(total);
+        let exec = total - dram;
+        cuart_telemetry::SpanNode::node(
+            "kernel",
+            vec![
+                cuart_telemetry::SpanNode::leaf("dram", dram)
+                    .with_attr("transactions", self.dram_transactions)
+                    .with_attr("bytes", self.dram_bytes),
+                cuart_telemetry::SpanNode::leaf("exec", exec)
+                    .with_attr("latency_bound_ns", self.latency_bound_ns as u64)
+                    .with_attr("compute_bound_ns", self.compute_bound_ns as u64),
+            ],
+        )
+        .with_attr("l2_hit_rate", format!("{:.3}", self.l2_hit_rate()))
+        .with_attr("warps", self.warps)
+    }
 }
 
 impl std::fmt::Display for KernelReport {

@@ -8,7 +8,7 @@
 //! can halve overall throughput (Figure 13).
 
 use crate::gpu_runner::E2eReport;
-use cuart_telemetry::{names, BatchEvent, BatchKind, Telemetry};
+use cuart_telemetry::{names, BatchEvent, BatchKind, SpanNode, Telemetry};
 
 /// Effective per-operation CPU cost for a long-key lookup in the host ART
 /// (nanoseconds). This is deliberately large: the CPU leg chases pointers
@@ -52,6 +52,23 @@ impl HybridReport {
         event.kernel_time_ns = self.gpu_leg_ns as u64;
         event.host_spills = cpu_keys;
         telemetry.record(event);
+        // Both legs start at the split point and run concurrently, so the
+        // children are pinned at offset 0 and the root spans the envelope
+        // — the slower leg, which is the batch's modeled time.
+        let mut children = vec![SpanNode::leaf("gpu", self.gpu_leg_ns as u64)
+            .with_attr("keys", gpu_keys)
+            .at(0)];
+        if self.cpu_leg_ns > 0.0 {
+            children.push(
+                SpanNode::leaf("cpu", self.cpu_leg_ns as u64)
+                    .with_attr("keys", cpu_keys)
+                    .at(0),
+            );
+        }
+        let root = SpanNode::node("hybrid.route", children)
+            .with_attr("keys", batch_size)
+            .with_attr("cpu_bound", self.cpu_bound);
+        telemetry.record_span_tree(&root);
     }
 }
 
@@ -281,5 +298,19 @@ mod tests {
         assert_eq!(event.keys, 1000);
         assert_eq!(event.host_spills, 30);
         assert_eq!(event.kernel_time_ns, traced.gpu_leg_ns as u64);
+        // The routing decision also commits a span tree: both legs pinned
+        // at the split point, root spanning the slower (CPU) leg.
+        assert_eq!(snap.spans.len(), 3);
+        let root = &snap.spans[0];
+        assert_eq!(root.name, "hybrid.route");
+        assert_eq!(root.duration_ns(), traced.cpu_leg_ns as u64);
+        let legs: Vec<_> = snap.spans[1..].iter().collect();
+        assert!(legs.iter().all(|s| s.parent == root.id));
+        assert!(legs.iter().all(|s| s.start_ns == root.start_ns));
+        assert_eq!(
+            snap.counters.get("cuart.trace.critical.cpu"),
+            Some(&1),
+            "CPU leg dominates this split"
+        );
     }
 }

@@ -34,7 +34,7 @@ use cuart::{CuartError, CuartIndex};
 use cuart_gpu_sim::batch::{gather, scatter_inverse, sort_permutation};
 use cuart_gpu_sim::exec::KernelReport;
 use cuart_gpu_sim::{DeviceConfig, FaultInjector};
-use cuart_telemetry::names;
+use cuart_telemetry::{names, SpanNode, Telemetry};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
@@ -338,6 +338,10 @@ fn executor(
     rx: Receiver<Msg>,
 ) -> SchedulerStats {
     let mut session = index.device_session(&dev);
+    // The scheduler records the full `sched.batch.*` tree around each
+    // device leg (queueing, sort, scatter and the leg itself); the
+    // session's own `batch.*` trees would double-count it.
+    session.set_span_recording(false);
     if let Some(injector) = cfg.fault_injector.clone() {
         session.attach_fault_injector(injector);
     }
@@ -526,6 +530,7 @@ fn execute_run(
                         start.elapsed().as_nanos() as u64,
                     );
                 }
+                record_sched_span(session, t, kind, total, perm.is_some(), &report);
             }
             // Slice results back out per request, in FIFO order.
             let mut off = 0usize;
@@ -545,6 +550,60 @@ fn execute_run(
             }
         }
     }
+}
+
+/// Modeled host cost of packing one key into the coalesced batch buffer.
+const COALESCE_NS_PER_KEY: u64 = 4;
+/// Modeled host cost per key·log2(n) of the stable batch sort (§3.2).
+const SORT_NS_PER_KEY_LOG: u64 = 8;
+/// Modeled host cost of scattering one result back to its caller's order.
+const SCATTER_NS_PER_KEY: u64 = 4;
+
+/// Commit the `sched.batch.<kind>` span tree for one dispatched run:
+/// host-side coalesce / sort / scatter (modeled constants above), the
+/// PCIe legs, the launch overhead and the kernel's `dram`/`exec`
+/// decomposition. All children are sequential, so the leaf durations sum
+/// to the root — the batch's modeled end-to-end time.
+fn record_sched_span(
+    session: &cuart::CuartSession<'_>,
+    t: &Telemetry,
+    kind: OpKind,
+    total: usize,
+    sorted: bool,
+    report: &KernelReport,
+) {
+    if report.time_ns <= 0.0 || total == 0 {
+        return;
+    }
+    let dev = session.device();
+    let n = total as u64;
+    // Bit length of n: a cheap, deterministic ⌈log2⌉ stand-in.
+    let log2n = (u64::BITS - n.leading_zeros()).max(1) as u64;
+    let up = cuart_gpu_sim::pcie::upload(&dev.pcie, total, session.device_key_stride());
+    let down = cuart_gpu_sim::pcie::download(&dev.pcie, total, 8);
+    let mut children = vec![SpanNode::leaf("coalesce", COALESCE_NS_PER_KEY * n)];
+    if sorted {
+        children.push(SpanNode::leaf("sort", SORT_NS_PER_KEY_LOG * n * log2n));
+    }
+    children.push(SpanNode::leaf("h2d", up.time_ns as u64).with_attr("bytes", up.bytes));
+    children.push(SpanNode::leaf(
+        "launch",
+        (dev.launch_overhead_us * 1_000.0) as u64,
+    ));
+    children.push(report.to_span());
+    children.push(SpanNode::leaf("d2h", down.time_ns as u64).with_attr("bytes", down.bytes));
+    if sorted {
+        children.push(SpanNode::leaf("scatter", SCATTER_NS_PER_KEY * n));
+    }
+    let name = match kind {
+        OpKind::Lookup => "sched.batch.lookup",
+        OpKind::Update => "sched.batch.update",
+        OpKind::Insert => "sched.batch.insert",
+    };
+    let root = SpanNode::node(name, children)
+        .with_attr("keys", total)
+        .with_attr("sorted", sorted);
+    t.record_span_tree(&root);
 }
 
 #[cfg(test)]

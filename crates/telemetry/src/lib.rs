@@ -28,10 +28,13 @@
 #![forbid(unsafe_code)]
 
 mod event;
+pub mod json;
 mod snapshot;
+pub mod tracing;
 
 pub use event::{BatchEvent, BatchKind};
 pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use tracing::{Span, SpanNode, DEFAULT_SPAN_CAPACITY};
 
 #[cfg(feature = "enabled")]
 mod real;
@@ -153,6 +156,17 @@ pub mod names {
     pub const SCHED_BATCH_FILL: &str = "cuart.sched.batch_fill";
     /// Batches packed in sorted key order (the locality path).
     pub const SCHED_SORTED_BATCHES: &str = "cuart.sched.sorted_batches";
+    /// Events evicted from the bounded batch-event ring (overflow is
+    /// surfaced, not silent).
+    pub const EVENTS_DROPPED: &str = "cuart.telemetry.events_dropped";
+    /// Spans evicted from the bounded span ring.
+    pub const SPANS_DROPPED: &str = "cuart.telemetry.spans_dropped";
+    /// Prefix of the critical-path counters: committing a span tree bumps
+    /// `cuart.trace.critical.<stage>` for its dominant leaf stage.
+    pub const TRACE_CRITICAL_PREFIX: &str = "cuart.trace.critical.";
+    /// Gauge: dominant stage's share of leaf time in the last committed
+    /// span tree.
+    pub const TRACE_CRITICAL_SHARE: &str = "cuart.trace.critical_share";
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use crate::event::BatchEvent;
 use crate::snapshot::Snapshot;
+use crate::tracing::SpanNode;
 
 /// Default bound of the batch event ring (unused; kept for API parity).
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
@@ -75,6 +76,11 @@ impl Telemetry {
         Telemetry
     }
 
+    /// Capacities are ignored.
+    pub fn with_capacities(_event_capacity: usize, _span_capacity: usize) -> Self {
+        Telemetry
+    }
+
     /// A fresh no-op counter handle.
     pub fn counter(&self, _name: &str) -> CounterHandle {
         Counter
@@ -104,6 +110,11 @@ impl Telemetry {
         0
     }
 
+    /// Discarded; always returns span id 0.
+    pub fn record_span_tree(&self, _root: &SpanNode) -> u64 {
+        0
+    }
+
     /// Always `false` in the no-op build.
     pub fn is_enabled(&self) -> bool {
         false
@@ -127,10 +138,14 @@ mod tests {
         t.gauge_set("g", 2.0);
         t.observe("h", 7);
         t.record(BatchEvent::new(BatchKind::Lookup, 3));
+        let tree = SpanNode::node("root", vec![SpanNode::leaf("leaf", 5)]);
+        assert_eq!(t.record_span_tree(&tree), 0);
         assert!(!t.is_enabled());
         let s = t.snapshot();
         assert!(s.counters.is_empty());
         assert!(s.events.is_empty());
+        assert!(s.spans.is_empty());
+        assert_eq!(s.spans_dropped, 0);
         assert_eq!(std::mem::size_of::<Telemetry>(), 0);
     }
 }

@@ -7,7 +7,9 @@
 //! which is amortised across the whole batch, not per key.
 
 use crate::event::BatchEvent;
+use crate::names;
 use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::tracing::{Span, SpanNode, DEFAULT_SPAN_CAPACITY};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -169,6 +171,68 @@ impl EventRing {
     }
 }
 
+#[derive(Debug)]
+struct SpanInner {
+    buf: VecDeque<Span>,
+    /// Next span id; starts at 1 so 0 can mean "no parent".
+    next_id: u64,
+    /// Modeled session clock: committed trees are laid out back to back.
+    clock_ns: u64,
+    dropped: u64,
+}
+
+/// Bounded ring of flattened [`Span`]s plus the modeled session clock.
+///
+/// Eviction is per span, oldest first — a very long session can shed the
+/// head of an old tree while keeping its tail; `dropped` counts what went
+/// missing and the consumers ([`crate::tracing::critical_paths`], the
+/// folded exporter) treat orphaned spans as their own roots.
+#[derive(Debug)]
+struct SpanRing {
+    capacity: usize,
+    inner: Mutex<SpanInner>,
+}
+
+impl SpanRing {
+    fn new(capacity: usize) -> Self {
+        SpanRing {
+            capacity: capacity.max(1),
+            inner: Mutex::new(SpanInner {
+                buf: VecDeque::new(),
+                next_id: 1,
+                clock_ns: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Lay `root` out at the current modeled clock, advance the clock to
+    /// the tree's end and retain the flattened spans. Returns the root id.
+    fn record_tree(&self, root: &SpanNode) -> u64 {
+        let mut inner = self.inner.lock().expect("span ring poisoned");
+        let mut flat = Vec::new();
+        let start = inner.clock_ns;
+        let mut next_id = inner.next_id;
+        let end = root.layout(0, start, &mut next_id, &mut flat);
+        inner.next_id = next_id;
+        inner.clock_ns = end.max(start);
+        let root_id = flat.first().map(|s| s.id).unwrap_or(0);
+        for span in flat {
+            if inner.buf.len() == self.capacity {
+                inner.buf.pop_front();
+                inner.dropped += 1;
+            }
+            inner.buf.push_back(span);
+        }
+        root_id
+    }
+
+    fn snapshot(&self) -> (Vec<Span>, u64) {
+        let inner = self.inner.lock().expect("span ring poisoned");
+        (inner.buf.iter().cloned().collect(), inner.dropped)
+    }
+}
+
 /// Handle type returned by [`Telemetry::counter`]; derefs to [`Counter`].
 pub type CounterHandle = Arc<Counter>;
 /// Handle type returned by [`Telemetry::gauge`]; derefs to [`Gauge`].
@@ -187,6 +251,7 @@ pub struct Telemetry {
     gauges: RwLock<BTreeMap<String, GaugeHandle>>,
     histograms: RwLock<BTreeMap<String, HistogramHandle>>,
     events: EventRing,
+    spans: SpanRing,
 }
 
 impl Default for Telemetry {
@@ -203,11 +268,18 @@ impl Telemetry {
 
     /// New registry retaining at most `capacity` trace events.
     pub fn with_event_capacity(capacity: usize) -> Self {
+        Self::with_capacities(capacity, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// New registry retaining at most `event_capacity` trace events and
+    /// `span_capacity` spans.
+    pub fn with_capacities(event_capacity: usize, span_capacity: usize) -> Self {
         Telemetry {
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
-            events: EventRing::new(capacity),
+            events: EventRing::new(event_capacity),
+            spans: SpanRing::new(span_capacity),
         }
     }
 
@@ -254,6 +326,23 @@ impl Telemetry {
         self.events.record(event)
     }
 
+    /// Commit a whole span tree to the bounded span store and attribute
+    /// its critical path; returns the root span's id.
+    ///
+    /// The tree is laid out on the modeled session clock (trees are
+    /// placed back to back, children within a tree per
+    /// [`SpanNode::layout`]). The dominant *leaf* stage bumps
+    /// `cuart.trace.critical.<stage>` and its share of total leaf time is
+    /// published on the `cuart.trace.critical_share` gauge.
+    pub fn record_span_tree(&self, root: &SpanNode) -> u64 {
+        let id = self.spans.record_tree(root);
+        if let Some((stage, _ns, share)) = root.dominant_leaf() {
+            self.incr(&format!("{}{stage}", names::TRACE_CRITICAL_PREFIX), 1);
+            self.gauge_set(names::TRACE_CRITICAL_SHARE, share);
+        }
+        id
+    }
+
     /// Whether recording is compiled in (always `true` here; the no-op
     /// build returns `false`).
     pub fn is_enabled(&self) -> bool {
@@ -284,13 +373,24 @@ impl Telemetry {
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
         let (events, events_dropped) = self.events.snapshot();
-        Snapshot {
+        let (spans, spans_dropped) = self.spans.snapshot();
+        let mut snap = Snapshot {
             counters,
             gauges,
             histograms,
             events,
             events_dropped,
-        }
+            spans,
+            spans_dropped,
+        };
+        // Ring overflow is surfaced as first-class counters so exporters
+        // and dashboards see it without special-casing the snapshot
+        // fields (satellite: no silent event drops).
+        snap.counters
+            .insert(names::EVENTS_DROPPED.to_string(), events_dropped);
+        snap.counters
+            .insert(names::SPANS_DROPPED.to_string(), spans_dropped);
+        snap
     }
 }
 
@@ -372,6 +472,77 @@ mod tests {
         assert_eq!(t.gauge("g").get(), 1.5);
         t.observe("h", 9);
         assert_eq!(t.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn span_trees_lay_out_on_the_session_clock() {
+        let t = Telemetry::new();
+        let batch = SpanNode::node(
+            "batch.lookup",
+            vec![
+                SpanNode::leaf("h2d", 100),
+                SpanNode::leaf("kernel", 300),
+                SpanNode::leaf("d2h", 50),
+            ],
+        );
+        let id1 = t.record_span_tree(&batch);
+        let id2 = t.record_span_tree(&batch);
+        assert!(id1 >= 1 && id2 > id1);
+        let s = t.snapshot();
+        assert_eq!(s.spans.len(), 8);
+        assert_eq!(s.spans_dropped, 0);
+        // First tree occupies [0, 450), second starts where it ended.
+        assert_eq!((s.spans[0].start_ns, s.spans[0].end_ns), (0, 450));
+        assert_eq!((s.spans[4].start_ns, s.spans[4].end_ns), (450, 900));
+        // Children point at their root and tile it exactly.
+        let kids: Vec<&Span> = s.spans.iter().filter(|x| x.parent == id1).collect();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(kids.iter().map(|x| x.duration_ns()).sum::<u64>(), 450);
+    }
+
+    #[test]
+    fn span_ring_evicts_oldest_and_counts_drops() {
+        let t = Telemetry::with_capacities(DEFAULT_EVENT_CAPACITY, 3);
+        let tree = SpanNode::node("root", vec![SpanNode::leaf("leaf", 10)]);
+        for _ in 0..3 {
+            t.record_span_tree(&tree);
+        }
+        let s = t.snapshot();
+        assert_eq!(s.spans.len(), 3);
+        assert_eq!(s.spans_dropped, 3);
+        assert_eq!(s.counters.get(names::SPANS_DROPPED), Some(&3));
+    }
+
+    #[test]
+    fn critical_path_counters_name_the_dominant_stage() {
+        let t = Telemetry::new();
+        let tree = SpanNode::node(
+            "sched.batch.lookup",
+            vec![
+                SpanNode::leaf("sort", 100),
+                SpanNode::node(
+                    "kernel",
+                    vec![SpanNode::leaf("dram", 600), SpanNode::leaf("exec", 200)],
+                ),
+                SpanNode::leaf("d2h", 100),
+            ],
+        );
+        t.record_span_tree(&tree);
+        let s = t.snapshot();
+        assert_eq!(s.counters.get("cuart.trace.critical.dram"), Some(&1));
+        let share = s.gauges.get(names::TRACE_CRITICAL_SHARE).copied().unwrap();
+        assert!((share - 0.6).abs() < 1e-9, "share {share}");
+    }
+
+    #[test]
+    fn dropped_event_counter_lands_in_the_counter_map() {
+        let t = Telemetry::with_event_capacity(2);
+        for i in 0..5u64 {
+            t.record(BatchEvent::new(BatchKind::Lookup, i));
+        }
+        let s = t.snapshot();
+        assert_eq!(s.counters.get(names::EVENTS_DROPPED), Some(&3));
+        assert_eq!(s.counters.get(names::SPANS_DROPPED), Some(&0));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! of identical sessions are byte-identical — the golden tests rely on it.
 
 use crate::event::BatchEvent;
+use crate::tracing::Span;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -49,6 +50,10 @@ pub struct Snapshot {
     pub events: Vec<BatchEvent>,
     /// Events evicted from the bounded ring before this snapshot.
     pub events_dropped: u64,
+    /// The retained tail of the hierarchical span store, oldest first.
+    pub spans: Vec<Span>,
+    /// Spans evicted from the bounded span store before this snapshot.
+    pub spans_dropped: u64,
 }
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -100,7 +105,9 @@ impl Snapshot {
     /// Serialize the snapshot as a single JSON object.
     ///
     /// Layout: `{"counters":{...},"gauges":{...},"histograms":{...},`
-    /// `"events":[...],"events_dropped":N}` with keys in sorted order.
+    /// `"events":[...],"events_dropped":N,"spans":[...],`
+    /// `"spans_dropped":N}` with keys in sorted order, so identical
+    /// sessions export byte-identical documents.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\"counters\":{");
@@ -159,7 +166,31 @@ impl Snapshot {
             }
             out.push('}');
         }
-        write!(out, "],\"events_dropped\":{}}}", self.events_dropped).expect("string write");
+        write!(out, "],\"events_dropped\":{}", self.events_dropped).expect("string write");
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"attrs\":{{",
+                s.id,
+                s.parent,
+                json_escape(&s.name),
+                s.start_ns,
+                s.end_ns,
+            )
+            .expect("string write");
+            for (j, (k, v)) in s.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v)).expect("string write");
+            }
+            out.push_str("}}");
+        }
+        write!(out, "],\"spans_dropped\":{}}}", self.spans_dropped).expect("string write");
         out
     }
 
@@ -198,6 +229,8 @@ impl Snapshot {
         }
         writeln!(out, "# TYPE cuart_events_dropped counter").expect("string write");
         writeln!(out, "cuart_events_dropped {}", self.events_dropped).expect("string write");
+        writeln!(out, "# TYPE cuart_spans_dropped counter").expect("string write");
+        writeln!(out, "cuart_spans_dropped {}", self.spans_dropped).expect("string write");
         out
     }
 }
@@ -226,9 +259,111 @@ mod tests {
         let s = Snapshot::default();
         assert_eq!(
             s.to_json(),
-            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":[],\"events_dropped\":0}"
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"events\":[],\
+             \"events_dropped\":0,\"spans\":[],\"spans_dropped\":0}"
         );
-        assert!(s.to_prometheus().contains("cuart_events_dropped 0"));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("cuart_events_dropped 0"));
+        assert!(prom.contains("cuart_spans_dropped 0"));
+        // An empty registry exposes exactly the two overflow counters.
+        assert_eq!(prom.lines().count(), 4);
+        assert!(prom.lines().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn exports_are_deterministic_regardless_of_insert_order() {
+        let build = |order: &[&str]| {
+            let mut s = Snapshot::default();
+            for (i, name) in order.iter().enumerate() {
+                s.counters.insert(name.to_string(), i as u64 + 1);
+                s.gauges.insert(format!("g.{name}"), i as f64);
+            }
+            s
+        };
+        let mut a = build(&["zeta", "alpha", "mid"]);
+        let mut b = build(&["alpha", "mid", "zeta"]);
+        // Same final contents regardless of insertion order…
+        for s in [&mut a, &mut b] {
+            for (i, name) in ["zeta", "alpha", "mid"].iter().enumerate() {
+                s.counters.insert(name.to_string(), i as u64 + 1);
+                s.gauges.insert(format!("g.{name}"), i as f64);
+            }
+        }
+        // …exports byte-identical text.
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+        // Keys come out sorted.
+        let json = a.to_json();
+        let alpha = json.find("\"alpha\"").unwrap();
+        let mid = json.find("\"mid\"").unwrap();
+        let zeta = json.find("\"zeta\"").unwrap();
+        assert!(alpha < mid && mid < zeta);
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_metric_names() {
+        let mut s = Snapshot::default();
+        s.counters.insert("weird name{with}\"chars\"".into(), 7);
+        let prom = s.to_prometheus();
+        assert!(prom.contains("weird_name_with__chars_ 7"));
+        assert!(!prom
+            .lines()
+            .any(|l| !l.starts_with('#') && l.contains('{') && !l.contains("le=")));
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_with_inf() {
+        let mut s = Snapshot::default();
+        s.histograms.insert(
+            "cuart.lookup.kernel_ns".into(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 1040,
+                min: 1,
+                max: 1000,
+                buckets: vec![(1, 1), (31, 2), (1023, 1)],
+            },
+        );
+        let prom = s.to_prometheus();
+        let lines: Vec<&str> = prom
+            .lines()
+            .filter(|l| l.starts_with("cuart_lookup_kernel_ns"))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                "cuart_lookup_kernel_ns_bucket{le=\"1\"} 1",
+                "cuart_lookup_kernel_ns_bucket{le=\"31\"} 3",
+                "cuart_lookup_kernel_ns_bucket{le=\"1023\"} 4",
+                "cuart_lookup_kernel_ns_bucket{le=\"+Inf\"} 4",
+                "cuart_lookup_kernel_ns_sum 1040",
+                "cuart_lookup_kernel_ns_count 4",
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_serialize_with_escaped_attrs() {
+        let mut s = Snapshot::default();
+        s.spans.push(Span {
+            id: 1,
+            parent: 0,
+            name: "batch.lookup".into(),
+            start_ns: 0,
+            end_ns: 450,
+            attrs: vec![
+                ("keys".into(), "16".into()),
+                ("q\"uote".into(), "a\nb".into()),
+            ],
+        });
+        s.spans_dropped = 2;
+        let json = s.to_json();
+        assert!(json.contains("\"spans\":[{\"id\":1,\"parent\":0,\"name\":\"batch.lookup\""));
+        assert!(json.contains("\"q\\\"uote\":\"a\\nb\""));
+        assert!(json.contains("\"spans_dropped\":2"));
+        let v = crate::json::parse(&json).expect("snapshot JSON parses");
+        let spans = v.get("spans").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(spans[0].get("end_ns").and_then(|n| n.as_u64()), Some(450));
     }
 
     #[test]

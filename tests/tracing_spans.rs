@@ -1,0 +1,208 @@
+//! End-to-end span tracing: every device batch leaves a span tree whose
+//! leaf durations reproduce the batch's modeled time exactly, the trees
+//! nest, the Chrome-trace exporter round-trips through the bundled JSON
+//! parser, and recording spans never changes the modeled results.
+
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_gpu_sim::devices;
+use cuart_telemetry::tracing::{critical_paths, to_chrome_json, to_folded};
+use cuart_telemetry::{names, Span, Telemetry};
+use cuart_workloads::uniform_keys;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn instrumented_index(n: usize) -> (CuartIndex, Vec<Vec<u8>>, Arc<Telemetry>) {
+    let keys = uniform_keys(n, 8, 42);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let telemetry = Arc::new(Telemetry::new());
+    let index =
+        CuartIndex::build(&art, &CuartConfig::for_tests()).with_telemetry(telemetry.clone());
+    (index, keys, telemetry)
+}
+
+/// Leaves of a flattened span list: spans no other span names as parent.
+fn leaves(spans: &[Span]) -> Vec<&Span> {
+    let parents: Vec<u64> = spans.iter().map(|s| s.parent).collect();
+    spans.iter().filter(|s| !parents.contains(&s.id)).collect()
+}
+
+#[test]
+fn batch_span_trees_sum_to_modeled_batch_time() {
+    let (index, keys, telemetry) = instrumented_index(4000);
+    let dev = devices::rtx3090();
+    let mut session = index.device_session(&dev);
+    session.lookup_batch(&keys[..1024]).unwrap();
+    let updates: Vec<(Vec<u8>, u64)> = keys[..512].iter().map(|k| (k.clone(), 7)).collect();
+    session.update_batch(&updates).unwrap();
+    let fresh: Vec<(Vec<u8>, u64)> = uniform_keys(128, 8, 4242)
+        .into_iter()
+        .map(|k| (k, 9))
+        .collect();
+    session.insert_batch(&fresh).unwrap();
+
+    let snap = telemetry.snapshot();
+    let roots: Vec<&Span> = snap.spans.iter().filter(|s| s.parent == 0).collect();
+    assert_eq!(
+        roots.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+        vec!["batch.lookup", "batch.update", "batch.insert"]
+    );
+
+    // Per tree: every child nests inside its parent, and the leaf
+    // durations sum to the root duration — exactly, not approximately:
+    // the tree *is* the breakdown of the modeled batch time.
+    let by_id: BTreeMap<u64, &Span> = snap.spans.iter().map(|s| (s.id, s)).collect();
+    for s in snap.spans.iter().filter(|s| s.parent != 0) {
+        let p = by_id[&s.parent];
+        assert!(
+            s.start_ns >= p.start_ns && s.end_ns <= p.end_ns,
+            "span {} [{},{}] escapes parent {} [{},{}]",
+            s.name,
+            s.start_ns,
+            s.end_ns,
+            p.name,
+            p.start_ns,
+            p.end_ns
+        );
+    }
+    for root in &roots {
+        let in_tree: Vec<Span> = snap
+            .spans
+            .iter()
+            .filter(|s| {
+                let mut cur = s.id;
+                loop {
+                    if cur == root.id {
+                        return true;
+                    }
+                    match by_id.get(&cur) {
+                        Some(s) if s.parent != 0 => cur = s.parent,
+                        _ => return false,
+                    }
+                }
+            })
+            .cloned()
+            .collect();
+        let leaf_sum: u64 = leaves(&in_tree).iter().map(|s| s.duration_ns()).sum();
+        assert_eq!(
+            leaf_sum,
+            root.duration_ns(),
+            "tree {} leaves must sum to the root",
+            root.name
+        );
+        assert!(root.duration_ns() > 0, "batch trees model nonzero time");
+    }
+
+    // Each tree carries the expected pipeline stages.
+    let lookup_leaves: Vec<&str> = leaves(&snap.spans)
+        .iter()
+        .filter(|s| {
+            let mut cur = s.parent;
+            while cur != 0 {
+                let p = by_id[&cur];
+                if p.id == roots[0].id {
+                    return true;
+                }
+                cur = p.parent;
+            }
+            false
+        })
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(lookup_leaves, vec!["h2d", "dram", "exec", "d2h"]);
+}
+
+#[test]
+fn critical_path_counters_and_analyzer_agree() {
+    let (index, keys, telemetry) = instrumented_index(3000);
+    let dev = devices::gtx1070();
+    let mut session = index.device_session(&dev);
+    for chunk in keys.chunks(512) {
+        session.lookup_batch(chunk).unwrap();
+    }
+    let snap = telemetry.snapshot();
+
+    // One dominant-stage increment per recorded tree.
+    let trees = snap.spans.iter().filter(|s| s.parent == 0).count();
+    let critical_total: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with(names::TRACE_CRITICAL_PREFIX))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(critical_total, trees as u64);
+    let share = snap.gauges[names::TRACE_CRITICAL_SHARE];
+    assert!(share > 0.0 && share <= 1.0, "share {share}");
+
+    // The offline analyzer reconstructs the same dominant stages from the
+    // flattened spans.
+    let paths = critical_paths(&snap.spans);
+    assert_eq!(paths.len(), trees);
+    let mut by_stage: BTreeMap<String, u64> = BTreeMap::new();
+    for p in &paths {
+        assert!(p.root_name == "batch.lookup");
+        assert!(p.share > 0.0 && p.share <= 1.0);
+        *by_stage.entry(p.stage.clone()).or_default() += 1;
+    }
+    for (stage, n) in by_stage {
+        let counter = format!("{}{stage}", names::TRACE_CRITICAL_PREFIX);
+        assert_eq!(snap.counters[&counter], n, "{counter}");
+    }
+}
+
+#[test]
+fn chrome_trace_export_round_trips_and_folded_stacks_cover_all_leaves() {
+    let (index, keys, telemetry) = instrumented_index(2000);
+    let mut session = index.device_session(&devices::a100());
+    session.lookup_batch(&keys[..768]).unwrap();
+    let snap = telemetry.snapshot();
+
+    let json = to_chrome_json(&snap.spans);
+    let doc = cuart_telemetry::json::parse(&json).expect("exporter emits valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), snap.spans.len());
+    for e in events {
+        assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert!(e.get("args").and_then(|a| a.get("id")).is_some());
+    }
+
+    // Folded stacks account for every nanosecond of leaf time.
+    let folded = to_folded(&snap.spans);
+    let folded_ns: u64 = folded
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    let leaf_ns: u64 = leaves(&snap.spans).iter().map(|s| s.duration_ns()).sum();
+    assert_eq!(folded_ns, leaf_ns);
+    assert!(folded.contains("batch.lookup;kernel;exec"), "{folded}");
+}
+
+#[test]
+fn span_recording_never_changes_modeled_results() {
+    let (index, keys, telemetry) = instrumented_index(2000);
+    let dev = devices::rtx3090();
+
+    let mut traced = index.device_session(&dev);
+    let (vals_on, report_on) = traced.lookup_batch(&keys[..512]).unwrap();
+
+    let mut quiet = index.device_session(&dev);
+    quiet.set_span_recording(false);
+    let before = telemetry.snapshot().spans.len();
+    let (vals_off, report_off) = quiet.lookup_batch(&keys[..512]).unwrap();
+
+    // Same answers, identical modeled time: tracing is observation only,
+    // so its "overhead" on modeled throughput is exactly zero.
+    assert_eq!(vals_on, vals_off);
+    assert_eq!(report_on.time_ns, report_off.time_ns);
+    assert_eq!(
+        telemetry.snapshot().spans.len(),
+        before,
+        "a muted session must record no spans"
+    );
+}
