@@ -4,17 +4,30 @@ pub mod cpu;
 pub mod gpu_devices;
 pub mod hybrid;
 pub mod lookup;
+pub mod overload;
 pub mod serving;
 pub mod update;
 
 use crate::context::RunCtx;
 use crate::series::Figure;
 
-/// All figure ids in paper order (`fig19` is this repo's serving-layer
-/// extension, not a paper figure).
+/// All figure ids in paper order (`fig19` and `fig-overload` are this
+/// repo's serving-layer extensions, not paper figures).
 pub const ALL: &[&str] = &[
-    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-    "fig18", "fig19",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig-overload",
 ];
 
 /// Run one figure by id.
@@ -33,6 +46,7 @@ pub fn run(id: &str, ctx: &RunCtx) -> Figure {
         "fig17" => update::fig17(ctx),
         "fig18" => gpu_devices::fig18(ctx),
         "fig19" => serving::fig19(ctx),
+        "fig-overload" => overload::fig_overload(ctx),
         other => panic!("unknown figure id {other:?}; known: {ALL:?}"),
     }
 }

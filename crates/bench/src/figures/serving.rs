@@ -64,12 +64,12 @@ fn run_cell(
         batch_target: BATCH_TARGET,
         deadline,
         sort_batches: sorted,
-        fault_injector: None,
+        ..SchedulerConfig::default()
     };
     let sched = Scheduler::spawn(Arc::clone(index), *dev, cfg);
     let mut handles = Vec::new();
     for p in 0..producers {
-        let client = sched.client();
+        let client = sched.client().expect("fresh scheduler");
         // Each producer walks its own shuffled slice of the key space, so
         // arrival order at the executor is unsorted and interleaved.
         let slice: Vec<Vec<u8>> = keys
@@ -88,7 +88,7 @@ fn run_cell(
     for h in handles {
         h.join().expect("producer thread");
     }
-    sched.join()
+    sched.join().expect("executor alive")
 }
 
 /// Modeled serving throughput in MOps/s: launch overhead charged once per

@@ -22,6 +22,8 @@ USAGE:
                   [--ops 65536] [--unsorted] [--smoke] [--device NAME]
                   [--metrics-out FILE] [--trace-out FILE] [--folded-out FILE]
                   [--fault-seed N] [--fault-rate P]
+                  [--admission block|reject] [--admission-timeout-us N]
+                  [--queue-cap N] [--op-deadline-us N]
   cuart trace  INDEX [--device NAME] [--batch N] [--batches N]
                [--out trace.json] [--folded out.txt]
   cuart verify-trace TRACE.json
@@ -40,6 +42,10 @@ trees as Chrome-trace JSON — open in chrome://tracing or Perfetto;
 serve-sim workload to 8192 ops in batches of 1024 for comparable CI
 runs. verify-trace checks a trace file nests and that every batch
 tree's leaf durations reproduce the modeled batch time (±1%).
+OVERLOAD: --queue-cap bounds the scheduler's resident ops; a full queue
+blocks (default), fails fast (--admission reject) or blocks up to
+--admission-timeout-us. --op-deadline-us sheds ops still queued past
+their budget with DeadlineExceeded instead of serving them late.
 verify-snapshot checks a saved index (header, per-section CRCs,
 structural parse) without loading it";
 
@@ -120,6 +126,33 @@ fn fault_options(args: &Args) -> Option<FaultOptions> {
         seed: seed.unwrap_or(0),
         rate,
     })
+}
+
+/// Parse the serve-sim overload knobs (`--admission`,
+/// `--admission-timeout-us`, `--queue-cap`, `--op-deadline-us`).
+fn overload_options(args: &Args) -> OverloadOptions {
+    let timeout_us: Option<u64> = args.flag("admission-timeout-us").map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| fail("bad --admission-timeout-us"))
+    });
+    let admission = match (args.flag("admission"), timeout_us) {
+        (Some("reject"), _) => AdmissionPolicy::Reject,
+        (Some("block") | None, Some(us)) => {
+            AdmissionPolicy::BlockWithTimeout(std::time::Duration::from_micros(us))
+        }
+        (Some("block") | None, None) => AdmissionPolicy::Block,
+        (Some(other), _) => fail(&format!("bad --admission {other:?} (block|reject)")),
+    };
+    OverloadOptions {
+        admission,
+        queue_cap: args
+            .flag("queue-cap")
+            .map(|s| s.parse().unwrap_or_else(|_| fail("bad --queue-cap")))
+            .unwrap_or(0),
+        op_deadline_us: args
+            .flag("op-deadline-us")
+            .map(|s| s.parse().unwrap_or_else(|_| fail("bad --op-deadline-us"))),
+    }
 }
 
 fn main() {
@@ -246,6 +279,7 @@ fn main() {
                 trace_out.as_deref(),
                 folded_out.as_deref(),
                 fault_options(&args),
+                overload_options(&args),
             )
         }
         "trace" => {

@@ -14,6 +14,8 @@
 //! cuart serve-sim idx.cuart [--producers 4] [--deadline-us 200] [--batch 32768]
 //!                 [--ops 65536] [--unsorted] [--smoke] [--device NAME] [--metrics-out FILE]
 //!                 [--trace-out FILE] [--folded-out FILE] [--fault-seed N] [--fault-rate P]
+//!                 [--admission block|reject] [--admission-timeout-us N]
+//!                 [--queue-cap N] [--op-deadline-us N]
 //! cuart trace  idx.cuart [--device NAME] [--batch N] [--batches N]
 //!              [--out trace.json] [--folded out.txt]
 //! cuart verify-trace trace.json
@@ -33,8 +35,9 @@
 use cuart::{CuartConfig, CuartIndex, CuartSession};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::NOT_FOUND;
-use cuart_gpu_sim::{devices, DeviceConfig, FaultInjector};
-use cuart_host::scheduler::{SchedError, Scheduler, SchedulerConfig};
+use cuart_gpu_sim::{devices, DeviceConfig, FaultConfig, FaultInjector};
+pub use cuart_host::scheduler::AdmissionPolicy;
+use cuart_host::scheduler::{BreakerConfig, SchedError, Scheduler, SchedulerConfig};
 use cuart_telemetry::tracing::{critical_paths, to_chrome_json, to_folded};
 use cuart_telemetry::{Snapshot, Telemetry};
 use std::fmt::Write as _;
@@ -252,6 +255,19 @@ pub struct FaultOptions {
     pub seed: u64,
     /// Per-site fault probability in `0.0..=1.0`.
     pub rate: f64,
+}
+
+/// Overload-protection options for `serve-sim` (`--admission`,
+/// `--admission-timeout-us`, `--queue-cap`, `--op-deadline-us`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverloadOptions {
+    /// What producers experience when the bounded queue is full.
+    pub admission: AdmissionPolicy,
+    /// Resident-op cap of the submission queue; 0 = unbounded.
+    pub queue_cap: usize,
+    /// Default per-op latency budget in microseconds; expired ops are
+    /// shed with `DeadlineExceeded` before dispatch.
+    pub op_deadline_us: Option<u64>,
 }
 
 /// Open a device session, attaching a [`FaultInjector`] when fault
@@ -474,6 +490,15 @@ pub fn cmd_metrics(
 /// the workload shape (8192 ops in batches of 1024) so CI runs are
 /// comparable; `trace_out` / `folded_out` export the recorded
 /// `sched.batch.*` span trees as Chrome-trace JSON / folded stacks.
+///
+/// Producers tolerate overload refusals (`QueueFull`, `AdmissionTimeout`,
+/// `DeadlineExceeded` are counted, not fatal); any other scheduler error
+/// still fails the command. Under `smoke` with faults armed the random
+/// rate is replaced by a pinned deterministic fault storm and the run is
+/// extended until the circuit breaker demonstrably walks
+/// `Open → HalfOpen → Closed` (a 5 % random rate cannot reliably produce
+/// a full trip-and-recover inside 8192 ops), so the CI overload drill can
+/// assert a clean `recovered` event in the metrics spill.
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_serve_sim(
     path: &Path,
@@ -488,6 +513,7 @@ pub fn cmd_serve_sim(
     trace_out: Option<&Path>,
     folded_out: Option<&Path>,
     faults: Option<FaultOptions>,
+    overload: OverloadOptions,
 ) -> Result<String, CliError> {
     let producers = producers.max(1);
     let (ops, batch) = if smoke { (8192, 1024) } else { (ops, batch) };
@@ -509,41 +535,113 @@ pub fn cmd_serve_sim(
              --fault-seed/--fault-rate have no effect"
         );
     }
+    // The deterministic smoke storm: a pinned run of early device-op
+    // faults (degrade + breaker trip), clean afterwards (half-open probes
+    // recover). Only meaningful when the injector can actually fire.
+    let smoke_storm = smoke && faults.is_some() && FaultInjector::is_active();
+    let injector = faults.map(|f| {
+        if smoke_storm {
+            FaultInjector::new(FaultConfig::uniform(f.seed, 0.0).fail_range(0, 8))
+        } else {
+            FaultInjector::uniform(f.seed, f.rate)
+        }
+    });
+    let breaker = if smoke_storm {
+        // Short cooldown so the Open → HalfOpen → Closed walk completes
+        // inside the pinned smoke workload.
+        Some(BreakerConfig {
+            open_cooldown: std::time::Duration::from_millis(2),
+            probe_batches: 1,
+            ..BreakerConfig::default()
+        })
+    } else {
+        Some(BreakerConfig::default())
+    };
     let cfg = SchedulerConfig {
         batch_target: batch.max(1),
         deadline: std::time::Duration::from_micros(deadline_us),
         sort_batches: !unsorted,
-        fault_injector: faults.map(|f| FaultInjector::uniform(f.seed, f.rate)),
+        fault_injector: injector,
+        queue_cap: overload.queue_cap,
+        admission: overload.admission,
+        op_deadline: overload
+            .op_deadline_us
+            .map(std::time::Duration::from_micros),
+        breaker,
     };
     let sched = Scheduler::spawn(Arc::clone(&index), dev, cfg);
     let per_producer = ops.div_ceil(producers).max(1);
     const REQUEST_KEYS: usize = 256;
+    /// Per-producer outcome tally: hits plus refused-op counts.
+    #[derive(Default)]
+    struct Tally {
+        hits: u64,
+        shed: u64,
+        rejected: u64,
+        timed_out: u64,
+    }
     let mut handles = Vec::new();
     for p in 0..producers {
-        let client = sched.client();
+        let client = sched
+            .client()
+            .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
         // Each producer strides through the stored keys from its own
         // offset, so arrival order at the executor is interleaved and
         // unsorted.
         let probes: Vec<Vec<u8>> = (0..per_producer)
             .map(|i| stored[(p * 131 + i * 7) % stored.len()].0.clone())
             .collect();
-        handles.push(std::thread::spawn(move || -> Result<u64, SchedError> {
-            let mut hits = 0u64;
+        handles.push(std::thread::spawn(move || -> Result<Tally, SchedError> {
+            let mut tally = Tally::default();
             for chunk in probes.chunks(REQUEST_KEYS) {
-                let results = client.lookup(chunk.to_vec())?;
-                hits += results.iter().filter(|&&r| r != NOT_FOUND).count() as u64;
+                match client.lookup(chunk.to_vec()) {
+                    Ok(results) => {
+                        tally.hits += results.iter().filter(|&&r| r != NOT_FOUND).count() as u64;
+                    }
+                    // Overload refusals are expected outcomes of an
+                    // overload drill, not failures.
+                    Err(SchedError::DeadlineExceeded) => tally.shed += chunk.len() as u64,
+                    Err(SchedError::QueueFull) => tally.rejected += chunk.len() as u64,
+                    Err(SchedError::AdmissionTimeout) => tally.timed_out += chunk.len() as u64,
+                    Err(e) => return Err(e),
+                }
             }
-            Ok(hits)
+            Ok(tally)
         }));
     }
-    let mut hits = 0u64;
+    let mut tally = Tally::default();
     for h in handles {
-        hits += h
+        let t = h
             .join()
             .map_err(|_| CliError::Input("producer thread panicked".into()))?
             .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+        tally.hits += t.hits;
+        tally.shed += t.shed;
+        tally.rejected += t.rejected;
+        tally.timed_out += t.timed_out;
     }
-    let stats = sched.join();
+    if smoke_storm {
+        drive_breaker_recovery(&sched, &telemetry, &stored)?;
+    }
+    if smoke && overload.op_deadline_us.is_some() {
+        // Deterministic shed probe: a zero-budget lookup is expired by the
+        // time the executor coalesces it, so the drill always exercises
+        // (and the CI assertion always sees) the shedding path.
+        let client = sched
+            .client()
+            .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+        match client.lookup_with_deadline(vec![stored[0].0.clone()], std::time::Duration::ZERO) {
+            Err(SchedError::DeadlineExceeded) => tally.shed += 1,
+            other => {
+                return Err(CliError::Input(format!(
+                    "shed probe: expected DeadlineExceeded, got {other:?}"
+                )))
+            }
+        }
+    }
+    let stats = sched
+        .join()
+        .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
     let mut out = format!(
         "{} lookups from {producers} producers on {} — {} batches \
          (mean fill {:.0}, {} size / {} deadline / {} final flushes)\n\
@@ -558,7 +656,21 @@ pub fn cmd_serve_sim(
         stats.kernel_time_ns / 1e3,
         stats.kernel_ns_per_key(),
         100.0 * stats.l2_hit_rate(),
-        hits,
+        tally.hits,
+    );
+    let _ = write!(
+        out,
+        "\noverload: {} shed / {} rejected / {} admission timeouts, \
+         max resident {} (cap {})\nbreaker: {} trips, {} probe batches, \
+         {} cpu-only batches",
+        stats.shed_ops,
+        stats.rejected_ops,
+        stats.admission_timeout_ops,
+        stats.max_resident_ops,
+        overload.queue_cap,
+        stats.breaker_trips,
+        stats.probe_batches,
+        stats.breaker_open_batches,
     );
     if !cfg!(feature = "telemetry") {
         eprintln!("warning: built without the `telemetry` feature; metrics will be empty");
@@ -583,6 +695,49 @@ pub fn cmd_serve_sim(
         }
     }
     Ok(out)
+}
+
+/// Keep trickling probe lookups through the scheduler until the circuit
+/// breaker's recovery is visible in telemetry (a `recovered` session
+/// event — the half-open probe re-uploaded the device image), or a
+/// bounded number of rounds elapses. Used by the smoke fault drill, where
+/// the pinned workload may drain before the breaker cooldown does.
+fn drive_breaker_recovery(
+    sched: &Scheduler,
+    telemetry: &Arc<Telemetry>,
+    stored: &[(Vec<u8>, u64)],
+) -> Result<(), CliError> {
+    use cuart_telemetry::BatchKind;
+    if !telemetry.is_enabled() {
+        // Without the `telemetry` feature there are no events to wait on.
+        return Ok(());
+    }
+    let client = sched
+        .client()
+        .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+    for _ in 0..500 {
+        let recovered = telemetry
+            .snapshot()
+            .events
+            .iter()
+            .any(|ev| ev.kind == BatchKind::Recovered);
+        if recovered {
+            return Ok(());
+        }
+        // A generous explicit deadline: the drill's tight `--op-deadline-us`
+        // default would shed this drive traffic before it reaches the
+        // device and the probe window would never see a batch.
+        match client
+            .lookup_with_deadline(vec![stored[0].0.clone()], std::time::Duration::from_secs(5))
+        {
+            Ok(_) | Err(SchedError::DeadlineExceeded) => {}
+            Err(e) => return Err(CliError::Input(format!("recovery drive: {e}"))),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    Err(CliError::Input(
+        "breaker never recovered within the drill budget".into(),
+    ))
 }
 
 /// Run an instrumented lookup workload and export the recorded span trees
@@ -966,6 +1121,7 @@ mod tests {
             None,
             None,
             None,
+            OverloadOptions::default(),
         )
         .unwrap();
         assert!(out.contains("1024 lookups from 2 producers"), "{out}");
@@ -979,10 +1135,74 @@ mod tests {
         }
         // The unsorted control also runs.
         let out = cmd_serve_sim(
-            &idx, "gtx1070", 1, 100, 256, 256, true, false, None, None, None, None,
+            &idx,
+            "gtx1070",
+            1,
+            100,
+            256,
+            256,
+            true,
+            false,
+            None,
+            None,
+            None,
+            None,
+            OverloadOptions::default(),
         )
         .unwrap();
         assert!(out.contains("256 lookups from 1 producers"), "{out}");
+        for p in [keys, idx, out_file] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_sim_overload_drill_sheds_and_recovers() {
+        let lines: Vec<String> = (0..400u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("overload", &refs);
+        let idx = tmp("overload-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let out_file = tmp("overload-metrics");
+        let overload = OverloadOptions {
+            admission: AdmissionPolicy::Reject,
+            queue_cap: 4096,
+            op_deadline_us: Some(500),
+        };
+        let faults = Some(FaultOptions {
+            seed: 7,
+            rate: 0.05,
+        });
+        let out = cmd_serve_sim(
+            &idx,
+            "gtx1070",
+            4,
+            200,
+            1024,
+            8192,
+            false,
+            true, // smoke: pinned workload + deterministic fault storm
+            Some(&out_file),
+            None,
+            None,
+            faults,
+            overload,
+        )
+        .unwrap();
+        // The deterministic shed probe guarantees a non-zero shed count.
+        assert!(out.contains("overload:"), "{out}");
+        assert!(!out.contains("overload: 0 shed"), "{out}");
+        assert!(out.contains("cap 4096"), "{out}");
+        #[cfg(all(feature = "telemetry", feature = "faults"))]
+        {
+            // The storm tripped the breaker and the drill drove it back to
+            // recovery: both ends of the walk land in the metrics spill.
+            let written = std::fs::read_to_string(&out_file).unwrap();
+            assert!(written.contains("cuart.sched.breaker_trips"), "{written}");
+            assert!(written.contains("cuart.sched.shed"), "{written}");
+            assert!(written.contains("\"breaker_open\""), "{written}");
+            assert!(written.contains("\"recovered\""), "{written}");
+        }
         for p in [keys, idx, out_file] {
             std::fs::remove_file(p).ok();
         }
@@ -1036,6 +1256,7 @@ mod tests {
             Some(&trace),
             None,
             None,
+            OverloadOptions::default(),
         )
         .unwrap();
         // Smoke mode pins the workload shape regardless of the flags.

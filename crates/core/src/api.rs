@@ -157,7 +157,13 @@ impl CuartIndex {
     /// allocate new leaves.
     pub fn upload_with_headroom(&self, mem: &mut DeviceMemory, leaf_headroom: usize) -> DeviceTree {
         let b = &self.buffers;
-        let lut_bytes: Vec<u8> = b.lut.iter().flat_map(|v| v.to_le_bytes()).collect();
+        // Pre-sized chunk writes: the default LUT is 2^24 entries, and a
+        // per-element `flat_map().collect()` made every session open (and
+        // every recovery re-upload) pay seconds for it in debug builds.
+        let mut lut_bytes = vec![0u8; b.lut.len() * 8];
+        for (chunk, v) in lut_bytes.chunks_exact_mut(8).zip(&b.lut) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
         let mut meta = [0u8; 8];
         meta.copy_from_slice(&b.root.0.to_le_bytes());
         let padded = |name: &str, data: &[u8], ty: LinkType, mem: &mut DeviceMemory| {
@@ -449,13 +455,24 @@ pub struct CuartSession<'a> {
     retry: RetryPolicy,
     /// `true` while device legs are served by the CPU fallback.
     degraded: bool,
+    /// External pin (the scheduler's circuit breaker): while set, the
+    /// session stays degraded and skips per-batch recovery probing, so an
+    /// open breaker serves every batch from the CPU path with no device
+    /// traffic at all.
+    cpu_only: bool,
     /// Once a degradation happens the journal becomes the authority for
     /// every key it contains — a recovery re-upload restores the pristine
     /// build image, so pre-fault device mutations only survive here.
     journal_authoritative: bool,
     /// Device-leg mutations since session open (`None` = deleted).
-    /// Maintained whenever an injector is attached.
+    /// Maintained whenever an injector is attached or shadowing is
+    /// forced on.
     journal: BTreeMap<Vec<u8>, Option<u64>>,
+    /// Force journal shadowing even without an injector, so a later
+    /// [`CuartSession::set_cpu_only`] pin (e.g. a latency-SLO breaker
+    /// trip with no fault injector) still finds every device mutation in
+    /// the journal.
+    journal_shadowing: bool,
     retries_total: u64,
     degradations: u64,
     recoveries: u64,
@@ -487,8 +504,10 @@ impl<'a> CuartSession<'a> {
             injector: None,
             retry: RetryPolicy::default(),
             degraded: false,
+            cpu_only: false,
             journal_authoritative: false,
             journal: BTreeMap::new(),
+            journal_shadowing: false,
             retries_total: 0,
             degradations: 0,
             recoveries: 0,
@@ -567,6 +586,35 @@ impl<'a> CuartSession<'a> {
     /// `true` while device keys are served by the CPU fallback.
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Pin (or release) the session to the authoritative CPU path.
+    ///
+    /// Pinning degrades the session (journal becomes authoritative, a
+    /// `Degraded` event is emitted) and suppresses the per-batch recovery
+    /// probe, so no device traffic happens until the pin is released —
+    /// this is how the scheduler's circuit breaker serves an `Open`
+    /// window without retry storms. Releasing only clears the pin; the
+    /// next batch's normal `try_recover` performs the re-upload (and may
+    /// itself fault, keeping the session degraded).
+    pub fn set_cpu_only(&mut self, on: bool) {
+        self.cpu_only = on;
+        if on {
+            self.degrade(0);
+        }
+    }
+
+    /// `true` while the session is pinned to the CPU path.
+    pub fn is_cpu_only(&self) -> bool {
+        self.cpu_only
+    }
+
+    /// Force journal shadowing of device mutations even without an
+    /// injector. Callers that may pin the session later (the scheduler's
+    /// circuit breaker) enable this **before** the first mutating batch,
+    /// so the CPU path is authoritative whenever the pin lands.
+    pub fn set_journal_shadowing(&mut self, on: bool) {
+        self.journal_shadowing = on;
     }
 
     /// Fault-handling statistics so far.
@@ -661,7 +709,7 @@ impl<'a> CuartSession<'a> {
     /// batch. The re-upload is itself a transfer and can fault — in that
     /// case the session stays degraded and serves the batch on the CPU.
     fn try_recover(&mut self) {
-        if !self.degraded {
+        if !self.degraded || self.cpu_only {
             return;
         }
         if self.fault_check(FaultSite::Transfer).is_err() {
@@ -1153,7 +1201,7 @@ impl<'a> CuartSession<'a> {
         device_values: &[u64],
         insert: bool,
     ) {
-        if self.injector.is_none() && !self.journal_authoritative {
+        if self.injector.is_none() && !self.journal_authoritative && !self.journal_shadowing {
             return;
         }
         for (j, &i) in device_idx.iter().enumerate() {

@@ -1,4 +1,5 @@
-//! Concurrent batch scheduler with sorted-batch execution.
+//! Concurrent batch scheduler with sorted-batch execution and overload
+//! protection.
 //!
 //! The paper's end-to-end numbers assume an *upstream* component that turns
 //! a stream of point operations into device-sized batches (§4.1 "batching
@@ -12,7 +13,7 @@
 //!   (**size flush**), or
 //! * the oldest queued operation has waited
 //!   [`SchedulerConfig::deadline`] (**deadline flush**), or
-//! * every client has disconnected (**final flush**, on shutdown).
+//! * the scheduler shuts down with work still queued (**final flush**).
 //!
 //! Before dispatch the batch keys are **sorted** (stable, via
 //! [`sort_permutation`]) so that adjacent kernel lanes traverse neighboring
@@ -27,20 +28,97 @@
 //! …), so an update submitted before a lookup by the same producer is
 //! applied before that lookup executes.
 //!
-//! Everything here is `std`-only: `std::sync::mpsc` for the submission
-//! queue and per-request reply channels, `std::thread` for the executor.
+//! # Overload protection
+//!
+//! The scheduler is safe to overload — it rejects or sheds, never balloons
+//! or hangs:
+//!
+//! * **Bounded admission** — [`SchedulerConfig::queue_cap`] bounds the
+//!   *resident* operation count (queued **plus** coalesced-but-undispatched),
+//!   so backlog memory is capped by construction. A full queue treats
+//!   producers per [`AdmissionPolicy`]: `Block` (backpressure),
+//!   `BlockWithTimeout` ([`SchedError::AdmissionTimeout`]) or `Reject`
+//!   ([`SchedError::QueueFull`]).
+//! * **Deadline shedding** — every request can carry a latency budget
+//!   ([`SchedulerClient::lookup_with_deadline`] and friends, or the
+//!   [`SchedulerConfig::op_deadline`] default). Expired requests are shed
+//!   at coalesce time — before sorting and dispatch — and answered with
+//!   [`SchedError::DeadlineExceeded`], so one slow batch cannot cascade
+//!   into queue-wide lateness.
+//! * **Circuit breaker** — sustained device faults (or a p99 modeled-latency
+//!   SLO violation) trip the executor from `Closed` to `Open`: the session
+//!   is pinned to the authoritative CPU path (PR-2 degradation, but held at
+//!   the scheduler level so there are no per-batch retry storms or recovery
+//!   probes). After [`BreakerConfig::open_cooldown`] the breaker goes
+//!   `HalfOpen` and lets probe batches touch the device again; clean probes
+//!   close it, a faulty probe re-trips it. Transitions emit
+//!   `breaker_open`/`breaker_half_open`/`breaker_closed` batch events, the
+//!   `cuart.sched.breaker_state` gauge (0 = Closed, 1 = HalfOpen,
+//!   2 = Open) and the `cuart.sched.{breaker_trips,probe_batches}`
+//!   counters.
+//!
+//! Everything here is `std`-only: a `Mutex` + two `Condvar`s for the
+//! bounded submission queue, `std::sync::mpsc` for per-request replies,
+//! `std::thread` for the executor.
 
 use cuart::{CuartError, CuartIndex};
 use cuart_gpu_sim::batch::{gather, scatter_inverse, sort_permutation};
 use cuart_gpu_sim::exec::KernelReport;
 use cuart_gpu_sim::{DeviceConfig, FaultInjector};
-use cuart_telemetry::{names, SpanNode, Telemetry};
+use cuart_telemetry::{names, BatchEvent, BatchKind, SpanNode, Telemetry};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// What a producer experiences when the bounded submission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block until the executor drains enough resident ops (backpressure).
+    #[default]
+    Block,
+    /// Block at most this long, then fail the call with
+    /// [`SchedError::AdmissionTimeout`].
+    BlockWithTimeout(Duration),
+    /// Fail immediately with [`SchedError::QueueFull`].
+    Reject,
+}
+
+/// Circuit-breaker tuning. The default never trips on a healthy system:
+/// it reacts only to injected/real device faults (`fault_threshold`) and,
+/// when a latency SLO is configured, to sustained p99 violations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive faulty batches (a session error, or any injected fault
+    /// during the batch) that trip `Closed` → `Open`.
+    pub fault_threshold: u32,
+    /// Optional p99 SLO on the modeled batch latency, nanoseconds. `None`
+    /// disables the latency trip.
+    pub latency_slo_ns: Option<f64>,
+    /// Sliding-window size (batches) for the p99 estimate; the SLO is
+    /// only evaluated once the window is full.
+    pub latency_window: usize,
+    /// How long the breaker holds `Open` (CPU-only service) before
+    /// letting `HalfOpen` probe batches touch the device again.
+    pub open_cooldown: Duration,
+    /// Clean probe batches required to close from `HalfOpen`.
+    pub probe_batches: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            fault_threshold: 3,
+            latency_slo_ns: None,
+            latency_window: 32,
+            open_cooldown: Duration::from_millis(10),
+            probe_batches: 2,
+        }
+    }
+}
 
 /// How the executor should form device batches.
 #[derive(Debug, Clone)]
@@ -59,6 +137,21 @@ pub struct SchedulerConfig {
     /// Optional fault injector attached to the executor's session at open
     /// time (so the journal covers the whole scheduler lifetime).
     pub fault_injector: Option<FaultInjector>,
+    /// Maximum *resident* operations — queued plus coalesced but not yet
+    /// dispatched or shed. `0` means unbounded (the pre-overload-protection
+    /// behavior). A single request larger than the cap can never be
+    /// admitted and fails with [`SchedError::QueueFull`] under every
+    /// policy.
+    pub queue_cap: usize,
+    /// What producers experience when the queue is at `queue_cap`.
+    pub admission: AdmissionPolicy,
+    /// Default per-operation latency budget. Requests still waiting past
+    /// their deadline are shed at coalesce time with
+    /// [`SchedError::DeadlineExceeded`]. `None` means ops wait forever
+    /// (per-request deadlines still apply).
+    pub op_deadline: Option<Duration>,
+    /// Circuit-breaker configuration; `None` disables the breaker.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -68,6 +161,10 @@ impl Default for SchedulerConfig {
             deadline: Duration::from_micros(200),
             sort_batches: true,
             fault_injector: None,
+            queue_cap: 0,
+            admission: AdmissionPolicy::Block,
+            op_deadline: None,
+            breaker: Some(BreakerConfig::default()),
         }
     }
 }
@@ -75,9 +172,24 @@ impl Default for SchedulerConfig {
 /// Why a submission could not be served.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchedError {
-    /// The scheduler thread has shut down (or panicked) and can no longer
-    /// accept or answer requests.
+    /// The executor thread is gone (it panicked, or died without a clean
+    /// shutdown) and this request will never be answered.
     Disconnected,
+    /// The scheduler was shut down (via [`Scheduler::join`] or `Drop`)
+    /// before this request was admitted. Clean and expected during
+    /// teardown races.
+    Shutdown,
+    /// The bounded queue was full and the admission policy was
+    /// [`AdmissionPolicy::Reject`] (or the request alone exceeds the cap).
+    QueueFull,
+    /// The bounded queue stayed full past the
+    /// [`AdmissionPolicy::BlockWithTimeout`] budget.
+    AdmissionTimeout,
+    /// The operation's latency budget expired while it waited for
+    /// coalescing; it was shed before dispatch.
+    DeadlineExceeded,
+    /// The executor thread panicked; carries the panic payload.
+    ExecutorPanicked(String),
     /// The session failed the batch with a non-transient error. Carries
     /// the rendered [`CuartError`](cuart::CuartError).
     Session(String),
@@ -87,6 +199,11 @@ impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::Disconnected => write!(f, "scheduler disconnected"),
+            SchedError::Shutdown => write!(f, "scheduler shut down"),
+            SchedError::QueueFull => write!(f, "submission queue full"),
+            SchedError::AdmissionTimeout => write!(f, "admission timed out"),
+            SchedError::DeadlineExceeded => write!(f, "operation deadline exceeded"),
+            SchedError::ExecutorPanicked(m) => write!(f, "executor panicked: {m}"),
             SchedError::Session(e) => write!(f, "session error: {e}"),
         }
     }
@@ -108,16 +225,6 @@ enum OpKind {
     Insert,
 }
 
-/// What travels over the submission queue.
-enum Msg {
-    /// A client request.
-    Req(Request),
-    /// Explicit shutdown from [`Scheduler::join`]/`Drop`: drain the
-    /// pending queue and exit, even though clients may still hold
-    /// senders.
-    Shutdown,
-}
-
 /// One queued submission: a slice of same-kind point ops from one client
 /// call, plus the channel its results go back on.
 struct Request {
@@ -127,6 +234,217 @@ struct Request {
     values: Vec<u64>,
     reply: SyncSender<Result<Vec<u64>, SchedError>>,
     enqueued: Instant,
+    /// Shed (with `DeadlineExceeded`) if still undispatched past this.
+    deadline: Option<Instant>,
+}
+
+/// Mutex-guarded state of the bounded submission queue.
+struct QueueInner {
+    queue: VecDeque<Request>,
+    /// Ops admitted but not yet dispatched or shed. This counts the
+    /// executor's coalescing buffer too, so the cap bounds the whole
+    /// backlog, not just the channel.
+    resident_ops: usize,
+    /// No new admissions; the executor drains what is left and exits.
+    closed: bool,
+    /// The executor is gone; queued requests were dropped unanswered.
+    aborted: bool,
+}
+
+/// Bounded MPSC submission queue with resident-op accounting.
+///
+/// `push` admits under the configured cap and policy; the executor `pop`s
+/// requests and calls `release` only once ops reach a terminal state
+/// (dispatched or shed), so `resident_ops ≤ cap` holds across the whole
+/// scheduler, by construction.
+struct SubmissionQueue {
+    inner: Mutex<QueueInner>,
+    /// Producers waiting for resident space.
+    admit: Condvar,
+    /// The executor waiting for work.
+    work: Condvar,
+    /// 0 = unbounded.
+    cap: usize,
+    telemetry: Option<Arc<Telemetry>>,
+    rejected_ops: AtomicU64,
+    timeout_ops: AtomicU64,
+    max_resident_ops: AtomicU64,
+}
+
+/// Outcome of one executor [`SubmissionQueue::pop`].
+enum Pop {
+    /// A request, FIFO.
+    Got(Request),
+    /// The wake deadline passed with the queue still empty.
+    TimedOut,
+    /// Closed and fully drained: the executor can exit.
+    Closed,
+}
+
+impl SubmissionQueue {
+    fn new(cap: usize, telemetry: Option<Arc<Telemetry>>) -> Arc<SubmissionQueue> {
+        Arc::new(SubmissionQueue {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                resident_ops: 0,
+                closed: false,
+                aborted: false,
+            }),
+            admit: Condvar::new(),
+            work: Condvar::new(),
+            cap,
+            telemetry,
+            rejected_ops: AtomicU64::new(0),
+            timeout_ops: AtomicU64::new(0),
+            max_resident_ops: AtomicU64::new(0),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn note_rejected(&self, ops: usize) {
+        self.rejected_ops.fetch_add(ops as u64, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.incr(names::SCHED_REJECTED, ops as u64);
+        }
+    }
+
+    /// Admit one request under the cap, or fail per `policy`.
+    fn push(&self, req: Request, policy: AdmissionPolicy) -> Result<(), SchedError> {
+        let ops = req.keys.len();
+        if self.cap > 0 && ops > self.cap {
+            // Larger than the whole queue: no amount of waiting helps.
+            self.note_rejected(ops);
+            return Err(SchedError::QueueFull);
+        }
+        let wait_until = match policy {
+            AdmissionPolicy::BlockWithTimeout(d) => Some(Instant::now() + d),
+            _ => None,
+        };
+        let mut inner = self.lock();
+        loop {
+            if inner.closed || inner.aborted {
+                return Err(SchedError::Shutdown);
+            }
+            if self.cap == 0 || inner.resident_ops + ops <= self.cap {
+                inner.resident_ops += ops;
+                self.max_resident_ops
+                    .fetch_max(inner.resident_ops as u64, Ordering::Relaxed);
+                inner.queue.push_back(req);
+                drop(inner);
+                self.work.notify_one();
+                return Ok(());
+            }
+            match policy {
+                AdmissionPolicy::Reject => {
+                    drop(inner);
+                    self.note_rejected(ops);
+                    return Err(SchedError::QueueFull);
+                }
+                AdmissionPolicy::Block => {
+                    inner = self.admit.wait(inner).unwrap_or_else(|p| p.into_inner());
+                }
+                AdmissionPolicy::BlockWithTimeout(_) => {
+                    let deadline = wait_until.expect("set for BlockWithTimeout");
+                    let now = Instant::now();
+                    if now >= deadline {
+                        drop(inner);
+                        self.timeout_ops.fetch_add(ops as u64, Ordering::Relaxed);
+                        if let Some(t) = &self.telemetry {
+                            t.incr(names::SCHED_REJECTED, ops as u64);
+                        }
+                        return Err(SchedError::AdmissionTimeout);
+                    }
+                    inner = match self.admit.wait_timeout(inner, deadline - now) {
+                        Ok((g, _)) => g,
+                        Err(p) => p.into_inner().0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Executor-side pop. Blocks until a request arrives, the optional
+    /// `wake` instant passes, or the queue is closed *and* drained.
+    fn pop(&self, wake: Option<Instant>) -> Pop {
+        let mut inner = self.lock();
+        loop {
+            if let Some(req) = inner.queue.pop_front() {
+                return Pop::Got(req);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            match wake {
+                None => {
+                    inner = self.work.wait(inner).unwrap_or_else(|p| p.into_inner());
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Pop::TimedOut;
+                    }
+                    inner = match self.work.wait_timeout(inner, deadline - now) {
+                        Ok((g, _)) => g,
+                        Err(p) => p.into_inner().0,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Ops reached a terminal state (dispatched or shed): free their
+    /// resident slots and wake blocked producers.
+    fn release(&self, ops: usize) {
+        if ops == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.resident_ops = inner.resident_ops.saturating_sub(ops);
+        drop(inner);
+        self.admit.notify_all();
+    }
+
+    /// Stop admissions; the executor drains the remainder and exits.
+    fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        drop(inner);
+        self.work.notify_all();
+        self.admit.notify_all();
+    }
+
+    /// The executor is gone (exit or panic). Drop whatever is still
+    /// queued — each dropped `reply` sender fails its producer's `recv`
+    /// with [`SchedError::Disconnected`] — and wake every waiter.
+    fn abort(&self) {
+        let orphans: Vec<Request> = {
+            let mut inner = self.lock();
+            inner.closed = true;
+            inner.aborted = true;
+            inner.resident_ops = 0;
+            inner.queue.drain(..).collect()
+        };
+        drop(orphans);
+        self.work.notify_all();
+        self.admit.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+/// Calls [`SubmissionQueue::abort`] when the executor unwinds — panic or
+/// normal exit — so producers can never hang on a dead scheduler.
+struct AbortGuard(Arc<SubmissionQueue>);
+
+impl Drop for AbortGuard {
+    fn drop(&mut self) {
+        self.0.abort();
+    }
 }
 
 /// Counters and model totals accumulated by the executor thread, returned
@@ -135,7 +453,7 @@ struct Request {
 pub struct SchedulerStats {
     /// Point operations accepted from clients.
     pub ops_enqueued: u64,
-    /// Client calls (requests) served.
+    /// Client calls (requests) answered — served, failed or shed.
     pub requests: u64,
     /// Device batches dispatched to the session.
     pub batches: u64,
@@ -143,9 +461,9 @@ pub struct SchedulerStats {
     pub sorted_batches: u64,
     /// Flushes triggered by reaching the size target.
     pub size_flushes: u64,
-    /// Flushes triggered by the oldest op hitting its deadline.
+    /// Flushes triggered by the oldest op hitting the batch deadline.
     pub deadline_flushes: u64,
-    /// Flushes triggered by client disconnect at shutdown.
+    /// Flushes triggered by shutdown with work still queued.
     pub final_flushes: u64,
     /// Keys handed to the session across all batches.
     pub keys_dispatched: u64,
@@ -163,6 +481,20 @@ pub struct SchedulerStats {
     pub raw_accesses: u64,
     /// Batches that failed with a session error.
     pub failed_batches: u64,
+    /// Ops shed at coalesce time with [`SchedError::DeadlineExceeded`].
+    pub shed_ops: u64,
+    /// Ops refused at admission with [`SchedError::QueueFull`].
+    pub rejected_ops: u64,
+    /// Ops refused with [`SchedError::AdmissionTimeout`].
+    pub admission_timeout_ops: u64,
+    /// Largest resident-op count ever observed (≤ `queue_cap` when set).
+    pub max_resident_ops: u64,
+    /// Circuit-breaker trips (`Closed`/`HalfOpen` → `Open`).
+    pub breaker_trips: u64,
+    /// Half-open probe batches dispatched to the device.
+    pub probe_batches: u64,
+    /// Batches served wholly from the CPU path while the breaker was open.
+    pub breaker_open_batches: u64,
 }
 
 impl SchedulerStats {
@@ -205,10 +537,13 @@ impl SchedulerStats {
 }
 
 /// Cloneable producer-side handle. Each call blocks until its batch has
-/// executed and returns results in the caller's submission order.
+/// executed (or it is refused/shed) and returns results in the caller's
+/// submission order.
 #[derive(Clone)]
 pub struct SchedulerClient {
-    tx: Sender<Msg>,
+    queue: Arc<SubmissionQueue>,
+    admission: AdmissionPolicy,
+    default_deadline: Option<Duration>,
 }
 
 impl SchedulerClient {
@@ -217,23 +552,25 @@ impl SchedulerClient {
         kind: OpKind,
         keys: Vec<Vec<u8>>,
         values: Vec<u64>,
+        budget: Option<Duration>,
     ) -> Result<Vec<u64>, SchedError> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        // Rendezvous channel: the executor's send blocks only if this
-        // thread died between submit and recv, which recv's Err covers.
+        let now = Instant::now();
+        let deadline = budget.or(self.default_deadline).map(|d| now + d);
+        // Rendezvous channel: the executor's send never blocks (buffer 1),
+        // and a dead executor surfaces as recv's Err.
         let (reply, result) = mpsc::sync_channel(1);
         let req = Request {
             kind,
             keys,
             values,
             reply,
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline,
         };
-        self.tx
-            .send(Msg::Req(req))
-            .map_err(|_| SchedError::Disconnected)?;
+        self.queue.push(req, self.admission)?;
         result.recv().map_err(|_| SchedError::Disconnected)?
     }
 
@@ -241,7 +578,18 @@ impl SchedulerClient {
     /// them executes. Returns one result per key in submission order
     /// ([`NOT_FOUND`](cuart_gpu_sim::batch::NOT_FOUND) for absent keys).
     pub fn lookup(&self, keys: Vec<Vec<u8>>) -> Result<Vec<u64>, SchedError> {
-        self.submit(OpKind::Lookup, keys, Vec::new())
+        self.submit(OpKind::Lookup, keys, Vec::new(), None)
+    }
+
+    /// [`lookup`](Self::lookup) with an explicit latency budget: if the
+    /// request is still waiting for coalescing when the budget expires it
+    /// is shed with [`SchedError::DeadlineExceeded`].
+    pub fn lookup_with_deadline(
+        &self,
+        keys: Vec<Vec<u8>>,
+        budget: Duration,
+    ) -> Result<Vec<u64>, SchedError> {
+        self.submit(OpKind::Lookup, keys, Vec::new(), Some(budget))
     }
 
     /// Submit one point lookup.
@@ -253,14 +601,34 @@ impl SchedulerClient {
     /// status per op (see [`status`](cuart::update::status)).
     pub fn update(&self, ops: Vec<(Vec<u8>, u64)>) -> Result<Vec<u64>, SchedError> {
         let (keys, values) = split_ops(ops);
-        self.submit(OpKind::Update, keys, values)
+        self.submit(OpKind::Update, keys, values, None)
+    }
+
+    /// [`update`](Self::update) with an explicit latency budget.
+    pub fn update_with_deadline(
+        &self,
+        ops: Vec<(Vec<u8>, u64)>,
+        budget: Duration,
+    ) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = split_ops(ops);
+        self.submit(OpKind::Update, keys, values, Some(budget))
     }
 
     /// Submit point inserts. Returns one status per op (see
     /// [`insert_status`](cuart::insert::insert_status)).
     pub fn insert(&self, ops: Vec<(Vec<u8>, u64)>) -> Result<Vec<u64>, SchedError> {
         let (keys, values) = split_ops(ops);
-        self.submit(OpKind::Insert, keys, values)
+        self.submit(OpKind::Insert, keys, values, None)
+    }
+
+    /// [`insert`](Self::insert) with an explicit latency budget.
+    pub fn insert_with_deadline(
+        &self,
+        ops: Vec<(Vec<u8>, u64)>,
+        budget: Duration,
+    ) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = split_ops(ops);
+        self.submit(OpKind::Insert, keys, values, Some(budget))
     }
 }
 
@@ -277,7 +645,9 @@ fn split_ops(ops: Vec<(Vec<u8>, u64)>) -> (Vec<Vec<u8>>, Vec<u64>) {
 /// Owning handle for the executor thread. Dropping it shuts the executor
 /// down; [`join`](Scheduler::join) does the same and returns the stats.
 pub struct Scheduler {
-    tx: Option<Sender<Msg>>,
+    queue: Arc<SubmissionQueue>,
+    cfg_admission: AdmissionPolicy,
+    cfg_op_deadline: Option<Duration>,
     handle: Option<JoinHandle<SchedulerStats>>,
 }
 
@@ -285,58 +655,164 @@ impl Scheduler {
     /// Spawn the executor thread. It opens a
     /// [`device_session`](CuartIndex::device_session) on `index` (attaching
     /// `cfg.fault_injector` if present, so the journal covers the session's
-    /// whole life) and serves batches until every client hangs up.
+    /// whole life) and serves batches until [`join`](Scheduler::join) or
+    /// `Drop` shuts it down.
     pub fn spawn(index: Arc<CuartIndex>, dev: DeviceConfig, cfg: SchedulerConfig) -> Scheduler {
-        let (tx, rx) = mpsc::channel();
-        let handle = std::thread::spawn(move || executor(index, dev, cfg, rx));
+        let queue = SubmissionQueue::new(cfg.queue_cap, index.telemetry().cloned());
+        let cfg_admission = cfg.admission;
+        let cfg_op_deadline = cfg.op_deadline;
+        let exec_queue = Arc::clone(&queue);
+        let handle = std::thread::spawn(move || executor(index, dev, cfg, exec_queue));
         Scheduler {
-            tx: Some(tx),
+            queue,
+            cfg_admission,
+            cfg_op_deadline,
             handle: Some(handle),
         }
     }
 
     /// A new producer handle. Clients are cheap to clone and `Send`, so
-    /// each producer thread can own one.
-    pub fn client(&self) -> SchedulerClient {
-        SchedulerClient {
-            tx: self.tx.as_ref().expect("scheduler already joined").clone(),
+    /// each producer thread can own one. Fails with
+    /// [`SchedError::Shutdown`] once the scheduler has been shut down.
+    pub fn client(&self) -> Result<SchedulerClient, SchedError> {
+        if self.queue.is_closed() {
+            return Err(SchedError::Shutdown);
+        }
+        Ok(SchedulerClient {
+            queue: Arc::clone(&self.queue),
+            admission: self.cfg_admission,
+            default_deadline: self.cfg_op_deadline,
+        })
+    }
+
+    /// Shut down: close the queue, wait for the executor to drain it, and
+    /// return the accumulated [`SchedulerStats`]. Requests admitted before
+    /// the close are served (the queue is FIFO); clients that submit
+    /// afterwards get [`SchedError::Shutdown`]. An executor panic surfaces
+    /// as [`SchedError::ExecutorPanicked`] instead of zeroed stats.
+    pub fn join(mut self) -> Result<SchedulerStats, SchedError> {
+        self.queue.close();
+        match self.handle.take() {
+            Some(h) => match h.join() {
+                Ok(mut stats) => {
+                    self.fold_queue_stats(&mut stats);
+                    Ok(stats)
+                }
+                Err(payload) => Err(SchedError::ExecutorPanicked(panic_message(&payload))),
+            },
+            None => Err(SchedError::Shutdown),
         }
     }
 
-    /// Shut down: signal the executor, wait for it to drain its queue, and
-    /// return the accumulated [`SchedulerStats`]. Requests submitted
-    /// before the shutdown signal are served (the queue is FIFO); clients
-    /// that submit afterwards get [`SchedError::Disconnected`].
-    pub fn join(mut self) -> SchedulerStats {
-        if let Some(tx) = self.tx.take() {
-            let _ = tx.send(Msg::Shutdown);
-        }
-        match self.handle.take() {
-            Some(h) => h.join().unwrap_or_default(),
-            None => SchedulerStats::default(),
-        }
+    /// Admission accounting lives producer-side in the queue; fold it
+    /// into the executor's stats at join time, when no producer can still
+    /// be mid-call.
+    fn fold_queue_stats(&self, stats: &mut SchedulerStats) {
+        stats.rejected_ops = self.queue.rejected_ops.load(Ordering::Relaxed);
+        stats.admission_timeout_ops = self.queue.timeout_ops.load(Ordering::Relaxed);
+        stats.max_resident_ops = self.queue.max_resident_ops.load(Ordering::Relaxed);
     }
 }
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        if let Some(tx) = self.tx.take() {
-            let _ = tx.send(Msg::Shutdown);
-        }
+        self.queue.close();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
     }
 }
 
-/// The executor loop: block for work, coalesce, flush on size / deadline /
-/// disconnect.
+/// Render a `JoinHandle::join` panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "executor thread panicked".to_string()
+    }
+}
+
+/// Breaker state machine position. Gauge encoding: Closed = 0,
+/// HalfOpen = 1, Open = 2 (`cuart.sched.breaker_state`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Executor-side circuit breaker over device dispatch.
+struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Valid while `Open`: when the cooldown elapses and probing starts.
+    open_until: Instant,
+    /// Valid while `HalfOpen`: clean probes so far.
+    clean_probes: u32,
+    consecutive_faults: u32,
+    /// Recent modeled batch latencies (ns) for the p99 SLO check.
+    window: VecDeque<u64>,
+}
+
+impl Breaker {
+    fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            open_until: Instant::now(),
+            clean_probes: 0,
+            consecutive_faults: 0,
+            window: VecDeque::new(),
+        }
+    }
+}
+
+/// p99 of a full latency window (max for windows under 100 entries —
+/// deliberately conservative).
+fn p99_ns(window: &VecDeque<u64>) -> u64 {
+    let mut v: Vec<u64> = window.iter().copied().collect();
+    v.sort_unstable();
+    let idx = ((v.len() as f64) * 0.99).ceil() as usize;
+    v[idx.saturating_sub(1).min(v.len() - 1)]
+}
+
+/// How one run is dispatched, per the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchMode {
+    /// Breaker closed (or absent): normal device dispatch.
+    Normal,
+    /// Breaker half-open: this run is a recovery probe.
+    Probe,
+    /// Breaker open: the session is pinned to the CPU path.
+    CpuOnly,
+}
+
+/// Everything the executor's flush path needs, grouped so the helpers
+/// stay under control (and under clippy's argument limit).
+struct ExecCtx<'a> {
+    session: cuart::CuartSession<'a>,
+    cfg: &'a SchedulerConfig,
+    queue: &'a SubmissionQueue,
+    telemetry: Option<Arc<Telemetry>>,
+    stats: SchedulerStats,
+    breaker: Option<Breaker>,
+}
+
+/// The executor loop: block for work, coalesce, shed expired ops, flush
+/// on size / deadline / shutdown.
 fn executor(
     index: Arc<CuartIndex>,
     dev: DeviceConfig,
     cfg: SchedulerConfig,
-    rx: Receiver<Msg>,
+    queue: Arc<SubmissionQueue>,
 ) -> SchedulerStats {
+    // Producers must never hang on a dead executor: on any exit from this
+    // frame — including a panic — the queue is aborted, which drops the
+    // orphaned reply channels and wakes blocked admissions.
+    let _abort = AbortGuard(Arc::clone(&queue));
+    let telemetry = index.telemetry().cloned();
     let mut session = index.device_session(&dev);
     // The scheduler records the full `sched.batch.*` tree around each
     // device leg (queueing, sort, scatter and the leg itself); the
@@ -345,83 +821,86 @@ fn executor(
     if let Some(injector) = cfg.fault_injector.clone() {
         session.attach_fault_injector(injector);
     }
-    let telemetry = index.telemetry().cloned();
+    if cfg.breaker.is_some() {
+        // A breaker trip pins the session to the CPU path; shadowing
+        // guarantees the journal already holds every device mutation when
+        // that happens — even for a latency-SLO trip with no injector.
+        session.set_journal_shadowing(true);
+        if let Some(t) = &telemetry {
+            t.gauge_set(names::SCHED_BREAKER_STATE, 0.0);
+        }
+    }
     let batch_target = cfg.batch_target.max(1);
+    let breaker = cfg.breaker.clone().map(Breaker::new);
+    let mut ctx = ExecCtx {
+        session,
+        cfg: &cfg,
+        queue: &queue,
+        telemetry,
+        stats: SchedulerStats::default(),
+        breaker,
+    };
 
-    let mut stats = SchedulerStats::default();
     let mut pending: VecDeque<Request> = VecDeque::new();
     let mut pending_keys = 0usize;
 
     loop {
-        // Wait for work: block indefinitely with an empty queue, else only
-        // until the oldest queued op's deadline.
-        let msg = if pending.is_empty() {
-            match rx.recv() {
-                Ok(m) => m,
-                Err(_) => break, // all senders gone, queue empty
-            }
+        // Wake at the earlier of the batch deadline (oldest op + deadline)
+        // and the earliest per-op deadline; sleep unbounded when idle.
+        let wake = if pending.is_empty() {
+            None
         } else {
             let oldest = pending.front().expect("non-empty").enqueued;
-            let remaining = cfg.deadline.saturating_sub(oldest.elapsed());
-            match rx.recv_timeout(remaining) {
-                Ok(m) => m,
-                Err(RecvTimeoutError::Timeout) => {
-                    // Deadline expired for the oldest queued op.
-                    let depth = pending_keys as u64;
-                    flush(
-                        &mut session,
-                        &mut pending,
-                        &mut pending_keys,
-                        &cfg,
-                        &mut stats,
-                    );
-                    stats.deadline_flushes += 1;
-                    record_flush(&telemetry, Some(names::SCHED_DEADLINE_FLUSHES), depth);
-                    continue;
+            let mut at = oldest + ctx.cfg.deadline;
+            for r in &pending {
+                if let Some(d) = r.deadline {
+                    at = at.min(d);
                 }
-                Err(RecvTimeoutError::Disconnected) => Msg::Shutdown,
             }
+            Some(at)
         };
 
-        match msg {
-            Msg::Req(req) => {
-                stats.ops_enqueued += req.keys.len() as u64;
-                if let Some(t) = &telemetry {
+        match queue.pop(wake) {
+            Pop::Got(req) => {
+                ctx.stats.ops_enqueued += req.keys.len() as u64;
+                if let Some(t) = &ctx.telemetry {
                     t.incr(names::SCHED_ENQUEUED, req.keys.len() as u64);
                 }
                 pending_keys += req.keys.len();
                 pending.push_back(req);
                 if pending_keys >= batch_target {
                     let depth = pending_keys as u64;
-                    flush(
-                        &mut session,
-                        &mut pending,
-                        &mut pending_keys,
-                        &cfg,
-                        &mut stats,
-                    );
-                    stats.size_flushes += 1;
-                    record_flush(&telemetry, Some(names::SCHED_SIZE_FLUSHES), depth);
+                    ctx.flush(&mut pending, &mut pending_keys);
+                    ctx.stats.size_flushes += 1;
+                    record_flush(&ctx.telemetry, Some(names::SCHED_SIZE_FLUSHES), depth);
                 }
             }
-            Msg::Shutdown => {
+            Pop::TimedOut => {
+                // Either an op deadline expired (shed it, keep waiting) or
+                // the oldest op aged past the batch deadline (flush).
+                ctx.shed_expired(&mut pending, &mut pending_keys, Instant::now());
+                let batch_due = pending
+                    .front()
+                    .is_some_and(|r| r.enqueued.elapsed() >= ctx.cfg.deadline);
+                if batch_due {
+                    let depth = pending_keys as u64;
+                    ctx.flush(&mut pending, &mut pending_keys);
+                    ctx.stats.deadline_flushes += 1;
+                    record_flush(&ctx.telemetry, Some(names::SCHED_DEADLINE_FLUSHES), depth);
+                }
+            }
+            Pop::Closed => {
                 if !pending.is_empty() {
                     let depth = pending_keys as u64;
-                    flush(
-                        &mut session,
-                        &mut pending,
-                        &mut pending_keys,
-                        &cfg,
-                        &mut stats,
-                    );
-                    stats.final_flushes += 1;
-                    record_flush(&telemetry, None, depth);
+                    ctx.flush(&mut pending, &mut pending_keys);
+                    ctx.stats.final_flushes += 1;
+                    record_flush(&ctx.telemetry, None, depth);
                 }
                 break;
             }
         }
     }
-    stats
+    ctx.stats
 }
 
 /// Telemetry bookkeeping for one flush (optional counter + queue-depth
@@ -439,125 +918,316 @@ fn record_flush(
     }
 }
 
-/// Drain the whole pending queue as maximal same-kind head runs, each run
-/// one device batch.
-fn flush(
-    session: &mut cuart::CuartSession<'_>,
-    pending: &mut VecDeque<Request>,
-    pending_keys: &mut usize,
-    cfg: &SchedulerConfig,
-    stats: &mut SchedulerStats,
-) {
-    stats.max_queue_depth = stats.max_queue_depth.max(*pending_keys as u64);
-    while !pending.is_empty() {
-        let kind = pending.front().expect("non-empty").kind;
-        let mut run: Vec<Request> = Vec::new();
-        while pending.front().is_some_and(|r| r.kind == kind) {
-            run.push(pending.pop_front().expect("checked front"));
-        }
-        execute_run(session, kind, run, cfg, stats);
-    }
-    *pending_keys = 0;
-}
-
-/// Execute one same-kind run as a single (optionally sorted) device batch
-/// and reply to every request in it.
-fn execute_run(
-    session: &mut cuart::CuartSession<'_>,
-    kind: OpKind,
-    run: Vec<Request>,
-    cfg: &SchedulerConfig,
-    stats: &mut SchedulerStats,
-) {
-    let telemetry = session.telemetry().cloned();
-    // Concatenate the run into one batch, remembering per-request extents.
-    let total: usize = run.iter().map(|r| r.keys.len()).sum();
-    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(total);
-    let mut values: Vec<u64> = Vec::with_capacity(total);
-    let mut extents: Vec<usize> = Vec::with_capacity(run.len());
-    let oldest = run.iter().map(|r| r.enqueued).min();
-    for r in &run {
-        extents.push(r.keys.len());
-        keys.extend(r.keys.iter().cloned());
-        values.extend(r.values.iter().cloned());
-    }
-
-    // Sorted-batch composition: stable sort keeps duplicate keys in
-    // submission order, so kernel-side "highest tid wins" still resolves
-    // to the latest submitted op.
-    let perm = if cfg.sort_batches && total > 1 {
-        let p = sort_permutation(&keys);
-        keys = gather(&keys, &p);
-        if !values.is_empty() {
-            values = gather(&values, &p);
-        }
-        Some(p)
-    } else {
-        None
-    };
-
-    let outcome = match kind {
-        OpKind::Lookup => session.lookup_batch(&keys),
-        OpKind::Update => {
-            let ops: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
-            session.update_batch(&ops)
-        }
-        OpKind::Insert => {
-            let ops: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
-            session.insert_batch(&ops)
-        }
-    };
-
-    match outcome {
-        Ok((batch_results, report)) => {
-            stats.absorb_report(total, &report);
-            if perm.is_some() {
-                stats.sorted_batches += 1;
-            }
-            let results = match &perm {
-                Some(p) => scatter_inverse(&batch_results, p),
-                None => batch_results,
-            };
-            if let Some(t) = &telemetry {
-                t.incr(names::SCHED_BATCHES, 1);
-                t.observe(names::SCHED_BATCH_FILL, total as u64);
-                if perm.is_some() {
-                    t.incr(names::SCHED_SORTED_BATCHES, 1);
-                }
-                if let Some(start) = oldest {
-                    t.observe(
-                        names::SCHED_QUEUE_LATENCY_NS,
-                        start.elapsed().as_nanos() as u64,
-                    );
-                }
-                record_sched_span(session, t, kind, total, perm.is_some(), &report);
-            }
-            // Slice results back out per request, in FIFO order.
-            let mut off = 0usize;
-            for (req, len) in run.into_iter().zip(extents) {
-                stats.requests += 1;
-                let slice = results[off..off + len].to_vec();
-                off += len;
-                let _ = req.reply.send(Ok(slice));
-            }
-        }
-        Err(e) => {
-            stats.failed_batches += 1;
-            let err = SchedError::from(&e);
-            for req in run {
-                stats.requests += 1;
-                let _ = req.reply.send(Err(err.clone()));
-            }
-        }
-    }
-}
-
 /// Modeled host cost of packing one key into the coalesced batch buffer.
 const COALESCE_NS_PER_KEY: u64 = 4;
 /// Modeled host cost per key·log2(n) of the stable batch sort (§3.2).
 const SORT_NS_PER_KEY_LOG: u64 = 8;
 /// Modeled host cost of scattering one result back to its caller's order.
 const SCATTER_NS_PER_KEY: u64 = 4;
+/// Modeled host cost of answering one shed op with `DeadlineExceeded`.
+const SHED_NS_PER_OP: u64 = 2;
+
+impl ExecCtx<'_> {
+    /// Shed every pending request whose deadline has passed: reply
+    /// `DeadlineExceeded`, free its resident slots, count and trace it.
+    /// Runs at coalesce time — before sorting and dispatch — so late work
+    /// never consumes device time.
+    fn shed_expired(
+        &mut self,
+        pending: &mut VecDeque<Request>,
+        pending_keys: &mut usize,
+        now: Instant,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let mut shed_ops = 0usize;
+        let mut shed_requests = 0u64;
+        let mut kept: VecDeque<Request> = VecDeque::with_capacity(pending.len());
+        while let Some(req) = pending.pop_front() {
+            if req.deadline.is_some_and(|d| d <= now) {
+                shed_ops += req.keys.len();
+                shed_requests += 1;
+                let _ = req.reply.send(Err(SchedError::DeadlineExceeded));
+            } else {
+                kept.push_back(req);
+            }
+        }
+        *pending = kept;
+        if shed_ops == 0 {
+            return;
+        }
+        *pending_keys -= shed_ops;
+        self.stats.shed_ops += shed_ops as u64;
+        self.stats.requests += shed_requests;
+        self.queue.release(shed_ops);
+        if let Some(t) = &self.telemetry {
+            t.incr(names::SCHED_SHED, shed_ops as u64);
+            // Not a `sched.batch.*` root: shed work has no device leg, so
+            // the leaf-sum invariant the trace verifier enforces on batch
+            // roots does not apply.
+            let span = SpanNode::leaf("sched.shed", SHED_NS_PER_OP * shed_ops as u64)
+                .with_attr("ops", shed_ops);
+            t.record_span_tree(&span);
+        }
+    }
+
+    /// Drain the whole pending queue: shed expired ops, then execute the
+    /// remainder as maximal same-kind head runs, each run one device
+    /// batch.
+    fn flush(&mut self, pending: &mut VecDeque<Request>, pending_keys: &mut usize) {
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(*pending_keys as u64);
+        self.shed_expired(pending, pending_keys, Instant::now());
+        while !pending.is_empty() {
+            let kind = pending.front().expect("non-empty").kind;
+            let mut run: Vec<Request> = Vec::new();
+            while pending.front().is_some_and(|r| r.kind == kind) {
+                run.push(pending.pop_front().expect("checked front"));
+            }
+            self.execute_run(kind, run);
+        }
+        *pending_keys = 0;
+    }
+
+    /// Execute one same-kind run as a single (optionally sorted) device
+    /// batch and reply to every request in it.
+    fn execute_run(&mut self, kind: OpKind, run: Vec<Request>) {
+        // Concatenate the run into one batch, remembering per-request
+        // extents.
+        let total: usize = run.iter().map(|r| r.keys.len()).sum();
+        let mut keys: Vec<Vec<u8>> = Vec::with_capacity(total);
+        let mut values: Vec<u64> = Vec::with_capacity(total);
+        let mut extents: Vec<usize> = Vec::with_capacity(run.len());
+        let oldest = run.iter().map(|r| r.enqueued).min();
+        for r in &run {
+            extents.push(r.keys.len());
+            keys.extend(r.keys.iter().cloned());
+            values.extend(r.values.iter().cloned());
+        }
+
+        // Sorted-batch composition: stable sort keeps duplicate keys in
+        // submission order, so kernel-side "highest tid wins" still
+        // resolves to the latest submitted op.
+        let perm = if self.cfg.sort_batches && total > 1 {
+            let p = sort_permutation(&keys);
+            keys = gather(&keys, &p);
+            if !values.is_empty() {
+                values = gather(&values, &p);
+            }
+            Some(p)
+        } else {
+            None
+        };
+
+        let mode = self.breaker_before(total as u64);
+        if mode == DispatchMode::Probe {
+            self.stats.probe_batches += 1;
+            if let Some(t) = &self.telemetry {
+                t.incr(names::SCHED_PROBE_BATCHES, 1);
+            }
+        } else if mode == DispatchMode::CpuOnly {
+            self.stats.breaker_open_batches += 1;
+        }
+        let injected_before = self.session.fault_stats().injected;
+
+        let outcome = match kind {
+            OpKind::Lookup => self.session.lookup_batch(&keys),
+            OpKind::Update => {
+                let ops: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
+                self.session.update_batch(&ops)
+            }
+            OpKind::Insert => {
+                let ops: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
+                self.session.insert_batch(&ops)
+            }
+        };
+        let injected_delta = self
+            .session
+            .fault_stats()
+            .injected
+            .saturating_sub(injected_before);
+
+        match outcome {
+            Ok((batch_results, report)) => {
+                self.stats.absorb_report(total, &report);
+                if perm.is_some() {
+                    self.stats.sorted_batches += 1;
+                }
+                let results = match &perm {
+                    Some(p) => scatter_inverse(&batch_results, p),
+                    None => batch_results,
+                };
+                if let Some(t) = &self.telemetry {
+                    t.incr(names::SCHED_BATCHES, 1);
+                    t.observe(names::SCHED_BATCH_FILL, total as u64);
+                    if perm.is_some() {
+                        t.incr(names::SCHED_SORTED_BATCHES, 1);
+                    }
+                    if let Some(start) = oldest {
+                        t.observe(
+                            names::SCHED_QUEUE_LATENCY_NS,
+                            start.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    record_sched_span(
+                        &self.session,
+                        t,
+                        kind,
+                        total,
+                        perm.is_some(),
+                        mode == DispatchMode::Probe,
+                        &report,
+                    );
+                }
+                // Slice results back out per request, in FIFO order.
+                let mut off = 0usize;
+                for (req, len) in run.into_iter().zip(extents) {
+                    self.stats.requests += 1;
+                    let slice = results[off..off + len].to_vec();
+                    off += len;
+                    let _ = req.reply.send(Ok(slice));
+                }
+                if mode != DispatchMode::CpuOnly {
+                    self.breaker_after(injected_delta > 0, report.time_ns, total as u64);
+                }
+            }
+            Err(e) => {
+                self.stats.failed_batches += 1;
+                let err = SchedError::from(&e);
+                for req in run {
+                    self.stats.requests += 1;
+                    let _ = req.reply.send(Err(err.clone()));
+                }
+                if mode != DispatchMode::CpuOnly {
+                    self.breaker_after(true, 0.0, total as u64);
+                }
+            }
+        }
+        self.queue.release(total);
+    }
+
+    /// Breaker step before dispatching a run: decide the dispatch mode,
+    /// performing the timed `Open` → `HalfOpen` transition (unpin the
+    /// session so probe batches reach the device).
+    fn breaker_before(&mut self, run_keys: u64) -> DispatchMode {
+        let Some(b) = self.breaker.as_mut() else {
+            return DispatchMode::Normal;
+        };
+        match b.state {
+            BreakerState::Closed => DispatchMode::Normal,
+            BreakerState::HalfOpen => DispatchMode::Probe,
+            BreakerState::Open => {
+                if Instant::now() < b.open_until {
+                    return DispatchMode::CpuOnly;
+                }
+                b.state = BreakerState::HalfOpen;
+                b.clean_probes = 0;
+                self.session.set_cpu_only(false);
+                if let Some(t) = &self.telemetry {
+                    t.gauge_set(names::SCHED_BREAKER_STATE, 1.0);
+                    t.record(BatchEvent::new(BatchKind::BreakerHalfOpen, run_keys));
+                }
+                DispatchMode::Probe
+            }
+        }
+    }
+
+    /// Breaker step after a `Closed` or `HalfOpen` dispatch. `faulty`
+    /// means the batch errored or any fault was injected while serving it
+    /// (covering retried-then-recovered legs and silent degradations).
+    fn breaker_after(&mut self, faulty: bool, time_ns: f64, run_keys: u64) {
+        #[derive(PartialEq)]
+        enum Verdict {
+            Nothing,
+            Trip,
+            Close,
+        }
+        let verdict = {
+            let Some(b) = self.breaker.as_mut() else {
+                return;
+            };
+            match b.state {
+                BreakerState::Open => Verdict::Nothing,
+                BreakerState::Closed => {
+                    if faulty {
+                        b.consecutive_faults += 1;
+                    } else {
+                        b.consecutive_faults = 0;
+                    }
+                    let mut trip =
+                        b.cfg.fault_threshold > 0 && b.consecutive_faults >= b.cfg.fault_threshold;
+                    if let (Some(slo), true) = (b.cfg.latency_slo_ns, time_ns > 0.0) {
+                        b.window.push_back(time_ns as u64);
+                        while b.window.len() > b.cfg.latency_window.max(1) {
+                            b.window.pop_front();
+                        }
+                        if b.window.len() >= b.cfg.latency_window.max(1)
+                            && p99_ns(&b.window) as f64 > slo
+                        {
+                            trip = true;
+                        }
+                    }
+                    if trip {
+                        Verdict::Trip
+                    } else {
+                        Verdict::Nothing
+                    }
+                }
+                BreakerState::HalfOpen => {
+                    if faulty {
+                        Verdict::Trip
+                    } else {
+                        b.clean_probes += 1;
+                        if b.clean_probes >= b.cfg.probe_batches.max(1) {
+                            Verdict::Close
+                        } else {
+                            Verdict::Nothing
+                        }
+                    }
+                }
+            }
+        };
+        match verdict {
+            Verdict::Trip => self.trip_breaker(run_keys),
+            Verdict::Close => self.close_breaker(run_keys),
+            Verdict::Nothing => {}
+        }
+    }
+
+    /// `Closed`/`HalfOpen` → `Open`: pin the session to the authoritative
+    /// CPU path for the cooldown window.
+    fn trip_breaker(&mut self, run_keys: u64) {
+        let Some(b) = self.breaker.as_mut() else {
+            return;
+        };
+        b.state = BreakerState::Open;
+        b.open_until = Instant::now() + b.cfg.open_cooldown;
+        b.consecutive_faults = 0;
+        b.clean_probes = 0;
+        b.window.clear();
+        self.stats.breaker_trips += 1;
+        self.session.set_cpu_only(true);
+        if let Some(t) = &self.telemetry {
+            t.incr(names::SCHED_BREAKER_TRIPS, 1);
+            t.gauge_set(names::SCHED_BREAKER_STATE, 2.0);
+            t.record(BatchEvent::new(BatchKind::BreakerOpen, run_keys));
+        }
+    }
+
+    /// `HalfOpen` → `Closed` after enough clean probes.
+    fn close_breaker(&mut self, run_keys: u64) {
+        if let Some(b) = self.breaker.as_mut() {
+            b.state = BreakerState::Closed;
+            b.consecutive_faults = 0;
+            b.clean_probes = 0;
+            b.window.clear();
+        }
+        if let Some(t) = &self.telemetry {
+            t.gauge_set(names::SCHED_BREAKER_STATE, 0.0);
+            t.record(BatchEvent::new(BatchKind::BreakerClosed, run_keys));
+        }
+    }
+}
 
 /// Commit the `sched.batch.<kind>` span tree for one dispatched run:
 /// host-side coalesce / sort / scatter (modeled constants above), the
@@ -570,6 +1240,7 @@ fn record_sched_span(
     kind: OpKind,
     total: usize,
     sorted: bool,
+    probe: bool,
     report: &KernelReport,
 ) {
     if report.time_ns <= 0.0 || total == 0 {
@@ -600,9 +1271,12 @@ fn record_sched_span(
         OpKind::Update => "sched.batch.update",
         OpKind::Insert => "sched.batch.insert",
     };
-    let root = SpanNode::node(name, children)
+    let mut root = SpanNode::node(name, children)
         .with_attr("keys", total)
         .with_attr("sorted", sorted);
+    if probe {
+        root = root.with_attr("probe", true);
+    }
     t.record_span_tree(&root);
 }
 
@@ -619,29 +1293,32 @@ mod tests {
         for i in 0..n {
             art.insert(&i.to_be_bytes(), i * 10).unwrap();
         }
-        Arc::new(CuartIndex::build(&art, &CuartConfig::default()))
+        // Small LUT: every test spawns at least one scheduler, and each
+        // spawn opens a device session that uploads the LUT.
+        Arc::new(CuartIndex::build(&art, &CuartConfig::for_tests()))
     }
 
     fn spawn(index: &Arc<CuartIndex>, cfg: SchedulerConfig) -> Scheduler {
         Scheduler::spawn(Arc::clone(index), devices::gtx1070(), cfg)
     }
 
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
     #[test]
     fn single_client_lookup_roundtrip() {
         let index = build_index(256);
         let sched = spawn(&index, SchedulerConfig::default());
-        let client = sched.client();
-        let keys: Vec<Vec<u8>> = (0..64u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let client = sched.client().unwrap();
+        let keys: Vec<Vec<u8>> = (0..64u64).map(key).collect();
         let results = client.lookup(keys).unwrap();
         for (i, r) in results.iter().enumerate() {
             assert_eq!(*r, i as u64 * 10);
         }
-        assert_eq!(
-            client.lookup_one(9999u64.to_be_bytes().to_vec()),
-            Ok(NOT_FOUND)
-        );
+        assert_eq!(client.lookup_one(key(9999)), Ok(NOT_FOUND));
         drop(client);
-        let stats = sched.join();
+        let stats = sched.join().unwrap();
         assert_eq!(stats.ops_enqueued, 65);
         assert_eq!(stats.requests, 2);
         assert!(stats.batches >= 1);
@@ -652,10 +1329,10 @@ mod tests {
     fn empty_request_answers_without_executor_roundtrip() {
         let index = build_index(8);
         let sched = spawn(&index, SchedulerConfig::default());
-        let client = sched.client();
+        let client = sched.client().unwrap();
         assert_eq!(client.lookup(Vec::new()), Ok(Vec::new()));
         drop(client);
-        assert_eq!(sched.join().requests, 0);
+        assert_eq!(sched.join().unwrap().requests, 0);
     }
 
     #[test]
@@ -671,11 +1348,9 @@ mod tests {
         // complete via size flushes (the deadline is an hour away).
         let mut handles = Vec::new();
         for p in 0..2u64 {
-            let client = sched.client();
+            let client = sched.client().unwrap();
             handles.push(std::thread::spawn(move || {
-                let keys: Vec<Vec<u8>> = (p * 32..p * 32 + 32)
-                    .map(|i| i.to_be_bytes().to_vec())
-                    .collect();
+                let keys: Vec<Vec<u8>> = (p * 32..p * 32 + 32).map(key).collect();
                 client.lookup(keys).unwrap()
             }));
         }
@@ -685,7 +1360,7 @@ mod tests {
                 assert_eq!(*r, (p as u64 * 32 + i as u64) * 10);
             }
         }
-        let stats = sched.join();
+        let stats = sched.join().unwrap();
         assert!(stats.size_flushes >= 1, "expected a size flush: {stats:?}");
         assert_eq!(stats.deadline_flushes, 0);
         assert_eq!(stats.keys_dispatched, 64);
@@ -700,11 +1375,11 @@ mod tests {
             ..SchedulerConfig::default()
         };
         let sched = spawn(&index, cfg);
-        let client = sched.client();
-        let r = client.lookup_one(7u64.to_be_bytes().to_vec()).unwrap();
+        let client = sched.client().unwrap();
+        let r = client.lookup_one(key(7)).unwrap();
         assert_eq!(r, 70);
         drop(client);
-        let stats = sched.join();
+        let stats = sched.join().unwrap();
         assert!(
             stats.deadline_flushes + stats.final_flushes >= 1,
             "an underfilled batch must flush on deadline or shutdown: {stats:?}"
@@ -721,23 +1396,23 @@ mod tests {
             ..SchedulerConfig::default()
         };
         let sched = spawn(&index, cfg);
-        let client = sched.client();
+        let client = sched.client().unwrap();
         // Update then read the same key. FIFO + head-run batching
         // guarantees the update batch executes before the lookup batch
         // even though both wait in the same deadline flush.
-        let key = 42u64.to_be_bytes().to_vec();
+        let k = key(42);
         let c2 = client.clone();
-        let k2 = key.clone();
+        let k2 = k.clone();
         let upd = std::thread::spawn(move || c2.update(vec![(k2, 4242)]).unwrap());
         // Generous head start: the update must be queued well before the
         // lookup, and the 300 ms deadline keeps both in one flush.
         std::thread::sleep(Duration::from_millis(100));
-        let looked = client.lookup(vec![key]).unwrap();
+        let looked = client.lookup(vec![k]).unwrap();
         let statuses = upd.join().unwrap();
         assert_eq!(statuses.len(), 1);
         assert_eq!(looked, vec![4242]);
         drop(client);
-        let stats = sched.join();
+        let stats = sched.join().unwrap();
         // Two kinds in one flush → at least two batches (head runs).
         assert!(stats.batches >= 2, "head runs split by kind: {stats:?}");
     }
@@ -752,58 +1427,53 @@ mod tests {
             ..SchedulerConfig::default()
         };
         let sched = spawn(&index, cfg);
-        let client = sched.client();
-        let key = 5u64.to_be_bytes().to_vec();
+        let client = sched.client().unwrap();
+        let k = key(5);
         // One request with the same key twice: sorted packing is stable,
         // so the second (later) op must win.
         client
-            .update(vec![(key.clone(), 111), (key.clone(), 222)])
+            .update(vec![(k.clone(), 111), (k.clone(), 222)])
             .unwrap();
-        assert_eq!(client.lookup_one(key).unwrap(), 222);
+        assert_eq!(client.lookup_one(k).unwrap(), 222);
         drop(client);
-        sched.join();
+        sched.join().unwrap();
     }
 
     #[test]
     fn inserts_flow_through_the_scheduler() {
         let index = build_index(64);
         let sched = spawn(&index, SchedulerConfig::default());
-        let client = sched.client();
-        let key = 1_000_000u64.to_be_bytes().to_vec();
-        assert_eq!(client.lookup_one(key.clone()).unwrap(), NOT_FOUND);
-        let statuses = client.insert(vec![(key.clone(), 777)]).unwrap();
+        let client = sched.client().unwrap();
+        let k = key(1_000_000);
+        assert_eq!(client.lookup_one(k.clone()).unwrap(), NOT_FOUND);
+        let statuses = client.insert(vec![(k.clone(), 777)]).unwrap();
         assert_eq!(statuses.len(), 1);
-        assert_eq!(client.lookup_one(key).unwrap(), 777);
+        assert_eq!(client.lookup_one(k).unwrap(), 777);
         drop(client);
-        sched.join();
+        sched.join().unwrap();
     }
 
     #[test]
     fn oversized_keys_do_not_poison_a_sorted_batch() {
         let index = build_index(64);
         let sched = spawn(&index, SchedulerConfig::default());
-        let client = sched.client();
+        let client = sched.client().unwrap();
         // A 300-byte key cannot be packed at any device stride; the
         // session answers NOT_FOUND without panicking, and the short key
         // in the same request still resolves.
-        let results = client
-            .lookup(vec![vec![0xAB; 300], 3u64.to_be_bytes().to_vec()])
-            .unwrap();
+        let results = client.lookup(vec![vec![0xAB; 300], key(3)]).unwrap();
         assert_eq!(results, vec![NOT_FOUND, 30]);
         drop(client);
-        sched.join();
+        sched.join().unwrap();
     }
 
     #[test]
-    fn disconnect_after_join_yields_sched_error() {
+    fn submit_after_join_yields_clean_shutdown() {
         let index = build_index(8);
         let sched = spawn(&index, SchedulerConfig::default());
-        let client = sched.client();
-        sched.join();
-        assert_eq!(
-            client.lookup_one(vec![1, 2, 3]),
-            Err(SchedError::Disconnected)
-        );
+        let client = sched.client().unwrap();
+        sched.join().unwrap();
+        assert_eq!(client.lookup_one(vec![1, 2, 3]), Err(SchedError::Shutdown));
     }
 
     #[test]
@@ -819,7 +1489,7 @@ mod tests {
         let per = 512u64;
         let mut handles = Vec::new();
         for p in 0..producers {
-            let client = sched.client();
+            let client = sched.client().unwrap();
             let index = Arc::clone(&index);
             handles.push(std::thread::spawn(move || {
                 // Shuffled-ish stride pattern so producers interleave keys.
@@ -838,9 +1508,215 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let stats = sched.join();
+        let stats = sched.join().unwrap();
         assert_eq!(stats.ops_enqueued, producers * per);
         assert_eq!(stats.keys_dispatched, producers * per);
         assert!(stats.sorted_batches >= 1);
+    }
+
+    #[test]
+    fn reject_policy_fails_fast_when_queue_is_full() {
+        let index = build_index(64);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(200),
+            queue_cap: 4,
+            admission: AdmissionPolicy::Reject,
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        // Fill the cap from one thread (it blocks on its reply until the
+        // 200 ms deadline flush)…
+        let filler = sched.client().unwrap();
+        let fill = std::thread::spawn(move || filler.lookup((0..4u64).map(key).collect()));
+        std::thread::sleep(Duration::from_millis(50));
+        // …then a second producer must be refused immediately.
+        let client = sched.client().unwrap();
+        assert_eq!(client.lookup(vec![key(1)]), Err(SchedError::QueueFull));
+        // A single request larger than the whole cap can never be
+        // admitted, under any policy.
+        assert_eq!(
+            client.lookup((0..5u64).map(key).collect()),
+            Err(SchedError::QueueFull)
+        );
+        let served = fill.join().unwrap().unwrap();
+        assert_eq!(served.len(), 4);
+        drop(client);
+        let stats = sched.join().unwrap();
+        assert_eq!(stats.rejected_ops, 6);
+        assert!(stats.max_resident_ops <= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn block_with_timeout_surfaces_admission_timeout() {
+        let index = build_index(64);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(300),
+            queue_cap: 4,
+            admission: AdmissionPolicy::BlockWithTimeout(Duration::from_millis(10)),
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let filler = sched.client().unwrap();
+        let fill = std::thread::spawn(move || filler.lookup((0..4u64).map(key).collect()));
+        std::thread::sleep(Duration::from_millis(50));
+        let client = sched.client().unwrap();
+        let t0 = Instant::now();
+        assert_eq!(
+            client.lookup(vec![key(1)]),
+            Err(SchedError::AdmissionTimeout)
+        );
+        assert!(
+            t0.elapsed() >= Duration::from_millis(10),
+            "the timeout budget must elapse before failing"
+        );
+        fill.join().unwrap().unwrap();
+        drop(client);
+        let stats = sched.join().unwrap();
+        assert_eq!(stats.admission_timeout_ops, 1);
+    }
+
+    #[test]
+    fn block_policy_bounds_resident_ops_and_loses_nothing() {
+        let index = build_index(256);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(20),
+            queue_cap: 8,
+            admission: AdmissionPolicy::Block,
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        // 16 ops against a cap of 8: half the producers must block at
+        // admission and be admitted after a flush releases their slots.
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let client = sched.client().unwrap();
+            handles.push(std::thread::spawn(move || {
+                client
+                    .lookup((p * 4..p * 4 + 4).map(key).collect())
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().len(), 4);
+        }
+        let stats = sched.join().unwrap();
+        assert_eq!(stats.ops_enqueued, 16);
+        assert_eq!(stats.keys_dispatched, 16);
+        assert!(
+            stats.max_resident_ops <= 8,
+            "resident ops must never exceed the cap: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn per_op_deadline_sheds_before_dispatch() {
+        let index = build_index(64);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_secs(30), // batch deadline unreachable
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let client = sched.client().unwrap();
+        // The call returns in milliseconds even though the batch deadline
+        // is half a minute away: only the op-deadline shed can answer it.
+        assert_eq!(
+            client.lookup_with_deadline(vec![key(1)], Duration::from_millis(5)),
+            Err(SchedError::DeadlineExceeded)
+        );
+        drop(client);
+        let stats = sched.join().unwrap();
+        assert_eq!(stats.shed_ops, 1);
+        assert_eq!(stats.keys_dispatched, 0);
+        assert_eq!(stats.deadline_flushes, 0, "shed, not flushed: {stats:?}");
+    }
+
+    #[test]
+    fn config_default_deadline_applies_to_plain_calls() {
+        let index = build_index(64);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(500),
+            op_deadline: Some(Duration::from_millis(5)),
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let client = sched.client().unwrap();
+        assert_eq!(
+            client.lookup(vec![key(1)]),
+            Err(SchedError::DeadlineExceeded)
+        );
+        drop(client);
+        let stats = sched.join().unwrap();
+        assert_eq!(stats.shed_ops, 1);
+    }
+
+    #[test]
+    fn latency_slo_walks_breaker_open_half_open_closed() {
+        let index = build_index(256);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(2),
+            breaker: Some(BreakerConfig {
+                // Any real device batch violates a 0.5 ns SLO instantly.
+                latency_slo_ns: Some(0.5),
+                latency_window: 1,
+                open_cooldown: Duration::from_millis(20),
+                probe_batches: 1,
+                ..BreakerConfig::default()
+            }),
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let client = sched.client().unwrap();
+        // Batch 1: device update, trips the breaker on latency. The
+        // journal (shadowing is on whenever a breaker is configured)
+        // keeps the mutation authoritative across the pin.
+        assert_eq!(client.update(vec![(key(5), 555)]).unwrap().len(), 1);
+        // While open: CPU-path service, mutations included.
+        assert_eq!(client.lookup_one(key(5)).unwrap(), 555);
+        assert_eq!(client.lookup_one(key(6)).unwrap(), 60);
+        // After the cooldown: a probe batch reaches the device, recovers
+        // the image, and closes the breaker.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(client.lookup_one(key(7)).unwrap(), 70);
+        assert_eq!(client.lookup_one(key(5)).unwrap(), 555);
+        drop(client);
+        let stats = sched.join().unwrap();
+        assert!(stats.breaker_trips >= 1, "{stats:?}");
+        assert!(stats.probe_batches >= 1, "{stats:?}");
+        assert!(stats.breaker_open_batches >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn join_close_race_always_resolves_cleanly() {
+        // Loom-style repeated interleaving: a producer hammers the
+        // scheduler while the main thread joins it. Every call must end
+        // in a value or a clean `Shutdown` — never a hang, a panic, or a
+        // send-on-closed error.
+        let index = build_index(64);
+        for round in 0..50 {
+            let cfg = SchedulerConfig {
+                batch_target: 8,
+                deadline: Duration::from_micros(50),
+                ..SchedulerConfig::default()
+            };
+            let sched = spawn(&index, cfg);
+            let client = sched.client().unwrap();
+            let producer = std::thread::spawn(move || loop {
+                match client.lookup_one(key(3)) {
+                    Ok(v) => assert_eq!(v, 30),
+                    Err(e) => return e,
+                }
+            });
+            // Vary the race window a little each round.
+            std::thread::sleep(Duration::from_micros(50 * (round % 7)));
+            sched.join().unwrap();
+            let err = producer.join().unwrap();
+            assert_eq!(err, SchedError::Shutdown, "round {round}");
+        }
     }
 }

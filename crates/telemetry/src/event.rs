@@ -22,6 +22,12 @@ pub enum BatchKind {
     Degraded,
     /// A degraded session re-uploaded the tree and resumed device service.
     Recovered,
+    /// The scheduler's circuit breaker tripped open (CPU-only service).
+    BreakerOpen,
+    /// The breaker entered its half-open probing window.
+    BreakerHalfOpen,
+    /// The breaker closed again after clean probe batches.
+    BreakerClosed,
 }
 
 impl BatchKind {
@@ -35,6 +41,9 @@ impl BatchKind {
             BatchKind::HybridRoute => "hybrid_route",
             BatchKind::Degraded => "degraded",
             BatchKind::Recovered => "recovered",
+            BatchKind::BreakerOpen => "breaker_open",
+            BatchKind::BreakerHalfOpen => "breaker_half_open",
+            BatchKind::BreakerClosed => "breaker_closed",
         }
     }
 }

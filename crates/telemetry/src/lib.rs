@@ -156,6 +156,16 @@ pub mod names {
     pub const SCHED_BATCH_FILL: &str = "cuart.sched.batch_fill";
     /// Batches packed in sorted key order (the locality path).
     pub const SCHED_SORTED_BATCHES: &str = "cuart.sched.sorted_batches";
+    /// Ops shed at coalesce time because their deadline had already passed.
+    pub const SCHED_SHED: &str = "cuart.sched.shed";
+    /// Ops refused at admission (queue full under the `Reject` policy).
+    pub const SCHED_REJECTED: &str = "cuart.sched.rejected";
+    /// Circuit-breaker trips (`Closed`/`HalfOpen` → `Open`).
+    pub const SCHED_BREAKER_TRIPS: &str = "cuart.sched.breaker_trips";
+    /// Half-open probe batches dispatched to the device while recovering.
+    pub const SCHED_PROBE_BATCHES: &str = "cuart.sched.probe_batches";
+    /// Gauge: breaker state (0 = Closed, 1 = HalfOpen, 2 = Open).
+    pub const SCHED_BREAKER_STATE: &str = "cuart.sched.breaker_state";
     /// Events evicted from the bounded batch-event ring (overflow is
     /// surfaced, not silent).
     pub const EVENTS_DROPPED: &str = "cuart.telemetry.events_dropped";

@@ -58,13 +58,13 @@ fn four_producers_one_million_lookups_match_cpu_engine() {
         batch_target: 16 * 1024,
         deadline: Duration::from_micros(300),
         sort_batches: true,
-        fault_injector: None,
+        ..SchedulerConfig::default()
     };
     let sched = Scheduler::spawn(Arc::clone(&index), devices::gtx1070(), cfg);
 
     let mut handles = Vec::new();
     for p in 0..producers {
-        let client = sched.client();
+        let client = sched.client().unwrap();
         let index = Arc::clone(&index);
         handles.push(std::thread::spawn(move || {
             let mut rng = p * 0x5851_f42d_4c95_7f2d + 1;
@@ -93,7 +93,7 @@ fn four_producers_one_million_lookups_match_cpu_engine() {
     let checked: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert_eq!(checked, total);
 
-    let stats = sched.join();
+    let stats = sched.join().unwrap();
     assert_eq!(stats.ops_enqueued, total);
     assert_eq!(stats.keys_dispatched, total);
     assert!(stats.batches >= 1);
@@ -113,14 +113,14 @@ fn one_batch_stats(index: &Arc<CuartIndex>, keys: &[Vec<u8>], sorted: bool) -> S
         batch_target: keys.len(), // flush exactly when the request lands
         deadline: Duration::from_secs(3600),
         sort_batches: sorted,
-        fault_injector: None,
+        ..SchedulerConfig::default()
     };
     let sched = Scheduler::spawn(Arc::clone(index), devices::gtx1070(), cfg);
-    let client = sched.client();
+    let client = sched.client().unwrap();
     let expect_some_hits = client.lookup(keys.to_vec()).expect("scheduler alive");
     assert!(expect_some_hits.iter().any(|&r| r != NOT_FOUND));
     drop(client);
-    let stats = sched.join();
+    let stats = sched.join().unwrap();
     assert_eq!(stats.batches, 1, "one request, one flush: {stats:?}");
     stats
 }
@@ -192,14 +192,14 @@ fn scheduler_records_sched_telemetry_series() {
         batch_target: 512,
         deadline: Duration::from_micros(200),
         sort_batches: true,
-        fault_injector: None,
+        ..SchedulerConfig::default()
     };
     let sched = Scheduler::spawn(Arc::clone(&index), devices::gtx1070(), cfg);
-    let client = sched.client();
+    let client = sched.client().unwrap();
     let keys: Vec<Vec<u8>> = (0..512u64).map(|i| i.to_be_bytes().to_vec()).collect();
     client.lookup(keys).unwrap();
     drop(client);
-    let stats = sched.join();
+    let stats = sched.join().unwrap();
 
     let snap = telemetry.snapshot();
     assert_eq!(snap.counters.get(names::SCHED_ENQUEUED), Some(&512));
@@ -239,10 +239,10 @@ fn session_staging_survives_shrinking_batches_through_the_scheduler() {
         batch_target: 1024 * 1024,
         deadline: Duration::from_micros(100),
         sort_batches: true,
-        fault_injector: None,
+        ..SchedulerConfig::default()
     };
     let sched = Scheduler::spawn(Arc::clone(&index), devices::gtx1070(), cfg);
-    let client = sched.client();
+    let client = sched.client().unwrap();
     let big: Vec<Vec<u8>> = (0..4096u64).map(|i| i.to_be_bytes().to_vec()).collect();
     let big_results = client.lookup(big).unwrap();
     assert!(big_results.iter().all(|&r| r != NOT_FOUND));
@@ -255,5 +255,5 @@ fn session_staging_survives_shrinking_batches_through_the_scheduler() {
     let small_results = client.lookup(small).unwrap();
     assert_eq!(small_results, vec![7 * 3 + 1, NOT_FOUND, 8191 * 3 + 1]);
     drop(client);
-    sched.join();
+    sched.join().unwrap();
 }
