@@ -5,14 +5,16 @@ pub mod gpu_devices;
 pub mod hybrid;
 pub mod lookup;
 pub mod overload;
+pub mod scaleout;
 pub mod serving;
 pub mod update;
 
 use crate::context::RunCtx;
 use crate::series::Figure;
 
-/// All figure ids in paper order (`fig19` and `fig-overload` are this
-/// repo's serving-layer extensions, not paper figures).
+/// All figure ids in paper order (`fig19`, `fig-overload` and
+/// `fig-scaleout` are this repo's serving-layer extensions, not paper
+/// figures).
 pub const ALL: &[&str] = &[
     "fig7",
     "fig8",
@@ -28,6 +30,7 @@ pub const ALL: &[&str] = &[
     "fig18",
     "fig19",
     "fig-overload",
+    "fig-scaleout",
 ];
 
 /// Run one figure by id.
@@ -47,6 +50,7 @@ pub fn run(id: &str, ctx: &RunCtx) -> Figure {
         "fig18" => gpu_devices::fig18(ctx),
         "fig19" => serving::fig19(ctx),
         "fig-overload" => overload::fig_overload(ctx),
+        "fig-scaleout" => scaleout::fig_scaleout(ctx),
         other => panic!("unknown figure id {other:?}; known: {ALL:?}"),
     }
 }

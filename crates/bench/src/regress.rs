@@ -56,7 +56,9 @@ pub fn run_smoke() -> BTreeMap<String, f64> {
     let mut lookup_ns = 0.0;
     for b in 0..KEYS / BATCH {
         let queries: Vec<Vec<u8>> = (0..BATCH)
-            .map(|i| stored[(b * BATCH + i * 7) % stored.len()].clone())
+            .map(|i| {
+                stored[b.wrapping_mul(BATCH).wrapping_add(i.wrapping_mul(7)) % stored.len()].clone()
+            })
             .collect();
         let (_, report) = session.lookup_batch(&queries).expect("smoke lookup");
         lookup_ns += report.time_ns;

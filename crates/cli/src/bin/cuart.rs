@@ -20,6 +20,7 @@ USAGE:
                 [--batches N] [--format json|prom] [--metrics-out FILE]
   cuart serve-sim INDEX [--producers 4] [--deadline-us 200] [--batch 32768]
                   [--ops 65536] [--unsorted] [--smoke] [--device NAME]
+                  [--shards N] [--shard-devices NAME,NAME,...]
                   [--metrics-out FILE] [--trace-out FILE] [--folded-out FILE]
                   [--fault-seed N] [--fault-rate P]
                   [--admission block|reject] [--admission-timeout-us N]
@@ -46,6 +47,11 @@ OVERLOAD: --queue-cap bounds the scheduler's resident ops; a full queue
 blocks (default), fails fast (--admission reject) or blocks up to
 --admission-timeout-us. --op-deadline-us sheds ops still queued past
 their budget with DeadlineExceeded instead of serving them late.
+SCALE-OUT: --shards N serves from N key-space shards, each on its own
+device (copies of --device, or named one-by-one with --shard-devices,
+e.g. rtx3090,rtx3090,gtx1070,gtx1070); every shard has its own queue
+cap and circuit breaker, and per-shard cuart.sched.shard.<i>.* series
+land in the metrics spill next to the global cuart.sched.* totals.
 verify-snapshot checks a saved index (header, per-section CRCs,
 structural parse) without loading it";
 
@@ -152,6 +158,17 @@ fn overload_options(args: &Args) -> OverloadOptions {
         op_deadline_us: args
             .flag("op-deadline-us")
             .map(|s| s.parse().unwrap_or_else(|_| fail("bad --op-deadline-us"))),
+    }
+}
+
+/// Parse the serve-sim scale-out knobs (`--shards`, `--shard-devices`).
+fn shard_options(args: &Args) -> ShardOptions {
+    ShardOptions {
+        shards: args
+            .flag("shards")
+            .map(|s| s.parse().unwrap_or_else(|_| fail("bad --shards")))
+            .unwrap_or(0),
+        devices: args.flag("shard-devices").map(str::to_string),
     }
 }
 
@@ -280,6 +297,7 @@ fn main() {
                 folded_out.as_deref(),
                 fault_options(&args),
                 overload_options(&args),
+                shard_options(&args),
             )
         }
         "trace" => {

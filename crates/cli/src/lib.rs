@@ -13,6 +13,7 @@
 //!               [--batch N] [--batches N] [--format json|prom] [--metrics-out FILE]
 //! cuart serve-sim idx.cuart [--producers 4] [--deadline-us 200] [--batch 32768]
 //!                 [--ops 65536] [--unsorted] [--smoke] [--device NAME] [--metrics-out FILE]
+//!                 [--shards N] [--shard-devices NAME,NAME,...]
 //!                 [--trace-out FILE] [--folded-out FILE] [--fault-seed N] [--fault-rate P]
 //!                 [--admission block|reject] [--admission-timeout-us N]
 //!                 [--queue-cap N] [--op-deadline-us N]
@@ -38,6 +39,7 @@ use cuart_gpu_sim::batch::NOT_FOUND;
 use cuart_gpu_sim::{devices, DeviceConfig, FaultConfig, FaultInjector};
 pub use cuart_host::scheduler::AdmissionPolicy;
 use cuart_host::scheduler::{BreakerConfig, SchedError, Scheduler, SchedulerConfig};
+use cuart_host::sharded::ShardedScheduler;
 use cuart_telemetry::tracing::{critical_paths, to_chrome_json, to_folded};
 use cuart_telemetry::{Snapshot, Telemetry};
 use std::fmt::Write as _;
@@ -270,6 +272,46 @@ pub struct OverloadOptions {
     pub op_deadline_us: Option<u64>,
 }
 
+/// Scale-out options for `serve-sim` (`--shards`, `--shard-devices`).
+#[derive(Debug, Clone, Default)]
+pub struct ShardOptions {
+    /// Number of shards; `0` or `1` selects the single-device path.
+    pub shards: usize,
+    /// Comma-separated device names, one per shard (e.g.
+    /// `rtx3090,rtx3090,gtx1070,gtx1070`). Overrides `--device`; when
+    /// `--shards` is also given the counts must agree.
+    pub devices: Option<String>,
+}
+
+impl ShardOptions {
+    /// Resolve the shard device list: `--shard-devices` names, or
+    /// `--shards` copies of the `--device` default.
+    fn resolve(&self, default_dev: DeviceConfig) -> Result<Vec<DeviceConfig>, CliError> {
+        match &self.devices {
+            Some(list) => {
+                let devs: Vec<DeviceConfig> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(device_by_name)
+                    .collect::<Result<_, _>>()?;
+                if devs.is_empty() {
+                    return Err(CliError::Input("--shard-devices names no device".into()));
+                }
+                if self.shards > 1 && devs.len() != self.shards {
+                    return Err(CliError::Input(format!(
+                        "--shards {} disagrees with --shard-devices ({} devices)",
+                        self.shards,
+                        devs.len()
+                    )));
+                }
+                Ok(devs)
+            }
+            None => Ok(vec![default_dev; self.shards.max(1)]),
+        }
+    }
+}
+
 /// Open a device session, attaching a [`FaultInjector`] when fault
 /// options were given. Warns on stderr when the binary was built without
 /// the `faults` feature (the injector then never fires).
@@ -499,6 +541,13 @@ pub fn cmd_metrics(
 /// `Open → HalfOpen → Closed` (a 5 % random rate cannot reliably produce
 /// a full trip-and-recover inside 8192 ops), so the CI overload drill can
 /// assert a clean `recovered` event in the metrics spill.
+///
+/// With `shard` asking for more than one device (`--shards N`,
+/// `--shard-devices`), the run switches to the
+/// [`sharded`](cuart_host::sharded) scale-out layer: one scheduler per
+/// device, key space split by the §3.3 LUT prefix, per-shard breakers and
+/// `cuart.sched.shard.<i>.*` telemetry, and a modeled aggregate
+/// throughput line (total keys over the slowest shard).
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_serve_sim(
     path: &Path,
@@ -514,11 +563,13 @@ pub fn cmd_serve_sim(
     folded_out: Option<&Path>,
     faults: Option<FaultOptions>,
     overload: OverloadOptions,
+    shard: ShardOptions,
 ) -> Result<String, CliError> {
     let producers = producers.max(1);
     let (ops, batch) = if smoke { (8192, 1024) } else { (ops, batch) };
     let index = CuartIndex::load(path)?;
     let dev = device_by_name(device)?;
+    let devs = shard.resolve(dev)?;
     let telemetry = Arc::new(Telemetry::new());
     let index = Arc::new(index.with_telemetry(telemetry.clone()));
     let stored = cuart::range::range_query(
@@ -537,8 +588,10 @@ pub fn cmd_serve_sim(
     }
     // The deterministic smoke storm: a pinned run of early device-op
     // faults (degrade + breaker trip), clean afterwards (half-open probes
-    // recover). Only meaningful when the injector can actually fire.
-    let smoke_storm = smoke && faults.is_some() && FaultInjector::is_active();
+    // recover). Only meaningful when the injector can actually fire, and
+    // only driven on the single-device path (the sharded path re-seeds
+    // injectors per shard, so the pinned schedule would not line up).
+    let smoke_storm = smoke && faults.is_some() && FaultInjector::is_active() && devs.len() == 1;
     let injector = faults.map(|f| {
         if smoke_storm {
             FaultInjector::new(FaultConfig::uniform(f.seed, 0.0).fail_range(0, 8))
@@ -568,7 +621,25 @@ pub fn cmd_serve_sim(
             .op_deadline_us
             .map(std::time::Duration::from_micros),
         breaker,
+        shard: None,
     };
+    if devs.len() > 1 {
+        return serve_sim_sharded(ShardRun {
+            index,
+            telemetry,
+            stored,
+            cfg,
+            devs,
+            producers,
+            ops,
+            smoke,
+            queue_cap: overload.queue_cap,
+            op_deadline_us: overload.op_deadline_us,
+            metrics_out,
+            trace_out,
+            folded_out,
+        });
+    }
     let sched = Scheduler::spawn(Arc::clone(&index), dev, cfg);
     let per_producer = ops.div_ceil(producers).max(1);
     const REQUEST_KEYS: usize = 256;
@@ -589,7 +660,11 @@ pub fn cmd_serve_sim(
         // offset, so arrival order at the executor is interleaved and
         // unsorted.
         let probes: Vec<Vec<u8>> = (0..per_producer)
-            .map(|i| stored[(p * 131 + i * 7) % stored.len()].0.clone())
+            .map(|i| {
+                stored[p.wrapping_mul(131).wrapping_add(i.wrapping_mul(7)) % stored.len()]
+                    .0
+                    .clone()
+            })
             .collect();
         handles.push(std::thread::spawn(move || -> Result<Tally, SchedError> {
             let mut tally = Tally::default();
@@ -672,11 +747,162 @@ pub fn cmd_serve_sim(
         stats.probe_batches,
         stats.breaker_open_batches,
     );
+    spill_serving_outputs(&mut out, &telemetry, metrics_out, trace_out, folded_out)?;
+    Ok(out)
+}
+
+/// Everything the sharded serve-sim branch needs, bundled to stay under
+/// clippy's argument limit.
+struct ShardRun<'a> {
+    index: Arc<CuartIndex>,
+    telemetry: Arc<Telemetry>,
+    stored: Vec<(Vec<u8>, u64)>,
+    cfg: SchedulerConfig,
+    devs: Vec<DeviceConfig>,
+    producers: usize,
+    ops: usize,
+    smoke: bool,
+    queue_cap: usize,
+    op_deadline_us: Option<u64>,
+    metrics_out: Option<&'a Path>,
+    trace_out: Option<&'a Path>,
+    folded_out: Option<&'a Path>,
+}
+
+/// The `--shards N` / `--shard-devices` serve-sim path: one scheduler per
+/// device, key space split by the §3.3 LUT prefix, producers submitting
+/// through the fleet router. Prints the aggregate summary, the modeled
+/// scale-out throughput (total keys over the slowest shard) and one line
+/// per shard.
+fn serve_sim_sharded(run: ShardRun<'_>) -> Result<String, CliError> {
+    const REQUEST_KEYS: usize = 256;
+    let sharded = ShardedScheduler::spawn(Arc::clone(&run.index), &run.devs, run.cfg)
+        .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+    let per_producer = run.ops.div_ceil(run.producers).max(1);
+    #[derive(Default)]
+    struct Tally {
+        hits: u64,
+        shed: u64,
+        rejected: u64,
+        timed_out: u64,
+    }
+    let mut handles = Vec::new();
+    for p in 0..run.producers {
+        let client = sharded
+            .client()
+            .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+        let probes: Vec<Vec<u8>> = (0..per_producer)
+            .map(|i| {
+                run.stored[p.wrapping_mul(131).wrapping_add(i.wrapping_mul(7)) % run.stored.len()]
+                    .0
+                    .clone()
+            })
+            .collect();
+        handles.push(std::thread::spawn(move || -> Result<Tally, SchedError> {
+            let mut tally = Tally::default();
+            for chunk in probes.chunks(REQUEST_KEYS) {
+                match client.lookup(chunk.to_vec()) {
+                    Ok(results) => {
+                        tally.hits += results.iter().filter(|&&r| r != NOT_FOUND).count() as u64;
+                    }
+                    Err(SchedError::DeadlineExceeded) => tally.shed += chunk.len() as u64,
+                    Err(SchedError::QueueFull) => tally.rejected += chunk.len() as u64,
+                    Err(SchedError::AdmissionTimeout) => tally.timed_out += chunk.len() as u64,
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(tally)
+        }));
+    }
+    let mut tally = Tally::default();
+    for h in handles {
+        let t = h
+            .join()
+            .map_err(|_| CliError::Input("producer thread panicked".into()))?
+            .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+        tally.hits += t.hits;
+        tally.shed += t.shed;
+        tally.rejected += t.rejected;
+        tally.timed_out += t.timed_out;
+    }
+    if run.smoke && run.op_deadline_us.is_some() {
+        // Same deterministic shed probe as the single-device drill.
+        let client = sharded
+            .client()
+            .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+        match client.lookup_with_deadline(vec![run.stored[0].0.clone()], std::time::Duration::ZERO)
+        {
+            Err(SchedError::DeadlineExceeded) => tally.shed += 1,
+            other => {
+                return Err(CliError::Input(format!(
+                    "shed probe: expected DeadlineExceeded, got {other:?}"
+                )))
+            }
+        }
+    }
+    let stats = sharded
+        .join()
+        .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+    let agg = stats.aggregate();
+    let mut out = format!(
+        "{} lookups from {} producers over {} shards — {} batches \
+         (mean fill {:.0}), {} routed requests\n\
+         modeled scale-out {:.1} MOps/s (slowest shard {:.1} µs busy), {} hits",
+        agg.ops_enqueued,
+        run.producers,
+        stats.shards.len(),
+        agg.batches,
+        agg.mean_batch_fill(),
+        stats.routed_requests,
+        stats.modeled_aggregate_mops(),
+        stats.modeled_time_ns() / 1e3,
+        tally.hits,
+    );
+    let _ = write!(
+        out,
+        "\noverload: {} shed / {} rejected / {} admission timeouts \
+         (per-shard cap {}), breaker: {} trips",
+        agg.shed_ops, agg.rejected_ops, agg.admission_timeout_ops, run.queue_cap, agg.breaker_trips,
+    );
+    for s in &stats.shards {
+        let _ = write!(
+            out,
+            "\nshard {} ({}): {} ops, {} batches, kernel {:.1} µs, \
+             {} shed / {} rejected, {} breaker trips",
+            s.shard,
+            s.device.name,
+            s.stats.ops_enqueued,
+            s.stats.batches,
+            s.stats.kernel_time_ns / 1e3,
+            s.stats.shed_ops,
+            s.stats.rejected_ops,
+            s.stats.breaker_trips,
+        );
+    }
+    spill_serving_outputs(
+        &mut out,
+        &run.telemetry,
+        run.metrics_out,
+        run.trace_out,
+        run.folded_out,
+    )?;
+    Ok(out)
+}
+
+/// Shared serve-sim output tail: the telemetry-feature warning, the JSON
+/// metrics spill and the Chrome-trace / folded-stack exports.
+fn spill_serving_outputs(
+    out: &mut String,
+    telemetry: &Arc<Telemetry>,
+    metrics_out: Option<&Path>,
+    trace_out: Option<&Path>,
+    folded_out: Option<&Path>,
+) -> Result<(), CliError> {
     if !cfg!(feature = "telemetry") {
         eprintln!("warning: built without the `telemetry` feature; metrics will be empty");
     }
     if let Some(path) = metrics_out {
-        out.push_str(&spill_metrics(&telemetry, path)?);
+        out.push_str(&spill_metrics(telemetry, path)?);
     }
     if trace_out.is_some() || folded_out.is_some() {
         let snap = telemetry.snapshot();
@@ -694,7 +920,7 @@ pub fn cmd_serve_sim(
             let _ = write!(out, "\nfolded -> {}", p.display());
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Keep trickling probe lookups through the scheduler until the circuit
@@ -1122,6 +1348,7 @@ mod tests {
             None,
             None,
             OverloadOptions::default(),
+            ShardOptions::default(),
         )
         .unwrap();
         assert!(out.contains("1024 lookups from 2 producers"), "{out}");
@@ -1148,9 +1375,80 @@ mod tests {
             None,
             None,
             OverloadOptions::default(),
+            ShardOptions::default(),
         )
         .unwrap();
         assert!(out.contains("256 lookups from 1 producers"), "{out}");
+        for p in [keys, idx, out_file] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_sim_sharded_routes_and_reports_per_shard() {
+        let lines: Vec<String> = (0..400u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("sharded", &refs);
+        let idx = tmp("sharded-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let out_file = tmp("sharded-metrics");
+        let out = cmd_serve_sim(
+            &idx,
+            "gtx1070",
+            2,
+            200,
+            512,
+            2048,
+            false,
+            false,
+            Some(&out_file),
+            None,
+            None,
+            None,
+            OverloadOptions::default(),
+            ShardOptions {
+                shards: 2,
+                devices: Some("rtx3090, gtx1070".into()),
+            },
+        )
+        .unwrap();
+        assert!(
+            out.contains("2048 lookups from 2 producers over 2 shards"),
+            "{out}"
+        );
+        assert!(out.contains("modeled scale-out"), "{out}");
+        assert!(out.contains("shard 0 (NVIDIA RTX 3090"), "{out}");
+        assert!(out.contains("shard 1 (NVIDIA GTX 1070"), "{out}");
+        #[cfg(feature = "telemetry")]
+        {
+            let written = std::fs::read_to_string(&out_file).unwrap();
+            assert!(written.contains("cuart.sched.routed_requests"), "{written}");
+            assert!(written.contains("cuart.sched.shard.0."), "{written}");
+        }
+        // Count mismatch between --shards and --shard-devices is refused.
+        let err = cmd_serve_sim(
+            &idx,
+            "gtx1070",
+            1,
+            200,
+            512,
+            256,
+            false,
+            false,
+            None,
+            None,
+            None,
+            None,
+            OverloadOptions::default(),
+            ShardOptions {
+                shards: 3,
+                devices: Some("rtx3090,gtx1070".into()),
+            },
+        );
+        assert!(
+            matches!(err, Err(CliError::Input(ref m)) if m.contains("disagrees")),
+            "{err:?}"
+        );
         for p in [keys, idx, out_file] {
             std::fs::remove_file(p).ok();
         }
@@ -1187,6 +1485,7 @@ mod tests {
             None,
             faults,
             overload,
+            ShardOptions::default(),
         )
         .unwrap();
         // The deterministic shed probe guarantees a non-zero shed count.
@@ -1257,6 +1556,7 @@ mod tests {
             None,
             None,
             OverloadOptions::default(),
+            ShardOptions::default(),
         )
         .unwrap();
         // Smoke mode pins the workload shape regardless of the flags.

@@ -71,6 +71,7 @@ pub mod link;
 pub mod mapper;
 pub mod persist;
 pub mod range;
+pub mod shard;
 pub mod update;
 
 pub use api::{CuartIndex, CuartSession, FaultStats};
@@ -78,4 +79,5 @@ pub use buffers::{CuartBuffers, CuartConfig, LongKeyPolicy};
 pub use error::{CuartError, RetryPolicy};
 pub use kernels::DeviceTree;
 pub use link::NodeLink;
+pub use shard::ShardRouter;
 pub use update::DELETE;

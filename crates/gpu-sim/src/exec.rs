@@ -442,7 +442,7 @@ mod tests {
     }
     impl Kernel for ChaseKernel {
         fn execute(&self, tid: usize, ctx: &mut ThreadCtx<'_>) {
-            let mut idx = (tid * 2654435761) % self.slots;
+            let mut idx = tid.wrapping_mul(2654435761) % self.slots;
             for _ in 0..self.hops {
                 idx = ctx.read_u64(self.src, idx * 8) as usize % self.slots;
             }

@@ -152,6 +152,13 @@ pub struct SchedulerConfig {
     pub op_deadline: Option<Duration>,
     /// Circuit-breaker configuration; `None` disables the breaker.
     pub breaker: Option<BreakerConfig>,
+    /// When this scheduler runs as one shard of a
+    /// [`ShardedScheduler`](crate::sharded::ShardedScheduler), its shard
+    /// index. Every counter and gauge is then mirrored to the
+    /// `cuart.sched.shard.<i>.*` twin series (the global `cuart.sched.*`
+    /// series are still written, so per-shard twins sum to the global
+    /// totals). `None` — the default — writes global series only.
+    pub shard: Option<usize>,
 }
 
 impl Default for SchedulerConfig {
@@ -165,6 +172,59 @@ impl Default for SchedulerConfig {
             admission: AdmissionPolicy::Block,
             op_deadline: None,
             breaker: Some(BreakerConfig::default()),
+            shard: None,
+        }
+    }
+}
+
+/// Telemetry sink scoped to an optional shard: every counter and gauge
+/// write lands on the global `cuart.sched.*` series and, when a shard
+/// index is configured, on its `cuart.sched.shard.<i>.*` twin as well.
+/// Histograms, batch events and span trees stay global-only to bound
+/// series cardinality.
+#[derive(Clone, Default)]
+struct SchedTelemetry {
+    t: Option<Arc<Telemetry>>,
+    /// Pre-rendered `"cuart.sched.shard.<i>."` prefix.
+    shard_prefix: Option<Arc<str>>,
+}
+
+impl SchedTelemetry {
+    fn new(t: Option<Arc<Telemetry>>, shard: Option<usize>) -> SchedTelemetry {
+        SchedTelemetry {
+            shard_prefix: shard.map(|i| format!("{}{i}.", names::SCHED_SHARD_PREFIX).into()),
+            t,
+        }
+    }
+
+    /// The raw registry, for the global-only paths (histograms, events,
+    /// span trees).
+    fn raw(&self) -> Option<&Arc<Telemetry>> {
+        self.t.as_ref()
+    }
+
+    fn shard_name(&self, global: &str) -> Option<String> {
+        self.shard_prefix.as_ref().map(|p| {
+            let suffix = global.strip_prefix(names::SCHED_PREFIX).unwrap_or(global);
+            format!("{p}{suffix}")
+        })
+    }
+
+    fn incr(&self, global: &'static str, n: u64) {
+        if let Some(t) = &self.t {
+            t.incr(global, n);
+            if let Some(name) = self.shard_name(global) {
+                t.incr(&name, n);
+            }
+        }
+    }
+
+    fn gauge_set(&self, global: &'static str, v: f64) {
+        if let Some(t) = &self.t {
+            t.gauge_set(global, v);
+            if let Some(name) = self.shard_name(global) {
+                t.gauge_set(&name, v);
+            }
         }
     }
 }
@@ -193,6 +253,9 @@ pub enum SchedError {
     /// The session failed the batch with a non-transient error. Carries
     /// the rendered [`CuartError`](cuart::CuartError).
     Session(String),
+    /// A [`ShardedScheduler`](crate::sharded::ShardedScheduler) was asked
+    /// to spawn over an empty device list.
+    NoShards,
 }
 
 impl fmt::Display for SchedError {
@@ -205,6 +268,7 @@ impl fmt::Display for SchedError {
             SchedError::DeadlineExceeded => write!(f, "operation deadline exceeded"),
             SchedError::ExecutorPanicked(m) => write!(f, "executor panicked: {m}"),
             SchedError::Session(e) => write!(f, "session error: {e}"),
+            SchedError::NoShards => write!(f, "sharded scheduler needs at least one device"),
         }
     }
 }
@@ -265,7 +329,7 @@ struct SubmissionQueue {
     work: Condvar,
     /// 0 = unbounded.
     cap: usize,
-    telemetry: Option<Arc<Telemetry>>,
+    telemetry: SchedTelemetry,
     rejected_ops: AtomicU64,
     timeout_ops: AtomicU64,
     max_resident_ops: AtomicU64,
@@ -282,7 +346,7 @@ enum Pop {
 }
 
 impl SubmissionQueue {
-    fn new(cap: usize, telemetry: Option<Arc<Telemetry>>) -> Arc<SubmissionQueue> {
+    fn new(cap: usize, telemetry: SchedTelemetry) -> Arc<SubmissionQueue> {
         Arc::new(SubmissionQueue {
             inner: Mutex::new(QueueInner {
                 queue: VecDeque::new(),
@@ -306,9 +370,7 @@ impl SubmissionQueue {
 
     fn note_rejected(&self, ops: usize) {
         self.rejected_ops.fetch_add(ops as u64, Ordering::Relaxed);
-        if let Some(t) = &self.telemetry {
-            t.incr(names::SCHED_REJECTED, ops as u64);
-        }
+        self.telemetry.incr(names::SCHED_REJECTED, ops as u64);
     }
 
     /// Admit one request under the cap, or fail per `policy`.
@@ -352,9 +414,7 @@ impl SubmissionQueue {
                     if now >= deadline {
                         drop(inner);
                         self.timeout_ops.fetch_add(ops as u64, Ordering::Relaxed);
-                        if let Some(t) = &self.telemetry {
-                            t.incr(names::SCHED_REJECTED, ops as u64);
-                        }
+                        self.telemetry.incr(names::SCHED_REJECTED, ops as u64);
                         return Err(SchedError::AdmissionTimeout);
                     }
                     inner = match self.admit.wait_timeout(inner, deadline - now) {
@@ -658,7 +718,8 @@ impl Scheduler {
     /// whole life) and serves batches until [`join`](Scheduler::join) or
     /// `Drop` shuts it down.
     pub fn spawn(index: Arc<CuartIndex>, dev: DeviceConfig, cfg: SchedulerConfig) -> Scheduler {
-        let queue = SubmissionQueue::new(cfg.queue_cap, index.telemetry().cloned());
+        let telemetry = SchedTelemetry::new(index.telemetry().cloned(), cfg.shard);
+        let queue = SubmissionQueue::new(cfg.queue_cap, telemetry);
         let cfg_admission = cfg.admission;
         let cfg_op_deadline = cfg.op_deadline;
         let exec_queue = Arc::clone(&queue);
@@ -795,7 +856,7 @@ struct ExecCtx<'a> {
     session: cuart::CuartSession<'a>,
     cfg: &'a SchedulerConfig,
     queue: &'a SubmissionQueue,
-    telemetry: Option<Arc<Telemetry>>,
+    telemetry: SchedTelemetry,
     stats: SchedulerStats,
     breaker: Option<Breaker>,
 }
@@ -812,7 +873,7 @@ fn executor(
     // frame — including a panic — the queue is aborted, which drops the
     // orphaned reply channels and wakes blocked admissions.
     let _abort = AbortGuard(Arc::clone(&queue));
-    let telemetry = index.telemetry().cloned();
+    let telemetry = SchedTelemetry::new(index.telemetry().cloned(), cfg.shard);
     let mut session = index.device_session(&dev);
     // The scheduler records the full `sched.batch.*` tree around each
     // device leg (queueing, sort, scatter and the leg itself); the
@@ -826,9 +887,7 @@ fn executor(
         // guarantees the journal already holds every device mutation when
         // that happens — even for a latency-SLO trip with no injector.
         session.set_journal_shadowing(true);
-        if let Some(t) = &telemetry {
-            t.gauge_set(names::SCHED_BREAKER_STATE, 0.0);
-        }
+        telemetry.gauge_set(names::SCHED_BREAKER_STATE, 0.0);
     }
     let batch_target = cfg.batch_target.max(1);
     let breaker = cfg.breaker.clone().map(Breaker::new);
@@ -863,9 +922,8 @@ fn executor(
         match queue.pop(wake) {
             Pop::Got(req) => {
                 ctx.stats.ops_enqueued += req.keys.len() as u64;
-                if let Some(t) = &ctx.telemetry {
-                    t.incr(names::SCHED_ENQUEUED, req.keys.len() as u64);
-                }
+                ctx.telemetry
+                    .incr(names::SCHED_ENQUEUED, req.keys.len() as u64);
                 pending_keys += req.keys.len();
                 pending.push_back(req);
                 if pending_keys >= batch_target {
@@ -905,17 +963,11 @@ fn executor(
 
 /// Telemetry bookkeeping for one flush (optional counter + queue-depth
 /// gauge recording the backlog the flush drained).
-fn record_flush(
-    telemetry: &Option<Arc<cuart_telemetry::Telemetry>>,
-    counter: Option<&'static str>,
-    depth: u64,
-) {
-    if let Some(t) = telemetry {
-        if let Some(c) = counter {
-            t.incr(c, 1);
-        }
-        t.gauge_set(names::SCHED_QUEUE_DEPTH, depth as f64);
+fn record_flush(telemetry: &SchedTelemetry, counter: Option<&'static str>, depth: u64) {
+    if let Some(c) = counter {
+        telemetry.incr(c, 1);
     }
+    telemetry.gauge_set(names::SCHED_QUEUE_DEPTH, depth as f64);
 }
 
 /// Modeled host cost of packing one key into the coalesced batch buffer.
@@ -961,8 +1013,8 @@ impl ExecCtx<'_> {
         self.stats.shed_ops += shed_ops as u64;
         self.stats.requests += shed_requests;
         self.queue.release(shed_ops);
-        if let Some(t) = &self.telemetry {
-            t.incr(names::SCHED_SHED, shed_ops as u64);
+        self.telemetry.incr(names::SCHED_SHED, shed_ops as u64);
+        if let Some(t) = self.telemetry.raw() {
             // Not a `sched.batch.*` root: shed work has no device leg, so
             // the leaf-sum invariant the trace verifier enforces on batch
             // roots does not apply.
@@ -1022,9 +1074,7 @@ impl ExecCtx<'_> {
         let mode = self.breaker_before(total as u64);
         if mode == DispatchMode::Probe {
             self.stats.probe_batches += 1;
-            if let Some(t) = &self.telemetry {
-                t.incr(names::SCHED_PROBE_BATCHES, 1);
-            }
+            self.telemetry.incr(names::SCHED_PROBE_BATCHES, 1);
         } else if mode == DispatchMode::CpuOnly {
             self.stats.breaker_open_batches += 1;
         }
@@ -1057,12 +1107,12 @@ impl ExecCtx<'_> {
                     Some(p) => scatter_inverse(&batch_results, p),
                     None => batch_results,
                 };
-                if let Some(t) = &self.telemetry {
-                    t.incr(names::SCHED_BATCHES, 1);
+                self.telemetry.incr(names::SCHED_BATCHES, 1);
+                if perm.is_some() {
+                    self.telemetry.incr(names::SCHED_SORTED_BATCHES, 1);
+                }
+                if let Some(t) = self.telemetry.raw() {
                     t.observe(names::SCHED_BATCH_FILL, total as u64);
-                    if perm.is_some() {
-                        t.incr(names::SCHED_SORTED_BATCHES, 1);
-                    }
                     if let Some(start) = oldest {
                         t.observe(
                             names::SCHED_QUEUE_LATENCY_NS,
@@ -1123,8 +1173,8 @@ impl ExecCtx<'_> {
                 b.state = BreakerState::HalfOpen;
                 b.clean_probes = 0;
                 self.session.set_cpu_only(false);
-                if let Some(t) = &self.telemetry {
-                    t.gauge_set(names::SCHED_BREAKER_STATE, 1.0);
+                self.telemetry.gauge_set(names::SCHED_BREAKER_STATE, 1.0);
+                if let Some(t) = self.telemetry.raw() {
                     t.record(BatchEvent::new(BatchKind::BreakerHalfOpen, run_keys));
                 }
                 DispatchMode::Probe
@@ -1207,9 +1257,9 @@ impl ExecCtx<'_> {
         b.window.clear();
         self.stats.breaker_trips += 1;
         self.session.set_cpu_only(true);
-        if let Some(t) = &self.telemetry {
-            t.incr(names::SCHED_BREAKER_TRIPS, 1);
-            t.gauge_set(names::SCHED_BREAKER_STATE, 2.0);
+        self.telemetry.incr(names::SCHED_BREAKER_TRIPS, 1);
+        self.telemetry.gauge_set(names::SCHED_BREAKER_STATE, 2.0);
+        if let Some(t) = self.telemetry.raw() {
             t.record(BatchEvent::new(BatchKind::BreakerOpen, run_keys));
         }
     }
@@ -1222,8 +1272,8 @@ impl ExecCtx<'_> {
             b.clean_probes = 0;
             b.window.clear();
         }
-        if let Some(t) = &self.telemetry {
-            t.gauge_set(names::SCHED_BREAKER_STATE, 0.0);
+        self.telemetry.gauge_set(names::SCHED_BREAKER_STATE, 0.0);
+        if let Some(t) = self.telemetry.raw() {
             t.record(BatchEvent::new(BatchKind::BreakerClosed, run_keys));
         }
     }

@@ -1,0 +1,508 @@
+//! Sharded, multi-device serving: one [`Scheduler`] per simulated device,
+//! key space partitioned by leading bytes.
+//!
+//! The single-device scheduler (§4.1 "batching on the host", the
+//! [`scheduler`](crate::scheduler) module) saturates one GPU. The ROADMAP
+//! north-star wants more: production-scale serving across several devices,
+//! possibly of different generations. This module is that scale-out layer:
+//!
+//! * [`ShardedScheduler::spawn`] opens one executor per entry of a
+//!   [`DeviceConfig`] slice — homogeneous (4× RTX 3090) or mixed (2× RTX
+//!   3090 + 2× GTX 1070) — each with its own
+//!   [`CuartSession`](cuart::CuartSession), submission queue, admission
+//!   cap and circuit breaker, so one sick shard sheds or degrades alone
+//!   while the rest keep serving from their devices.
+//! * The key space is partitioned by the [`ShardRouter`]: the leading key
+//!   bytes — the same big-endian prefix the §3.3 compacted root indexes
+//!   its LUT with — select the shard, so every shard owns a contiguous
+//!   range of the root table and of the ordered leaf arenas under it, and
+//!   every key maps to exactly one shard (last-write-wins per key, §3.4,
+//!   holds fleet-wide).
+//! * [`ShardedClient`] calls look exactly like [`SchedulerClient`] calls:
+//!   the router splits the batch by shard (stable, so intra-request order
+//!   survives), dispatches the sub-batches **concurrently** through each
+//!   shard's sorted-batch machinery, and merges the answers back in
+//!   arrival order via the recorded index lists — an inverse permutation
+//!   over the split.
+//!
+//! Each shard's scheduler mirrors its counters and gauges to
+//! `cuart.sched.shard.<i>.*` (summing to the global `cuart.sched.*`
+//! totals), and every routed call commits a standalone `sched.route` span
+//! with the fan-out, next to the per-shard `sched.batch.*` trees.
+
+use crate::scheduler::{SchedError, Scheduler, SchedulerClient, SchedulerConfig, SchedulerStats};
+use cuart::{CuartIndex, ShardRouter};
+use cuart_gpu_sim::{DeviceConfig, FaultInjector};
+use cuart_telemetry::{names, SpanNode, Telemetry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Modeled host cost of routing one key to its shard (a fixed-width
+/// prefix load and one multiply — cheaper than the coalesce copy).
+const ROUTE_NS_PER_KEY: u64 = 2;
+
+/// Shared router-side accounting, folded into [`ShardedStats`] at join.
+#[derive(Default)]
+struct RouteCounters {
+    requests: AtomicU64,
+    keys: AtomicU64,
+}
+
+/// Owning handle for a fleet of per-shard executors. Dropping it shuts
+/// every shard down; [`join`](ShardedScheduler::join) does the same and
+/// returns the per-shard and aggregate stats.
+pub struct ShardedScheduler {
+    shards: Vec<Scheduler>,
+    devices: Vec<DeviceConfig>,
+    router: ShardRouter,
+    telemetry: Option<Arc<Telemetry>>,
+    route: Arc<RouteCounters>,
+}
+
+impl ShardedScheduler {
+    /// Spawn one executor per device in `devices`, all serving `index`.
+    /// Shard `i` runs on `devices[i]` under a copy of `cfg` with
+    /// [`SchedulerConfig::shard`] set to `i` (per-shard telemetry twins)
+    /// and, when a fault injector is configured, a per-shard re-seeded
+    /// copy so fault streams are independent across shards.
+    pub fn spawn(
+        index: Arc<CuartIndex>,
+        devices: &[DeviceConfig],
+        cfg: SchedulerConfig,
+    ) -> Result<ShardedScheduler, SchedError> {
+        if devices.is_empty() {
+            return Err(SchedError::NoShards);
+        }
+        let telemetry = index.telemetry().cloned();
+        let router = ShardRouter::new(devices.len());
+        let shards = devices
+            .iter()
+            .enumerate()
+            .map(|(i, dev)| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.shard = Some(i);
+                if let Some(inj) = &cfg.fault_injector {
+                    let mut fc = inj.config().clone();
+                    fc.seed = fc.seed.wrapping_add(i as u64);
+                    shard_cfg.fault_injector = Some(FaultInjector::new(fc));
+                }
+                Scheduler::spawn(Arc::clone(&index), *dev, shard_cfg)
+            })
+            .collect();
+        Ok(ShardedScheduler {
+            shards,
+            devices: devices.to_vec(),
+            router,
+            telemetry,
+            route: Arc::new(RouteCounters::default()),
+        })
+    }
+
+    /// Number of shards (== devices) in the fleet.
+    pub fn shards(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// A new producer handle over the whole fleet. Fails with
+    /// [`SchedError::Shutdown`] once any shard has been shut down.
+    pub fn client(&self) -> Result<ShardedClient, SchedError> {
+        let clients = self
+            .shards
+            .iter()
+            .map(|s| s.client())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedClient {
+            clients,
+            router: self.router,
+            telemetry: self.telemetry.clone(),
+            route: Arc::clone(&self.route),
+        })
+    }
+
+    /// Shut every shard down (FIFO drain, same contract as
+    /// [`Scheduler::join`]) and return the per-shard stats. If a shard's
+    /// executor panicked, the remaining shards are still joined before
+    /// the first error is returned.
+    pub fn join(self) -> Result<ShardedStats, SchedError> {
+        let mut out = ShardedStats {
+            shards: Vec::with_capacity(self.devices.len()),
+            routed_requests: self.route.requests.load(Ordering::Relaxed),
+            routed_keys: self.route.keys.load(Ordering::Relaxed),
+        };
+        let mut first_err = None;
+        for (i, (sched, dev)) in self.shards.into_iter().zip(self.devices).enumerate() {
+            match sched.join() {
+                Ok(stats) => out.shards.push(ShardStats {
+                    shard: i,
+                    device: dev,
+                    stats,
+                }),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+}
+
+/// One shard's share of a [`ShardedStats`].
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (position in the spawn-time device slice).
+    pub shard: usize,
+    /// The device this shard served from.
+    pub device: DeviceConfig,
+    /// The shard scheduler's own counters.
+    pub stats: SchedulerStats,
+    // `stats.kernel_time_ns` is the modeled device time; see
+    // `modeled_time_ns` for the launch-overhead-inclusive figure.
+}
+
+impl ShardStats {
+    /// Modeled busy time of this shard: kernel time plus one launch
+    /// overhead per dispatched batch (the fig19 convention).
+    pub fn modeled_time_ns(&self) -> f64 {
+        self.stats.kernel_time_ns
+            + self.stats.batches as f64 * self.device.launch_overhead_us * 1_000.0
+    }
+}
+
+/// Per-shard and router-level stats returned by
+/// [`ShardedScheduler::join`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Client calls routed through the split/merge path.
+    pub routed_requests: u64,
+    /// Point ops routed through the split/merge path.
+    pub routed_keys: u64,
+}
+
+impl ShardedStats {
+    /// Field-wise sum of the per-shard counters (maxima for the `max_*`
+    /// watermarks, which are per-queue quantities).
+    pub fn aggregate(&self) -> SchedulerStats {
+        let mut agg = SchedulerStats::default();
+        for s in &self.shards {
+            let st = &s.stats;
+            agg.ops_enqueued += st.ops_enqueued;
+            agg.requests += st.requests;
+            agg.batches += st.batches;
+            agg.sorted_batches += st.sorted_batches;
+            agg.size_flushes += st.size_flushes;
+            agg.deadline_flushes += st.deadline_flushes;
+            agg.final_flushes += st.final_flushes;
+            agg.keys_dispatched += st.keys_dispatched;
+            agg.max_queue_depth = agg.max_queue_depth.max(st.max_queue_depth);
+            agg.kernel_time_ns += st.kernel_time_ns;
+            agg.l2_hits += st.l2_hits;
+            agg.sectors += st.sectors;
+            agg.dram_transactions += st.dram_transactions;
+            agg.raw_accesses += st.raw_accesses;
+            agg.failed_batches += st.failed_batches;
+            agg.shed_ops += st.shed_ops;
+            agg.rejected_ops += st.rejected_ops;
+            agg.admission_timeout_ops += st.admission_timeout_ops;
+            agg.max_resident_ops = agg.max_resident_ops.max(st.max_resident_ops);
+            agg.breaker_trips += st.breaker_trips;
+            agg.probe_batches += st.probe_batches;
+            agg.breaker_open_batches += st.breaker_open_batches;
+        }
+        agg
+    }
+
+    /// Modeled wall time of the run: shards execute concurrently on
+    /// separate devices, so the fleet finishes with its slowest shard.
+    pub fn modeled_time_ns(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(ShardStats::modeled_time_ns)
+            .fold(0.0, f64::max)
+    }
+
+    /// Modeled aggregate lookup/update throughput in MOps/s: total keys
+    /// dispatched over the slowest shard's modeled busy time.
+    pub fn modeled_aggregate_mops(&self) -> f64 {
+        let keys: u64 = self.shards.iter().map(|s| s.stats.keys_dispatched).sum();
+        let wall = self.modeled_time_ns();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            keys as f64 * 1_000.0 / wall
+        }
+    }
+}
+
+/// Cloneable producer-side handle over the whole fleet. Each call splits
+/// by shard, dispatches concurrently and merges back in arrival order —
+/// same blocking semantics and result order as [`SchedulerClient`].
+#[derive(Clone)]
+pub struct ShardedClient {
+    clients: Vec<SchedulerClient>,
+    router: ShardRouter,
+    telemetry: Option<Arc<Telemetry>>,
+    route: Arc<RouteCounters>,
+}
+
+impl ShardedClient {
+    /// Point lookups across the fleet; one result per key in submission
+    /// order ([`NOT_FOUND`](cuart_gpu_sim::batch::NOT_FOUND) for absent
+    /// keys).
+    pub fn lookup(&self, keys: Vec<Vec<u8>>) -> Result<Vec<u64>, SchedError> {
+        self.route(keys, Vec::new(), |c, k, _| c.lookup(k))
+    }
+
+    /// Point updates across the fleet (`DELETE` as the value deletes);
+    /// one status per op in submission order.
+    pub fn update(&self, ops: Vec<(Vec<u8>, u64)>) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = unzip_ops(ops);
+        self.route(keys, values, |c, k, v| c.update(zip_ops(k, v)))
+    }
+
+    /// Point inserts across the fleet; one status per op in submission
+    /// order.
+    pub fn insert(&self, ops: Vec<(Vec<u8>, u64)>) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = unzip_ops(ops);
+        self.route(keys, values, |c, k, v| c.insert(zip_ops(k, v)))
+    }
+
+    /// [`lookup`](Self::lookup) with an explicit latency budget applied
+    /// to every sub-batch.
+    pub fn lookup_with_deadline(
+        &self,
+        keys: Vec<Vec<u8>>,
+        budget: std::time::Duration,
+    ) -> Result<Vec<u64>, SchedError> {
+        self.route(keys, Vec::new(), move |c, k, _| {
+            c.lookup_with_deadline(k, budget)
+        })
+    }
+
+    /// Split → dispatch → merge. `call` runs one shard's sub-batch on
+    /// that shard's client; sub-batches go out concurrently (scoped
+    /// threads — every client call blocks until its batch executes) and
+    /// the answers are scattered back through the recorded index lists.
+    ///
+    /// Error semantics: if any shard refuses or fails its sub-batch, the
+    /// whole call returns that shard's error (lowest shard index wins).
+    /// Sub-batches already accepted by healthy shards still execute —
+    /// per-shard at-most-once, exactly as if the shards had been called
+    /// individually.
+    fn route<F>(
+        &self,
+        keys: Vec<Vec<u8>>,
+        values: Vec<u64>,
+        call: F,
+    ) -> Result<Vec<u64>, SchedError>
+    where
+        F: Fn(&SchedulerClient, Vec<Vec<u8>>, Vec<u64>) -> Result<Vec<u64>, SchedError> + Sync,
+    {
+        let total = keys.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let lists = self.router.split_indices(&keys);
+        let active = lists.iter().filter(|l| !l.is_empty()).count();
+        self.route.requests.fetch_add(1, Ordering::Relaxed);
+        self.route.keys.fetch_add(total as u64, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.incr(names::SCHED_ROUTED_REQUESTS, 1);
+            t.incr(names::SCHED_ROUTED_KEYS, total as u64);
+            // Standalone root (like `sched.shed`): routing has no device
+            // leg, so the batch-root leaf-sum invariant does not apply.
+            let span = SpanNode::leaf("sched.route", ROUTE_NS_PER_KEY * total as u64)
+                .with_attr("keys", total)
+                .with_attr("shards", active);
+            t.record_span_tree(&span);
+        }
+
+        // One shard's share of the request: (shard, keys, values).
+        type SubBatch = (usize, Vec<Vec<u8>>, Vec<u64>);
+        // Move each op out of the request exactly once, in shard order.
+        let mut keys: Vec<Option<Vec<u8>>> = keys.into_iter().map(Some).collect();
+        let mut sub: Vec<Option<SubBatch>> = Vec::with_capacity(active);
+        for (shard, list) in lists.iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let sub_keys: Vec<Vec<u8>> = list
+                .iter()
+                .map(|&i| keys[i].take().expect("each index routed once"))
+                .collect();
+            let sub_values: Vec<u64> = if values.is_empty() {
+                Vec::new()
+            } else {
+                list.iter().map(|&i| values[i]).collect()
+            };
+            sub.push(Some((shard, sub_keys, sub_values)));
+        }
+
+        let mut merged: Vec<u64> = vec![0; total];
+        let mut first_err: Option<SchedError> = None;
+        if active == 1 {
+            // Single-shard fast path: no reason to pay a thread spawn.
+            let (shard, k, v) = sub[0].take().expect("one active shard");
+            match call(&self.clients[shard], k, v) {
+                Ok(results) => scatter(&mut merged, &lists[shard], results),
+                Err(e) => first_err = Some(e),
+            }
+        } else {
+            let outcomes = std::thread::scope(|scope| {
+                let call = &call;
+                let clients = &self.clients;
+                let handles: Vec<_> = sub
+                    .iter_mut()
+                    .map(|slot| {
+                        let (shard, k, v) = slot.take().expect("filled above");
+                        (shard, scope.spawn(move || call(&clients[shard], k, v)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(shard, h)| {
+                        let r = h.join().unwrap_or_else(|p| {
+                            Err(SchedError::ExecutorPanicked(format!(
+                                "shard {shard} dispatch panicked: {p:?}"
+                            )))
+                        });
+                        (shard, r)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (shard, outcome) in outcomes {
+                match outcome {
+                    Ok(results) => scatter(&mut merged, &lists[shard], results),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(merged),
+        }
+    }
+}
+
+/// Scatter one shard's results back to the caller's arrival order: the
+/// split's index lists are, concatenated, a permutation of the request,
+/// and this applies its inverse shard by shard.
+fn scatter(merged: &mut [u64], list: &[usize], results: Vec<u64>) {
+    debug_assert_eq!(list.len(), results.len());
+    for (&i, r) in list.iter().zip(results) {
+        merged[i] = r;
+    }
+}
+
+fn unzip_ops(ops: Vec<(Vec<u8>, u64)>) -> (Vec<Vec<u8>>, Vec<u64>) {
+    let mut keys = Vec::with_capacity(ops.len());
+    let mut values = Vec::with_capacity(ops.len());
+    for (k, v) in ops {
+        keys.push(k);
+        values.push(v);
+    }
+    (keys, values)
+}
+
+fn zip_ops(keys: Vec<Vec<u8>>, values: Vec<u64>) -> Vec<(Vec<u8>, u64)> {
+    keys.into_iter().zip(values).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuart::{CuartConfig, CuartIndex};
+    use cuart_art::Art;
+    use cuart_gpu_sim::batch::NOT_FOUND;
+    use cuart_gpu_sim::devices;
+    use std::time::Duration;
+
+    fn build_index(n: u64) -> Arc<CuartIndex> {
+        let mut art = Art::new();
+        for i in 0..n {
+            art.insert(&i.to_be_bytes(), i * 10).unwrap();
+        }
+        Arc::new(CuartIndex::build(&art, &CuartConfig::for_tests()))
+    }
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            batch_target: 4096,
+            deadline: Duration::from_micros(200),
+            ..SchedulerConfig::default()
+        }
+    }
+
+    #[test]
+    fn spawn_on_no_devices_is_refused() {
+        let index = build_index(16);
+        match ShardedScheduler::spawn(index, &[], cfg()) {
+            Err(SchedError::NoShards) => {}
+            Err(other) => panic!("expected NoShards, got {other:?}"),
+            Ok(_) => panic!("expected NoShards, got a scheduler"),
+        }
+    }
+
+    #[test]
+    fn mixed_fleet_lookup_matches_cpu_and_splits_work() {
+        let index = build_index(8192);
+        let devs = [
+            devices::rtx3090(),
+            devices::rtx3090(),
+            devices::gtx1070(),
+            devices::gtx1070(),
+        ];
+        let sharded = ShardedScheduler::spawn(Arc::clone(&index), &devs, cfg()).unwrap();
+        let client = sharded.client().unwrap();
+        // Keys spanning the whole u64 top byte so all shards see traffic.
+        let keys: Vec<Vec<u8>> = (0..2048u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_be_bytes().to_vec())
+            .chain((0..2048u64).map(|i| i.to_be_bytes().to_vec()))
+            .collect();
+        let expect: Vec<u64> = index
+            .lookup_batch_cpu(&keys)
+            .into_iter()
+            .map(|r| r.unwrap_or(NOT_FOUND))
+            .collect();
+        let got = client.lookup(keys).unwrap();
+        assert_eq!(got, expect);
+        let stats = sharded.join().unwrap();
+        assert_eq!(stats.routed_requests, 1);
+        assert_eq!(stats.routed_keys, 4096);
+        assert_eq!(stats.aggregate().keys_dispatched, 4096);
+        let busy = stats
+            .shards
+            .iter()
+            .filter(|s| s.stats.keys_dispatched > 0)
+            .count();
+        assert!(busy >= 2, "uniform keys must reach several shards");
+    }
+
+    #[test]
+    fn updates_route_to_owning_shard_and_win_last() {
+        let index = build_index(1024);
+        let devs = [devices::rtx3090(), devices::gtx1070()];
+        let sharded = ShardedScheduler::spawn(Arc::clone(&index), &devs, cfg()).unwrap();
+        let client = sharded.client().unwrap();
+        // Duplicate keys inside one request: last write must win.
+        let k = 7u64.to_be_bytes().to_vec();
+        let ops = vec![(k.clone(), 111), (k.clone(), 222), (k.clone(), 333)];
+        client.update(ops).unwrap();
+        assert_eq!(client.lookup(vec![k]).unwrap(), vec![333]);
+        sharded.join().unwrap();
+    }
+
+    #[test]
+    fn empty_call_answers_without_touching_any_shard() {
+        let index = build_index(16);
+        let sharded =
+            ShardedScheduler::spawn(Arc::clone(&index), &[devices::gtx1070()], cfg()).unwrap();
+        let client = sharded.client().unwrap();
+        assert_eq!(client.lookup(Vec::new()).unwrap(), Vec::<u64>::new());
+        let stats = sharded.join().unwrap();
+        assert_eq!(stats.routed_requests, 0);
+        assert_eq!(stats.aggregate().batches, 0);
+    }
+}

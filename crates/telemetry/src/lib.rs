@@ -166,6 +166,24 @@ pub mod names {
     pub const SCHED_PROBE_BATCHES: &str = "cuart.sched.probe_batches";
     /// Gauge: breaker state (0 = Closed, 1 = HalfOpen, 2 = Open).
     pub const SCHED_BREAKER_STATE: &str = "cuart.sched.breaker_state";
+    /// Common prefix of every scheduler series above.
+    pub const SCHED_PREFIX: &str = "cuart.sched.";
+    /// Prefix of the per-shard scheduler twins: a scheduler running as
+    /// shard `i` of a `ShardedScheduler` mirrors each of its counters and
+    /// gauges to `cuart.sched.shard.<i>.<suffix>`, so per-shard counters
+    /// sum to the global `cuart.sched.*` totals by construction.
+    pub const SCHED_SHARD_PREFIX: &str = "cuart.sched.shard.";
+    /// Requests routed through a sharded scheduler's split/merge router.
+    pub const SCHED_ROUTED_REQUESTS: &str = "cuart.sched.routed_requests";
+    /// Keys routed through a sharded scheduler's split/merge router.
+    pub const SCHED_ROUTED_KEYS: &str = "cuart.sched.routed_keys";
+
+    /// Per-shard twin of a global `cuart.sched.*` series name:
+    /// `sched_shard(3, SCHED_SHED)` → `"cuart.sched.shard.3.shed"`.
+    pub fn sched_shard(shard: usize, global: &str) -> String {
+        let suffix = global.strip_prefix(SCHED_PREFIX).unwrap_or(global);
+        format!("{SCHED_SHARD_PREFIX}{shard}.{suffix}")
+    }
     /// Events evicted from the bounded batch-event ring (overflow is
     /// surfaced, not silent).
     pub const EVENTS_DROPPED: &str = "cuart.telemetry.events_dropped";

@@ -66,7 +66,13 @@ fn reject_saturation_fails_fast_and_serves_admitted_ops_exactly() {
             let (mut served, mut rejected) = (0u64, 0u64);
             for round in 0..64u64 {
                 let keys: Vec<Vec<u8>> = (0..32)
-                    .map(|i| key((p * 64 + round + i * 7) % 4096))
+                    .map(|i: u64| {
+                        key(p
+                            .wrapping_mul(64)
+                            .wrapping_add(round)
+                            .wrapping_add(i.wrapping_mul(7))
+                            % 4096)
+                    })
                     .collect();
                 match client.lookup(keys.clone()) {
                     Ok(got) => {
@@ -128,7 +134,13 @@ fn block_saturation_loses_nothing_and_bounds_the_backlog() {
                 // 64-op requests against a 128-op cap: producers serialize
                 // at admission (backpressure) instead of failing.
                 let keys: Vec<Vec<u8>> = (0..64)
-                    .map(|i| key((p * 997 + round * 131 + i) % 8192))
+                    .map(|i: u64| {
+                        key(p
+                            .wrapping_mul(997)
+                            .wrapping_add(round.wrapping_mul(131))
+                            .wrapping_add(i)
+                            % 8192)
+                    })
                     .collect();
                 let expect: Vec<u64> = index
                     .lookup_batch_cpu(&keys)

@@ -67,7 +67,7 @@ fn four_producers_one_million_lookups_match_cpu_engine() {
         let client = sched.client().unwrap();
         let index = Arc::clone(&index);
         handles.push(std::thread::spawn(move || {
-            let mut rng = p * 0x5851_f42d_4c95_7f2d + 1;
+            let mut rng = p.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
             let mut checked = 0u64;
             const CHUNK: usize = 1024;
             let mut done = 0u64;
