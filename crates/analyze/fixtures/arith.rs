@@ -1,0 +1,21 @@
+// analyze-fixture-path: crates/gpu-sim/src/exec.rs
+// Proves `arith-overflow` fires on bare compound assignment to
+// quantity-named accounting fields in kernel/scheduler scope, and that
+// stated-intent forms pass.
+// expect-finding: arith-overflow
+// expect-finding: arith-overflow
+
+struct Report {
+    dram_bytes: u64,
+    sector_count: u64,
+    label: String,
+}
+
+fn account(r: &mut Report, bytes: u64, sectors: u64) {
+    r.dram_bytes += bytes;
+    r.sector_count -= sectors;
+    // Stated intent passes:
+    r.dram_bytes = r.dram_bytes.saturating_add(bytes);
+    // Non-quantity names pass:
+    r.label += "suffix";
+}

@@ -1,0 +1,14 @@
+// analyze-fixture-path: crates/core/src/fixture_allows.rs
+// Proves `bad-allow` fires on malformed or unknown-rule suppressions.
+// The file-level allow below names `bad-allow` itself and is well-formed,
+// but bad-allow findings cannot be allowed away — both still fire.
+// expect-finding: bad-allow
+// expect-finding: bad-allow
+
+// cuart-allow-file: bad-allow trying to silence the auditor
+
+// cuart-allow: panic-path
+fn missing_reason() {}
+
+// cuart-allow: not-a-real-rule because reasons
+fn unknown_rule() {}

@@ -1,0 +1,16 @@
+// analyze-fixture-path: crates/telemetry/src/fixture_gated.rs
+// Proves `feature-gate` fires on a gated public item with no
+// `#[cfg(not(...))]` twin, and stays quiet when the twin exists.
+// expect-finding: feature-gate
+
+#[cfg(feature = "enabled")]
+pub fn orphaned_gated_api() {}
+
+#[cfg(feature = "enabled")]
+pub fn twinned_api() {}
+
+#[cfg(not(feature = "enabled"))]
+pub fn twinned_api() {}
+
+#[cfg(feature = "enabled")]
+fn private_gated_helper() {}

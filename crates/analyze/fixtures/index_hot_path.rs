@@ -1,0 +1,13 @@
+// analyze-fixture-path: crates/core/src/kernels.rs
+// Proves `index-hot-path` fires on bare indexing in a kernel file.
+// The unwrap also proves panic-path applies to hot-path files.
+// expect-finding: index-hot-path
+// expect-finding: index-hot-path
+// expect-finding: panic-path
+
+fn walk(records: &[u8], offsets: &[usize], i: usize) -> u8 {
+    let off = offsets[i];
+    let byte = records[off];
+    let _ = offsets.first().unwrap();
+    byte
+}

@@ -1,0 +1,14 @@
+// analyze-fixture-path: crates/telemetry/src/fixture_metrics.rs
+// Proves `metric-name` fires on a stray `cuart.*` literal outside the
+// generated registry, and `span-name` on a literal span constructor.
+// expect-finding: metric-name
+// expect-finding: span-name
+
+fn emit(t: &Telemetry) {
+    t.incr("cuart.fixture.stray_counter", 1);
+    t.incr(names::LOOKUP_BATCHES, 1); // through the registry: passes
+    let span = SpanNode::leaf("fixture.mystery", 10);
+    let ok = SpanNode::leaf(names::spans::H2D, 10); // passes
+    t.record_span_tree(&span);
+    t.record_span_tree(&ok);
+}

@@ -1,0 +1,33 @@
+// analyze-fixture-path: crates/core/src/fixture_panic.rs
+// Proves `panic-path` fires on each panicking construct in lib code,
+// and that test regions and suppressions are honoured.
+// expect-finding: panic-path
+// expect-finding: panic-path
+// expect-finding: panic-path
+// expect-finding: panic-path
+
+fn takes_the_panicky_roads(x: Option<u32>, m: &std::sync::Mutex<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = m.lock().expect("poisoned");
+    if a > 3 {
+        panic!("a too big");
+    }
+    match a {
+        0..=3 => a + *b,
+        _ => unreachable!(),
+    }
+}
+
+fn suppressed_site(x: Option<u32>) -> u32 {
+    // cuart-allow: panic-path fixture shows a documented suppression
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The findings baseline: accepted pre-existing findings, committed at
+//! `results/analyze-baseline.json`.
+//!
+//! CI runs with `--deny-new`: findings whose fingerprint key is in the
+//! baseline pass; any *new* finding fails the build. Fixed findings are
+//! reported so the baseline can be re-tightened with `--update-baseline`.
+
+use crate::findings::{json_escape, Finding};
+use cuart_telemetry::json;
+use std::collections::BTreeSet;
+
+/// Parsed baseline: the set of accepted finding keys.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    pub keys: BTreeSet<String>,
+}
+
+/// Result of comparing a run against a baseline.
+pub struct Diff<'a> {
+    /// Findings not covered by the baseline (fail CI under `--deny-new`).
+    pub new: Vec<&'a Finding>,
+    /// Baseline keys no finding matched (candidates for removal).
+    pub fixed: Vec<String>,
+}
+
+impl Baseline {
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| format!("baseline: {e}"))?;
+        let arr = doc
+            .get("findings")
+            .and_then(|f| f.as_array())
+            .ok_or("baseline: missing \"findings\" array")?;
+        let mut keys = BTreeSet::new();
+        for item in arr {
+            let key = item
+                .get("key")
+                .and_then(|k| k.as_str())
+                .ok_or("baseline: finding without \"key\"")?;
+            keys.insert(key.to_string());
+        }
+        Ok(Baseline { keys })
+    }
+
+    pub fn load(path: &std::path::Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Baseline::parse(&text)
+    }
+
+    pub fn diff<'a>(&self, findings: &'a [Finding]) -> Diff<'a> {
+        let new = findings
+            .iter()
+            .filter(|f| !self.keys.contains(&f.key))
+            .collect();
+        let present: BTreeSet<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+        let fixed = self
+            .keys
+            .iter()
+            .filter(|k| !present.contains(k.as_str()))
+            .cloned()
+            .collect();
+        Diff { new, fixed }
+    }
+}
+
+/// Serialize findings as a baseline document (sorted by key, with the
+/// human-readable context kept so reviews of baseline churn are legible).
+pub fn render(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, f) in sorted.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"key\": \"{}\", \"rule\": \"{}\", \"path\": \"{}\", \"snippet\": \"{}\"}}{}\n",
+            json_escape(&f.key),
+            f.rule,
+            json_escape(&f.path),
+            json_escape(&f.snippet),
+            if i + 1 < sorted.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::assign_keys;
+
+    fn finding(snippet: &str) -> Finding {
+        Finding {
+            rule: "panic-path",
+            path: "crates/core/src/x.rs".into(),
+            line: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+            key: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip_suppresses_known_and_flags_new() {
+        let mut old = vec![finding("a.unwrap();")];
+        assign_keys(&mut old);
+        let baseline = Baseline::parse(&render(&old)).unwrap();
+
+        // Same tree → no new findings, nothing fixed.
+        let d = baseline.diff(&old);
+        assert!(d.new.is_empty() && d.fixed.is_empty());
+
+        // A new violation appears → exactly it is reported new.
+        let mut grown = vec![finding("a.unwrap();"), finding("b.expect(\"x\");")];
+        assign_keys(&mut grown);
+        let d = baseline.diff(&grown);
+        assert_eq!(d.new.len(), 1);
+        assert!(d.new[0].snippet.contains("expect"));
+
+        // The old violation is fixed → its key surfaces as removable.
+        let mut shrunk: Vec<Finding> = Vec::new();
+        assign_keys(&mut shrunk);
+        let d = baseline.diff(&shrunk);
+        assert_eq!(d.fixed.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"findings\": [{}]}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! `feature-gate`: optional features must not change the public API
+//! surface.
+//!
+//! The workspace's `enabled` (telemetry) and `faults` (injector)
+//! features follow a strict pattern: every `#[cfg(feature = "f")]`
+//! **public** item has an API-identical `#[cfg(not(feature = "f"))]`
+//! no-op twin, so `--no-default-features` builds compile every caller
+//! unchanged. This rule finds gated public items with no matching
+//! ungated twin — the bug class where a feature quietly removes API.
+
+use super::{Lint, LintCtx};
+use crate::findings::Finding;
+use crate::lexer::Token;
+use crate::source::{SourceFile, Tier};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Features covered by the twin rule. (`telemetry`-style forwarding
+/// features on dependent crates resolve to these two.)
+const FEATURES: &[&str] = &["enabled", "faults", "telemetry"];
+
+/// One gated item occurrence.
+#[derive(Debug)]
+struct GatedItem {
+    feature: String,
+    negated: bool,
+    /// Public (only `pub` items must have twins)?
+    public: bool,
+    /// Comparable identity: item keyword plus name-set (a `use` group
+    /// compares by its re-exported leaf names).
+    name: String,
+    path: String,
+    line: u32,
+    snippet: String,
+}
+
+pub struct FeatureGate;
+
+impl Lint for FeatureGate {
+    fn id(&self) -> &'static str {
+        "feature-gate"
+    }
+    fn describe(&self) -> &'static str {
+        "feature-gated public items need an API-identical no-op twin"
+    }
+
+    fn check_tree(&self, ctx: &LintCtx<'_>, out: &mut Vec<Finding>) {
+        // Group files by crate so twins may live in sibling modules
+        // (telemetry's `real.rs` / `noop.rs` pattern).
+        let mut by_crate: BTreeMap<String, Vec<&SourceFile>> = BTreeMap::new();
+        for f in ctx.files {
+            if f.tier == Tier::Skip {
+                continue;
+            }
+            let krate = f
+                .rel_path
+                .splitn(3, '/')
+                .take(2)
+                .collect::<Vec<_>>()
+                .join("/");
+            by_crate.entry(krate).or_default().push(f);
+        }
+        for files in by_crate.values() {
+            let mut items = Vec::new();
+            for f in files {
+                collect_gated_items(f, &mut items);
+            }
+            let negated: BTreeSet<(&str, &str)> = items
+                .iter()
+                .filter(|i| i.negated)
+                .map(|i| (i.feature.as_str(), i.name.as_str()))
+                .collect();
+            for item in items.iter().filter(|i| !i.negated && i.public) {
+                if negated.contains(&(item.feature.as_str(), item.name.as_str())) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "feature-gate",
+                    path: item.path.clone(),
+                    line: item.line,
+                    message: format!(
+                        "public item gated on feature `{}` ({}) has no \
+                         `#[cfg(not(feature = \"{}\"))]` no-op twin in this crate",
+                        item.feature, item.name, item.feature
+                    ),
+                    snippet: item.snippet.clone(),
+                    key: String::new(),
+                });
+            }
+        }
+    }
+}
+
+/// Scan one file for `#[cfg(… feature = "F" …)]`-gated items.
+fn collect_gated_items(file: &SourceFile, out: &mut Vec<GatedItem>) {
+    let toks: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let attr_line = toks[i].line;
+        let attr_start = toks[i].start;
+        // Walk the attribute, tracking a `not(…)` nesting stack.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut paren_stack: Vec<bool> = Vec::new(); // true = entered via `not(`
+        let mut is_cfg = false;
+        let mut gates: Vec<(String, bool)> = Vec::new();
+        while j < toks.len() {
+            let t = toks[j];
+            if t.is_punct("[") {
+                depth += 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct("(") {
+                let via_not = j >= 1 && toks[j - 1].ident() == Some("not");
+                paren_stack.push(via_not);
+            } else if t.is_punct(")") {
+                paren_stack.pop();
+            } else if t.ident() == Some("cfg") {
+                is_cfg = true;
+            } else if t.ident() == Some("feature")
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("="))
+            {
+                if let Some(feat) = toks.get(j + 2).and_then(|n| n.str_lit()) {
+                    let negated = paren_stack.iter().any(|&n| n);
+                    gates.push((feat.to_string(), negated));
+                }
+            }
+            j += 1;
+        }
+        let after_attr = j + 1;
+        if !is_cfg || gates.is_empty() {
+            i = after_attr;
+            continue;
+        }
+        // Inner attributes (`#![cfg(…)]`) gate the enclosing module, not
+        // a following item — out of scope for the twin rule.
+        if file.in_test_code(attr_start) {
+            i = after_attr;
+            continue;
+        }
+        if let Some((public, name, end)) = parse_item(&toks, after_attr) {
+            for (feature, negated) in gates {
+                if !FEATURES.contains(&feature.as_str()) {
+                    continue;
+                }
+                out.push(GatedItem {
+                    feature,
+                    negated,
+                    public,
+                    name: name.clone(),
+                    path: file.rel_path.clone(),
+                    line: attr_line,
+                    snippet: file.line_text(attr_line).to_string(),
+                });
+            }
+            i = end;
+        } else {
+            i = after_attr;
+        }
+    }
+}
+
+/// Parse the item that follows an attribute: returns (is_pub, identity,
+/// index past the item header). Identity is `<keyword> <names>` where a
+/// `use` group's names are its sorted re-exported leaves.
+fn parse_item(toks: &[&Token], mut i: usize) -> Option<(bool, String, usize)> {
+    // Skip stacked attributes.
+    while toks.get(i)?.is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+        let mut depth = 0i32;
+        i += 1;
+        while i < toks.len() {
+            if toks[i].is_punct("[") {
+                depth += 1;
+            } else if toks[i].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+    // Visibility.
+    let mut public = false;
+    if toks.get(i)?.ident() == Some("pub") {
+        public = true;
+        i += 1;
+        if toks.get(i)?.is_punct("(") {
+            let mut depth = 0i32;
+            while i < toks.len() {
+                if toks[i].is_punct("(") {
+                    depth += 1;
+                } else if toks[i].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+    // Qualifiers.
+    while matches!(
+        toks.get(i)?.ident(),
+        Some("unsafe" | "async" | "extern" | "default")
+    ) || toks.get(i)?.str_lit().is_some()
+    {
+        i += 1;
+    }
+    let kw = toks.get(i)?.ident()?;
+    match kw {
+        "fn" | "struct" | "enum" | "trait" | "mod" | "type" | "const" | "static" | "macro" => {
+            let name = toks.get(i + 1)?.ident()?;
+            Some((public, format!("{kw} {name}"), i + 2))
+        }
+        "impl" => {
+            // `impl<T> Name …` / `impl Name …` — identity is the first
+            // type name after any generics.
+            let mut k = i + 1;
+            if toks.get(k)?.is_punct("<") {
+                let mut depth = 0i32;
+                while k < toks.len() {
+                    if toks[k].is_punct("<") {
+                        depth += 1;
+                    } else if toks[k].is_punct(">") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                k += 1;
+            }
+            let name = toks.get(k)?.ident()?;
+            Some((public, format!("impl {name}"), k + 1))
+        }
+        "use" => {
+            // Identity: sorted leaf names after the first path segment,
+            // so `real::{A, B}` twins `noop::{A, B}`.
+            let mut names = Vec::new();
+            let mut k = i + 1;
+            let mut first_segment = true;
+            while k < toks.len() && !toks[k].is_punct(";") {
+                if let Some(id) = toks[k].ident() {
+                    if first_segment {
+                        first_segment = false;
+                    } else if id != "as" {
+                        names.push(id.to_string());
+                    }
+                }
+                k += 1;
+            }
+            names.sort();
+            names.dedup();
+            Some((public, format!("use {}", names.join(",")), k + 1))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(texts: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = texts
+            .iter()
+            .map(|(p, t)| SourceFile::from_text(p.to_string(), t.to_string(), Tier::Lib))
+            .collect();
+        let ctx = LintCtx {
+            files: &files,
+            root: Path::new("."),
+        };
+        let mut out = Vec::new();
+        FeatureGate.check_tree(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn gated_pub_fn_without_twin_is_flagged() {
+        let out = run(&[(
+            "crates/core/src/x.rs",
+            "#[cfg(feature = \"faults\")]\npub fn inject(&mut self) {}\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("faults"));
+    }
+
+    #[test]
+    fn twin_in_a_sibling_module_satisfies_the_rule() {
+        let out = run(&[
+            (
+                "crates/telemetry/src/a.rs",
+                "#[cfg(feature = \"enabled\")]\npub use real::{Counter, Telemetry};\n",
+            ),
+            (
+                "crates/telemetry/src/b.rs",
+                "#[cfg(not(feature = \"enabled\"))]\npub use noop::{Telemetry, Counter};\n",
+            ),
+        ]);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn private_items_and_other_features_are_exempt() {
+        let out = run(&[(
+            "crates/core/src/x.rs",
+            "#[cfg(feature = \"faults\")]\nmod private_helper;\n\
+             #[cfg(feature = \"exotic\")]\npub fn not_a_tracked_feature() {}\n",
+        )]);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn all_combinator_and_gated_impl() {
+        let out = run(&[(
+            "crates/gpu-sim/src/x.rs",
+            "#[cfg(all(feature = \"faults\", not(feature = \"enabled\")))]\n\
+             pub impl Injector { }\n",
+        )]);
+        // `faults` is positive (flagged), `enabled` is negated (twin side).
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("`faults`"));
+    }
+}

@@ -1,0 +1,243 @@
+//! `panic-path` and `index-hot-path`: no panicking constructs in
+//! non-test library code.
+//!
+//! Motivated by PR 2 (typed `CuartError` replacing panic paths) — a
+//! serving engine must return errors, not abort. Library crates (core,
+//! host, gpu-sim, grt, art, telemetry) may not call
+//! `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+//! outside test code; tool crates (bench, cli, workloads, analyze) keep
+//! `expect` but the message must be non-empty. Intentional sites carry
+//! `// cuart-allow: panic-path <reason>`.
+
+use super::Lint;
+use crate::findings::Finding;
+use crate::source::{SourceFile, Tier};
+
+/// Macros that abort.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct PanicPath;
+
+impl Lint for PanicPath {
+    fn id(&self) -> &'static str {
+        "panic-path"
+    }
+    fn describe(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable! in non-test library code"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.tier == Tier::Skip {
+            return;
+        }
+        let toks: Vec<_> = file.code_tokens().map(|(_, t)| t).collect();
+        for (i, t) in toks.iter().enumerate() {
+            if file.in_test_code(t.start) {
+                continue;
+            }
+            let Some(name) = t.ident() else { continue };
+            let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+            let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+
+            let mut push = |message: String| {
+                out.push(Finding {
+                    rule: "panic-path",
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message,
+                    snippet: file.line_text(t.line).to_string(),
+                    key: String::new(),
+                });
+            };
+
+            match name {
+                "unwrap" if prev_dot && next_paren => {
+                    // Tool crates convert `unwrap()` to `expect("why")`;
+                    // library crates return a typed error instead.
+                    push(format!(
+                        "`.unwrap()` in {} code: return a typed error{}",
+                        tier_word(file.tier),
+                        if file.tier == Tier::Tool {
+                            " or use `.expect(\"why\")`"
+                        } else {
+                            " (`CuartError`) or document with cuart-allow"
+                        }
+                    ));
+                }
+                "expect" if prev_dot && next_paren => {
+                    if file.tier == Tier::Lib {
+                        push(
+                            "`.expect()` in library code: return a typed error (`CuartError`) \
+                             or document with cuart-allow"
+                                .to_string(),
+                        );
+                    } else {
+                        // Tool tier: the message must be a non-empty literal
+                        // (a non-literal argument is assumed intentional).
+                        let msg_empty = toks
+                            .get(i + 2)
+                            .and_then(|a| a.str_lit())
+                            .is_some_and(|s| s.trim().is_empty())
+                            || toks.get(i + 2).is_some_and(|a| a.is_punct(")"));
+                        if msg_empty {
+                            push(
+                                "`.expect(\"\")` without a message: say what invariant failed"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+                m if PANIC_MACROS.contains(&m) && next_bang && file.tier == Tier::Lib => {
+                    // `unreachable!` behind an exhaustive match is the one
+                    // common legitimate use — it still needs the allow so
+                    // the invariant is written down.
+                    push(format!(
+                        "`{m}!` in library code: return a typed error (`CuartError`) \
+                         or document with cuart-allow"
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Hot-path files where bracket indexing is audited: the kernel inner
+/// loops execute per lane per step, and a bounds panic there aborts the
+/// whole simulated device. Indexing is allowed only under a file-level
+/// `cuart-allow-file: index-hot-path <bounds invariant>`.
+const HOT_PATHS: &[&str] = &[
+    "crates/core/src/kernels.rs",
+    "crates/grt/src/kernels.rs",
+    "crates/gpu-sim/src/exec.rs",
+];
+
+pub struct IndexHotPath;
+
+impl Lint for IndexHotPath {
+    fn id(&self) -> &'static str {
+        "index-hot-path"
+    }
+    fn describe(&self) -> &'static str {
+        "bracket indexing in kernel hot paths needs a documented bounds invariant"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !HOT_PATHS.contains(&file.rel_path.as_str()) {
+            return;
+        }
+        let toks: Vec<_> = file.code_tokens().map(|(_, t)| t).collect();
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_punct("[") || file.in_test_code(t.start) {
+                continue;
+            }
+            // Indexing only: the `[` must follow an expression tail
+            // (identifier, `)`, or `]`) — not an attribute `#[…]`, array
+            // literal or type position.
+            let is_index = i > 0
+                && (toks[i - 1].ident().is_some()
+                    || toks[i - 1].is_punct(")")
+                    || toks[i - 1].is_punct("]"))
+                && !(i > 1 && toks[i - 2].is_punct("#"));
+            if !is_index {
+                continue;
+            }
+            out.push(Finding {
+                rule: "index-hot-path",
+                path: file.rel_path.clone(),
+                line: t.line,
+                message: "bracket indexing in a kernel hot path: use `get()` with a typed \
+                          error, or document the bounds invariant with cuart-allow"
+                    .to_string(),
+                snippet: file.line_text(t.line).to_string(),
+                key: String::new(),
+            });
+        }
+    }
+}
+
+fn tier_word(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Lib => "library",
+        Tier::Tool => "tool-crate",
+        Tier::Skip => "skipped",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(rule: &dyn Lint, path: &str, text: &str, tier: Tier) -> Vec<Finding> {
+        let f = SourceFile::from_text(path.into(), text.into(), tier);
+        let mut out = Vec::new();
+        rule.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn lib_tier_flags_all_panic_constructs() {
+        let text = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("msg");
+    if a > b { panic!("boom"); }
+    match a { 0 => 0, _ => unreachable!() }
+}
+"#;
+        let out = run(&PanicPath, "crates/core/src/x.rs", text, Tier::Lib);
+        assert_eq!(out.len(), 4, "{out:#?}");
+    }
+
+    #[test]
+    fn tool_tier_keeps_expect_with_message() {
+        let text = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("meaningful message");
+    let c = x.expect("");
+    panic!("tools may panic");
+    a + b + c
+}
+"#;
+        let out = run(&PanicPath, "crates/cli/src/x.rs", text, Tier::Tool);
+        let rules: Vec<&str> = out.iter().map(|f| f.snippet.as_str()).collect();
+        assert_eq!(out.len(), 2, "{rules:?}");
+        assert!(out[0].snippet.contains("unwrap"));
+        assert!(out[1].snippet.contains("expect(\"\")"));
+    }
+
+    #[test]
+    fn test_code_and_unrelated_idents_are_exempt() {
+        let text = r#"
+fn unwrap() {}
+fn g(x: Option<u32>) -> Option<u32> { x.unwrap_or(7); x.map(unwrap_helper) }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!("fine in tests"); }
+}
+"#;
+        let out = run(&PanicPath, "crates/core/src/x.rs", text, Tier::Lib);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn index_hot_path_flags_indexing_not_attributes() {
+        let text = r#"
+#[derive(Clone)]
+struct K { v: Vec<u32> }
+fn lane(k: &K, i: usize, t: [u32; 4]) -> u32 {
+    let a = k.v[i];
+    let b = t[0];
+    a + b
+}
+"#;
+        let out = run(&IndexHotPath, "crates/core/src/kernels.rs", text, Tier::Lib);
+        assert_eq!(out.len(), 2, "{out:#?}");
+        let none = run(&IndexHotPath, "crates/core/src/api.rs", text, Tier::Lib);
+        assert!(none.is_empty());
+    }
+}

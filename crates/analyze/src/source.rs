@@ -1,0 +1,377 @@
+//! Per-file analysis context: token stream, test-region map, and
+//! `cuart-allow` suppression comments.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::path::{Path, PathBuf};
+
+/// Which lint tier a file belongs to (decided from its workspace path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Library crates (core, host, gpu-sim, grt, art, telemetry): the
+    /// full panic-path rule applies — no `unwrap`/`expect`/`panic!` in
+    /// non-test code.
+    Lib,
+    /// Tool/bench/CLI crates: `expect` is allowed but must carry a
+    /// non-empty message; bare `unwrap` is still flagged.
+    Tool,
+    /// Not linted (shims, examples, fixtures, generated files).
+    Skip,
+}
+
+/// A parsed source file ready for linting.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    pub tier: Tier,
+    /// Sorted, disjoint byte ranges covered by `#[cfg(test)]` /
+    /// `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Line-scoped suppressions: (line the allow covers, rule id).
+    allows: Vec<(u32, String)>,
+    /// File-scoped suppressions: (line of the comment, rule id allowed
+    /// everywhere in the file).
+    file_allows: Vec<(u32, String)>,
+    /// `cuart-allow` comments missing a rule or reason (lint fodder).
+    pub malformed_allows: Vec<u32>,
+}
+
+impl SourceFile {
+    pub fn parse(root: &Path, path: &Path, tier: Tier) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        Ok(SourceFile::from_text(rel, text, tier))
+    }
+
+    pub fn from_text(rel_path: String, text: String, tier: Tier) -> SourceFile {
+        let tokens = lex(&text);
+        let test_regions = find_test_regions(&tokens);
+        let found = find_allows(&tokens);
+        SourceFile {
+            rel_path,
+            text,
+            tokens,
+            tier,
+            test_regions,
+            allows: found.line,
+            file_allows: found.file,
+            malformed_allows: found.malformed,
+        }
+    }
+
+    /// Is byte offset `pos` inside a `#[cfg(test)]` / `#[test]` region?
+    pub fn in_test_code(&self, pos: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+
+    /// Is `rule` suppressed for a finding on `line`?
+    ///
+    /// A trailing `// cuart-allow: <rule> <reason>` comment covers its
+    /// own line; a standalone one covers the next source line.
+    /// `// cuart-allow-file: <rule> <reason>` covers the whole file.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.file_allows.iter().any(|(_, r)| r == rule)
+            || self.allows.iter().any(|(l, r)| r == rule && line == *l)
+    }
+
+    /// Every rule id named by an allow comment, with the comment's line
+    /// (for the unknown-rule check).
+    pub fn allow_rules(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.allows
+            .iter()
+            .map(|(l, r)| (*l, r.as_str()))
+            .chain(self.file_allows.iter().map(|(l, r)| (*l, r.as_str())))
+    }
+
+    /// 1-based line content, trimmed, for messages and fingerprints.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Non-comment tokens (what most lints iterate over).
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+    }
+}
+
+/// Classify a workspace-relative path into a lint tier.
+pub fn classify(rel_path: &str) -> Tier {
+    let p = rel_path;
+    if p.starts_with("shims/")
+        || p.starts_with("examples/")
+        || p.starts_with("crates/analyze/fixtures/")
+        || p.ends_with("crates/telemetry/src/names.rs")
+        || p.contains("/tests/")
+        || p.starts_with("tests/")
+    {
+        return Tier::Skip;
+    }
+    for lib in [
+        "crates/core/",
+        "crates/host/",
+        "crates/gpu-sim/",
+        "crates/grt/",
+        "crates/art/",
+        "crates/telemetry/",
+    ] {
+        if p.starts_with(lib) {
+            return Tier::Lib;
+        }
+    }
+    if p.starts_with("crates/") {
+        return Tier::Tool;
+    }
+    Tier::Skip
+}
+
+/// Find byte ranges of test-only items: any item whose attribute list
+/// contains `#[test]` or a `cfg(…)` mentioning `test`, extended to the
+/// end of the following brace-block (or `;` for bodiless items).
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct("#") && i + 1 < code.len() && code[i + 1].is_punct("[") {
+            let attr_start = code[i].start;
+            // Find the matching `]` and check whether the attribute
+            // mentions the `test` ident (covers `#[test]`, `#[cfg(test)]`,
+            // `#[cfg(all(test, …))]`, `#[cfg_attr(test, …)]`).
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut mentions_test = false;
+            while j < code.len() {
+                if code[j].is_punct("[") {
+                    depth += 1;
+                } else if code[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if code[j].ident() == Some("test") {
+                    mentions_test = true;
+                }
+                j += 1;
+            }
+            if !mentions_test {
+                i = j + 1;
+                continue;
+            }
+            // Skip any further attributes, then scan the item: the region
+            // ends at the close of the first top-level brace block, or at
+            // a `;` seen before any `{` (e.g. `#[cfg(test)] use …;`).
+            let mut k = j + 1;
+            while k + 1 < code.len() && code[k].is_punct("#") && code[k + 1].is_punct("[") {
+                let mut d = 0i32;
+                k += 1;
+                while k < code.len() {
+                    if code[k].is_punct("[") {
+                        d += 1;
+                    } else if code[k].is_punct("]") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                k += 1;
+            }
+            let mut brace = 0i32;
+            let mut end = None;
+            while k < code.len() {
+                if code[k].is_punct("{") {
+                    brace += 1;
+                } else if code[k].is_punct("}") {
+                    brace -= 1;
+                    if brace == 0 {
+                        end = Some(code[k].end);
+                        break;
+                    }
+                } else if brace == 0 && code[k].is_punct(";") {
+                    end = Some(code[k].end);
+                    break;
+                }
+                k += 1;
+            }
+            let end = end.unwrap_or_else(|| code.last().map_or(attr_start, |t| t.end));
+            regions.push((attr_start, end));
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions.sort_unstable();
+    regions
+}
+
+/// Collected `cuart-allow` comments: per-line allows, file-level allows,
+/// and malformed allow lines.
+struct Allows {
+    line: Vec<(u32, String)>,
+    file: Vec<(u32, String)>,
+    malformed: Vec<u32>,
+}
+
+fn find_allows(tokens: &[Token]) -> Allows {
+    let mut line_allows = Vec::new();
+    let mut file_allows = Vec::new();
+    let mut malformed = Vec::new();
+    for t in tokens {
+        let body = match &t.kind {
+            TokenKind::LineComment(c) => c.as_str(),
+            _ => continue,
+        };
+        let body = body.trim_start_matches('/').trim();
+        let (is_file, rest) = if let Some(r) = body.strip_prefix("cuart-allow-file:") {
+            (true, r)
+        } else if let Some(r) = body.strip_prefix("cuart-allow:") {
+            (false, r)
+        } else {
+            if body.starts_with("cuart-allow") {
+                // `cuart-allow` without the colon form — malformed.
+                malformed.push(t.line);
+            }
+            continue;
+        };
+        let mut parts = rest.trim().splitn(2, char::is_whitespace);
+        let rule = parts.next().unwrap_or("").trim().to_string();
+        let reason = parts.next().unwrap_or("").trim();
+        // A suppression must name a rule and justify itself.
+        if rule.is_empty() || reason.len() < 3 {
+            malformed.push(t.line);
+            continue;
+        }
+        if is_file {
+            file_allows.push((t.line, rule));
+        } else {
+            // Trailing comment (code before it on the line) covers its
+            // own line; a standalone comment covers the next line.
+            let trailing = tokens
+                .iter()
+                .any(|o| o.line == t.line && o.start < t.start && !o.is_comment());
+            let covered = if trailing { t.line } else { t.line + 1 };
+            line_allows.push((covered, rule));
+        }
+    }
+    Allows {
+        line: line_allows,
+        file: file_allows,
+        malformed,
+    }
+}
+
+/// Discover the `.rs` files to analyze under `root`.
+///
+/// Scans `crates/*/src/**` plus `crates/bench/benches/**`; skip-tier
+/// paths are filtered by [`classify`].
+pub fn discover(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let mut stack = vec![crates];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("");
+                // Only descend into source-bearing directories.
+                let depth_ok = name == "src"
+                    || name == "benches"
+                    || dir.ends_with("crates")
+                    || dir
+                        .ancestors()
+                        .any(|a| a.ends_with("src") || a.ends_with("benches"));
+                if depth_ok && name != "fixtures" && name != "target" {
+                    stack.push(path);
+                }
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(text: &str) -> SourceFile {
+        SourceFile::from_text("crates/core/src/x.rs".into(), text.into(), Tier::Lib)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let s = sf("fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn b() { y.unwrap(); }\n}\nfn c() {}\n");
+        let unwraps: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.ident() == Some("unwrap"))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!s.in_test_code(unwraps[0].start));
+        assert!(s.in_test_code(unwraps[1].start));
+        let c = s.tokens.iter().find(|t| t.ident() == Some("c")).unwrap();
+        assert!(!s.in_test_code(c.start));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let s = sf("#[test]\nfn t() { x.unwrap(); }\nfn u() { y.unwrap(); }\n");
+        let unwraps: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.ident() == Some("unwrap"))
+            .collect();
+        assert!(s.in_test_code(unwraps[0].start));
+        assert!(!s.in_test_code(unwraps[1].start));
+    }
+
+    #[test]
+    fn allows_cover_same_and_next_line() {
+        let s = sf(
+            "// cuart-allow: panic-path lock poisoning is unrecoverable\nlet g = m.lock().unwrap();\nlet h = n.lock().unwrap(); // cuart-allow: panic-path same here really\n",
+        );
+        assert!(s.is_allowed("panic-path", 2));
+        assert!(s.is_allowed("panic-path", 3));
+        assert!(!s.is_allowed("panic-path", 4));
+        assert!(!s.is_allowed("arith-overflow", 2));
+    }
+
+    #[test]
+    fn file_allow_and_malformed() {
+        let s = sf("// cuart-allow-file: index-hot-path bounds checked by pack invariant\n// cuart-allow: panic-path\nfn f() {}\n");
+        assert!(s.is_allowed("index-hot-path", 99));
+        assert_eq!(s.malformed_allows, vec![2]);
+    }
+
+    #[test]
+    fn classify_tiers() {
+        assert_eq!(classify("crates/core/src/api.rs"), Tier::Lib);
+        assert_eq!(classify("crates/bench/src/regress.rs"), Tier::Tool);
+        assert_eq!(classify("crates/cli/src/lib.rs"), Tier::Tool);
+        assert_eq!(classify("shims/rand/src/lib.rs"), Tier::Skip);
+        assert_eq!(classify("crates/telemetry/src/names.rs"), Tier::Skip);
+        assert_eq!(
+            classify("crates/analyze/fixtures/panic_path.rs"),
+            Tier::Skip
+        );
+        assert_eq!(classify("crates/gpu-sim/tests/proptest_sim.rs"), Tier::Skip);
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end analyzer behaviour: deterministic JSON output against a
+//! committed golden document, baseline round-trip semantics, the fixture
+//! corpus, and the committed tree baseline staying green.
+
+use cuart_analyze::source::{classify, SourceFile};
+use cuart_analyze::{analyze_files, analyze_tree, baseline, check_fixtures, findings};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// A small fixed file set exercising several rules at once.
+fn golden_files() -> Vec<SourceFile> {
+    let path = "crates/core/src/golden.rs".to_string();
+    let text = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn emit(t: &Telemetry) {
+    t.incr(\"cuart.golden.stray\", 1);
+    let span = SpanNode::leaf(\"golden.mystery\", 1);
+    t.record_span_tree(&span);
+}
+"
+    .to_string();
+    vec![SourceFile::from_text(path.clone(), text, classify(&path))]
+}
+
+#[test]
+fn golden_json_output() {
+    let analysis = analyze_files(&golden_files(), Path::new("."), false);
+    let json = findings::to_json(&analysis.findings);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden.json"),
+            &json,
+        )
+        .expect("golden file written");
+        return;
+    }
+    let golden = include_str!("golden.json");
+    assert_eq!(
+        json, golden,
+        "analyzer JSON drifted from crates/analyze/tests/golden.json; \
+         if the change is deliberate, update the golden file"
+    );
+}
+
+#[test]
+fn baseline_round_trip() {
+    let analysis = analyze_files(&golden_files(), Path::new("."), false);
+    assert!(!analysis.findings.is_empty(), "golden set must find things");
+
+    // Render → parse → diff against itself: nothing new, nothing fixed.
+    let doc = baseline::render(&analysis.findings);
+    let parsed = baseline::Baseline::parse(&doc).expect("rendered baseline parses");
+    let diff = parsed.diff(&analysis.findings);
+    assert!(diff.new.is_empty(), "round-trip produced new findings");
+    assert!(diff.fixed.is_empty(), "round-trip produced fixed findings");
+
+    // Dropping one finding from the run reports it as fixed.
+    let fewer = &analysis.findings[1..];
+    let diff = parsed.diff(fewer);
+    assert!(diff.new.is_empty());
+    assert_eq!(diff.fixed.len(), 1);
+    assert_eq!(diff.fixed[0], analysis.findings[0].key);
+
+    // A finding absent from the baseline reports as new.
+    let shorter = baseline::Baseline::parse(&baseline::render(fewer)).expect("parses");
+    let diff = shorter.diff(&analysis.findings);
+    assert_eq!(diff.new.len(), 1);
+    assert_eq!(diff.new[0].key, analysis.findings[0].key);
+    assert!(diff.fixed.is_empty());
+}
+
+#[test]
+fn fixture_corpus_passes() {
+    let errors = check_fixtures(&workspace_root()).expect("fixture corpus readable");
+    assert!(errors.is_empty(), "fixture corpus mismatches: {errors:#?}");
+}
+
+#[test]
+fn committed_baseline_covers_the_tree() {
+    let root = workspace_root();
+    let analysis = analyze_tree(&root).expect("tree scan succeeds");
+    let bl = baseline::Baseline::load(&root.join("results/analyze-baseline.json"))
+        .expect("committed baseline loads");
+    let diff = bl.diff(&analysis.findings);
+    assert!(
+        diff.new.is_empty(),
+        "findings not in the committed baseline (fix, allow, or re-baseline):\n{}",
+        diff.new
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

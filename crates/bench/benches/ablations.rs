@@ -25,7 +25,8 @@ fn ablation_report(c: &mut Criterion) {
     let keys = uniform_keys(150_000, 12, 17);
     let mut art = Art::new();
     for (i, k) in keys.iter().enumerate() {
-        art.insert(k, i as u64).unwrap();
+        art.insert(k, i as u64)
+            .expect("generated keys are prefix-free");
     }
     let batch = keys[..4096].to_vec();
 
@@ -68,7 +69,9 @@ fn ablation_report(c: &mut Criterion) {
         let mut dense = Art::new();
         for b1 in 0..=255u8 {
             for b2 in 0..=255u8 {
-                dense.insert(&[b1, b2, 3, 3, 3, 3, 3, 3], 1).unwrap();
+                dense
+                    .insert(&[b1, b2, 3, 3, 3, 3, 3, 3], 1)
+                    .expect("fixed-width keys are prefix-free");
             }
         }
         let dense_batch: Vec<Vec<u8>> = (0..4096u32)

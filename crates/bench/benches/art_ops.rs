@@ -9,7 +9,8 @@ use std::hint::black_box;
 fn build(keys: &[Vec<u8>]) -> Art<u64> {
     let mut art = Art::new();
     for (i, k) in keys.iter().enumerate() {
-        art.insert(k, i as u64).unwrap();
+        art.insert(k, i as u64)
+            .expect("generated keys are prefix-free");
     }
     art
 }
@@ -61,7 +62,8 @@ fn bench_remove_insert_cycle(c: &mut Criterion) {
                 black_box(art.remove(k));
             }
             for (i, k) in keys[..1000].iter().enumerate() {
-                art.insert(k, i as u64).unwrap();
+                art.insert(k, i as u64)
+                    .expect("generated keys are prefix-free");
             }
         });
     });

@@ -13,7 +13,8 @@ fn bench_cpu_lookup(c: &mut Criterion) {
         let keys = uniform_keys(n, kl, 7);
         let mut art = Art::new();
         for (i, k) in keys.iter().enumerate() {
-            art.insert(k, i as u64).unwrap();
+            art.insert(k, i as u64)
+                .expect("generated keys are prefix-free");
         }
         let index = CuartIndex::build(&art, &CuartConfig::for_tests());
         let probes = &keys[..8192];

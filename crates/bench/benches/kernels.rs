@@ -15,7 +15,8 @@ fn bench_lookup_kernels(c: &mut Criterion) {
     let keys = uniform_keys(100_000, 32, 11);
     let mut art = Art::new();
     for (i, k) in keys.iter().enumerate() {
-        art.insert(k, i as u64).unwrap();
+        art.insert(k, i as u64)
+            .expect("generated keys are prefix-free");
     }
     let cuart = CuartIndex::build(&art, &CuartConfig::default());
     let grt = GrtIndex::build(&art);

@@ -15,7 +15,8 @@ fn bench_mapping(c: &mut Criterion) {
         let keys = uniform_keys(n, 16, 5);
         let mut art = Art::new();
         for (i, k) in keys.iter().enumerate() {
-            art.insert(k, i as u64).unwrap();
+            art.insert(k, i as u64)
+                .expect("generated keys are prefix-free");
         }
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("grt", n), &art, |b, art| {

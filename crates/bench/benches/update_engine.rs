@@ -13,7 +13,8 @@ fn bench_update_batches(c: &mut Criterion) {
     let keys = uniform_keys(100_000, 16, 13);
     let mut art = Art::new();
     for (i, k) in keys.iter().enumerate() {
-        art.insert(k, i as u64).unwrap();
+        art.insert(k, i as u64)
+            .expect("generated keys are prefix-free");
     }
     let index = CuartIndex::build(&art, &CuartConfig::for_tests());
     let dev = devices::rtx3090();
@@ -23,7 +24,7 @@ fn bench_update_batches(c: &mut Criterion) {
         let mut session = index.device_session_with_table(&dev, slots);
         let mut us = UpdateStream::new(keys.clone(), 0.1, 0.1, 1);
         let ops = us.next_batch(4096, DELETE);
-        let (_, report) = session.update_batch(&ops).unwrap();
+        let (_, report) = session.update_batch(&ops).expect("bench update leg failed");
         println!(
             "{label}: modeled {:.1} µs per 4Ki update batch ({} atomic conflicts)",
             report.time_ns / 1e3,
@@ -39,7 +40,7 @@ fn bench_update_batches(c: &mut Criterion) {
             let mut us = UpdateStream::new(keys.clone(), 0.1, 0.1, 2);
             b.iter(|| {
                 let ops = us.next_batch(batch, DELETE);
-                black_box(session.update_batch(&ops).unwrap())
+                black_box(session.update_batch(&ops).expect("bench update leg failed"))
             })
         });
     }

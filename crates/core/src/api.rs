@@ -73,16 +73,16 @@ impl CuartIndex {
         let b = &self.buffers;
         t.gauge_set(names::DEVICE_BYTES, self.device_bytes() as f64);
         let node_types = [
-            ("cuart.build.records.n4", LinkType::N4),
-            ("cuart.build.records.n16", LinkType::N16),
-            ("cuart.build.records.n48", LinkType::N48),
-            ("cuart.build.records.n256", LinkType::N256),
-            ("cuart.build.records.n2l", LinkType::N2L),
+            (names::BUILD_RECORDS_N4, LinkType::N4),
+            (names::BUILD_RECORDS_N16, LinkType::N16),
+            (names::BUILD_RECORDS_N48, LinkType::N48),
+            (names::BUILD_RECORDS_N256, LinkType::N256),
+            (names::BUILD_RECORDS_N2L, LinkType::N2L),
         ];
         let leaf_types = [
-            ("cuart.build.records.leaf8", LinkType::Leaf8),
-            ("cuart.build.records.leaf16", LinkType::Leaf16),
-            ("cuart.build.records.leaf32", LinkType::Leaf32),
+            (names::BUILD_RECORDS_LEAF8, LinkType::Leaf8),
+            (names::BUILD_RECORDS_LEAF16, LinkType::Leaf16),
+            (names::BUILD_RECORDS_LEAF32, LinkType::Leaf32),
         ];
         let mut nodes = 0usize;
         for (name, ty) in node_types {
@@ -98,7 +98,7 @@ impl CuartIndex {
         }
         t.gauge_set(names::BUILD_NODES, nodes as f64);
         t.gauge_set(names::BUILD_LEAVES, leaves as f64);
-        t.gauge_set("cuart.build.host_entries", b.host_entries() as f64);
+        t.gauge_set(names::BUILD_HOST_ENTRIES, b.host_entries() as f64);
         let mut e = BatchEvent::new(BatchKind::Build, b.entries as u64);
         e.dram_bytes = self.device_bytes() as u64;
         t.record(e);
@@ -324,8 +324,12 @@ fn run_packable_lookup_batch(
     queries: &[Vec<u8>],
     stride: usize,
 ) -> (Vec<u64>, KernelReport) {
-    let (qbuf, layout) =
-        pack_keys(mem, "oversized-queries", queries, stride).expect("keys pre-filtered to stride");
+    let (qbuf, layout) = match pack_keys(mem, "oversized-queries", queries, stride) {
+        Ok(packed) => packed,
+        // The caller filtered every key against the layout's max length;
+        // if the packer still refuses, answer misses rather than panic.
+        Err(_) => return (vec![NOT_FOUND; queries.len()], KernelReport::default()),
+    };
     let results = cuart_gpu_sim::batch::alloc_results(mem, "oversized-results", queries.len());
     let kernel = CuartLookupKernel {
         tree: *tree,
@@ -557,9 +561,10 @@ impl<'a> CuartSession<'a> {
         let root = SpanNode::node(
             name,
             vec![
-                SpanNode::leaf("h2d", up.time_ns as u64).with_attr("bytes", up.bytes),
+                SpanNode::leaf(names::spans::H2D, up.time_ns as u64).with_attr("bytes", up.bytes),
                 report.to_span(),
-                SpanNode::leaf("d2h", down.time_ns as u64).with_attr("bytes", down.bytes),
+                SpanNode::leaf(names::spans::D2H, down.time_ns as u64)
+                    .with_attr("bytes", down.bytes),
             ],
         )
         .with_attr("keys", total_keys)
@@ -682,9 +687,14 @@ impl<'a> CuartSession<'a> {
                 Err(e) => return Err(e),
             }
         }
-        Err(CuartError::RetriesExhausted {
-            attempts: max,
-            last: Box::new(last.expect("at least one attempt ran")),
+        Err(match last {
+            Some(e) => CuartError::RetriesExhausted {
+                attempts: max,
+                last: Box::new(e),
+            },
+            None => CuartError::Internal {
+                detail: "retry loop finished without recording an attempt".into(),
+            },
         })
     }
 
@@ -796,28 +806,31 @@ impl<'a> CuartSession<'a> {
         self.journal_authoritative && self.journal.contains_key(key)
     }
 
-    fn ensure_staging(&mut self, batch: usize) {
+    fn ensure_staging(&mut self, batch: usize) -> Result<&Staging, CuartError> {
         let stride = self.index.device_key_stride();
-        let need_new = match &self.staging {
-            Some(s) => s.capacity < batch || s.layout.stride != stride,
-            None => true,
+        let reusable = self
+            .staging
+            .take()
+            .filter(|s| s.capacity >= batch && s.layout.stride == stride);
+        let st = match reusable {
+            Some(s) => s,
+            None => {
+                let cap = batch.next_power_of_two().max(64);
+                let blank = vec![Vec::new(); cap];
+                let (queries, layout) = pack_keys(&mut self.mem, "stage-queries", &blank, stride)?;
+                Staging {
+                    queries,
+                    layout,
+                    results: self.mem.alloc("stage-results", cap * 8, 32),
+                    values: self.mem.alloc("stage-values", cap * 8, 32),
+                    scratch_loc: self.mem.alloc("stage-loc", cap * 8, 32),
+                    scratch_parent: self.mem.alloc("stage-parent", cap * 8, 32),
+                    scratch_leaf: self.mem.alloc("stage-leaf", cap * 8, 32),
+                    capacity: cap,
+                }
+            }
         };
-        if need_new {
-            let cap = batch.next_power_of_two().max(64);
-            let blank = vec![Vec::new(); cap];
-            let (queries, layout) = pack_keys(&mut self.mem, "stage-queries", &blank, stride)
-                .expect("blank keys always fit");
-            self.staging = Some(Staging {
-                queries,
-                layout,
-                results: self.mem.alloc("stage-results", cap * 8, 32),
-                values: self.mem.alloc("stage-values", cap * 8, 32),
-                scratch_loc: self.mem.alloc("stage-loc", cap * 8, 32),
-                scratch_parent: self.mem.alloc("stage-parent", cap * 8, 32),
-                scratch_leaf: self.mem.alloc("stage-leaf", cap * 8, 32),
-                capacity: cap,
-            });
-        }
+        Ok(self.staging.insert(st))
     }
 
     fn host_lookup(&self, key: &[u8]) -> u64 {
@@ -873,11 +886,9 @@ impl<'a> CuartSession<'a> {
             } else {
                 match self.run_with_retry(|s| {
                     s.fault_check(FaultSite::Transfer)?;
-                    s.ensure_staging(device_keys.len());
-                    let st = s.staging.as_ref().expect("staging ready");
+                    let st = s.ensure_staging(device_keys.len())?;
                     let (queries, layout, results_buf) = (st.queries, st.layout, st.results);
-                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)
-                        .expect("staging sized and keys pre-filtered");
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)?;
                     s.fault_check(FaultSite::Kernel)?;
                     let kernel = CuartLookupKernel {
                         tree: s.tree,
@@ -905,7 +916,14 @@ impl<'a> CuartSession<'a> {
             match launched {
                 Some(r) => {
                     report = r;
-                    let results_buf = self.staging.as_ref().expect("staging ready").results;
+                    let results_buf = match self.staging.as_ref() {
+                        Some(st) => st.results,
+                        None => {
+                            return Err(CuartError::Internal {
+                                detail: "staging vanished after a launched batch".into(),
+                            })
+                        }
+                    };
                     for (j, &i) in device_idx.iter().enumerate() {
                         let raw = self.mem.read_u64(results_buf, j * 8);
                         // Host-leaf signals finish on the CPU against the
@@ -952,7 +970,13 @@ impl<'a> CuartSession<'a> {
             let mut e = report.to_event(BatchKind::Lookup, keys.len() as u64);
             e.host_spills = host_spills;
             t.record(e);
-            self.record_batch_span(t, "batch.lookup", &report, device_keys.len(), keys.len());
+            self.record_batch_span(
+                t,
+                names::spans::BATCH_LOOKUP,
+                &report,
+                device_keys.len(),
+                keys.len(),
+            );
         }
         Ok((results, report))
     }
@@ -1007,13 +1031,11 @@ impl<'a> CuartSession<'a> {
             } else {
                 match self.run_with_retry(|s| {
                     s.fault_check(FaultSite::Transfer)?;
-                    s.ensure_staging(device_keys.len());
-                    let st = s.staging.as_ref().expect("staging ready");
+                    let st = s.ensure_staging(device_keys.len())?;
                     let (queries, layout) = (st.queries, st.layout);
                     let (results_buf, values_buf) = (st.results, st.values);
                     let (loc, parent, leaf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)
-                        .expect("staging sized and keys pre-filtered");
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)?;
                     for (j, v) in device_values.iter().enumerate() {
                         s.mem.write_u64(values_buf, j * 8, *v);
                     }
@@ -1055,7 +1077,14 @@ impl<'a> CuartSession<'a> {
             match launched {
                 Some(r) => {
                     report = r;
-                    let results_buf = self.staging.as_ref().expect("staging ready").results;
+                    let results_buf = match self.staging.as_ref() {
+                        Some(st) => st.results,
+                        None => {
+                            return Err(CuartError::Internal {
+                                detail: "staging vanished after a launched batch".into(),
+                            })
+                        }
+                    };
                     for (j, &i) in device_idx.iter().enumerate() {
                         statuses[i] = self.mem.read_u64(results_buf, j * 8);
                     }
@@ -1108,7 +1137,13 @@ impl<'a> CuartSession<'a> {
             e.claim_conflicts = report.atomic_conflicts;
             e.freelist_refills = refills;
             t.record(e);
-            self.record_batch_span(t, "batch.update", &report, device_keys.len(), ops.len());
+            self.record_batch_span(
+                t,
+                names::spans::BATCH_UPDATE,
+                &report,
+                device_keys.len(),
+                ops.len(),
+            );
         }
         Ok((statuses, report))
     }
@@ -1138,12 +1173,18 @@ impl<'a> CuartSession<'a> {
                 return Ok(());
             }
             let sub_keys: Vec<Vec<u8>> = pending.iter().map(|&j| device_keys[j].clone()).collect();
-            let st = self.staging.as_ref().expect("staging ready");
+            let st = match self.staging.as_ref() {
+                Some(st) => st,
+                None => {
+                    return Err(CuartError::Internal {
+                        detail: "staging missing for a retry sub-batch".into(),
+                    })
+                }
+            };
             let (queries, layout) = (st.queries, st.layout);
             let (results_buf, values_buf) = (st.results, st.values);
             let (loc, parent, leaf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys)
-                .expect("staging sized and keys pre-filtered");
+            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys)?;
             for (m, &j) in pending.iter().enumerate() {
                 self.mem.write_u64(values_buf, m * 8, device_values[j]);
             }
@@ -1280,14 +1321,12 @@ impl<'a> CuartSession<'a> {
             } else {
                 match self.run_with_retry(|s| {
                     s.fault_check(FaultSite::Transfer)?;
-                    s.ensure_staging(device_keys.len());
-                    let st = s.staging.as_ref().expect("staging ready");
+                    let st = s.ensure_staging(device_keys.len())?;
                     let (queries, layout) = (st.queries, st.layout);
                     let (results_buf, values_buf) = (st.results, st.values);
                     let (loc, parent, class_buf) =
                         (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)
-                        .expect("staging sized and keys pre-filtered");
+                    pack_keys_into(&mut s.mem, queries, &layout, &device_keys)?;
                     for (j, v) in device_values.iter().enumerate() {
                         s.mem.write_u64(values_buf, j * 8, *v);
                     }
@@ -1330,7 +1369,14 @@ impl<'a> CuartSession<'a> {
             match launched {
                 Some(r) => {
                     report = r;
-                    let results_buf = self.staging.as_ref().expect("staging ready").results;
+                    let results_buf = match self.staging.as_ref() {
+                        Some(st) => st.results,
+                        None => {
+                            return Err(CuartError::Internal {
+                                detail: "staging vanished after a launched batch".into(),
+                            })
+                        }
+                    };
                     for (j, &i) in device_idx.iter().enumerate() {
                         statuses[i] = self.mem.read_u64(results_buf, j * 8);
                     }
@@ -1386,7 +1432,13 @@ impl<'a> CuartSession<'a> {
             e.claim_conflicts = report.atomic_conflicts;
             e.freelist_refills = refills;
             t.record(e);
-            self.record_batch_span(t, "batch.insert", &report, device_keys.len(), ops.len());
+            self.record_batch_span(
+                t,
+                names::spans::BATCH_INSERT,
+                &report,
+                device_keys.len(),
+                ops.len(),
+            );
         }
         Ok((statuses, report))
     }
@@ -1410,12 +1462,18 @@ impl<'a> CuartSession<'a> {
                 return Ok(());
             }
             let sub_keys: Vec<Vec<u8>> = pending.iter().map(|&j| device_keys[j].clone()).collect();
-            let st = self.staging.as_ref().expect("staging ready");
+            let st = match self.staging.as_ref() {
+                Some(st) => st,
+                None => {
+                    return Err(CuartError::Internal {
+                        detail: "staging missing for a retry sub-batch".into(),
+                    })
+                }
+            };
             let (queries, layout) = (st.queries, st.layout);
             let (results_buf, values_buf) = (st.results, st.values);
             let (loc, parent, class_buf) = (st.scratch_loc, st.scratch_parent, st.scratch_leaf);
-            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys)
-                .expect("staging sized and keys pre-filtered");
+            pack_keys_into(&mut self.mem, queries, &layout, &sub_keys)?;
             for (m, &j) in pending.iter().enumerate() {
                 self.mem.write_u64(values_buf, m * 8, device_values[j]);
             }

@@ -181,7 +181,7 @@ impl CuartBuffers {
         assert!(s > 0, "{ty:?} has no fixed-stride arena");
         let arena = self
             .arena_mut(ty)
-            .expect("fixed-stride types have a device arena");
+            .expect("fixed-stride types have a device arena"); // cuart-allow: panic-path fixed-stride traversal types always carry a device arena (mapper invariant)
         let index = (arena.len() / s) as u64;
         arena.resize(arena.len() + s, 0);
         index
@@ -203,7 +203,7 @@ impl CuartBuffers {
     /// (like slice indexing guarantees `index` is in bounds).
     pub fn record(&self, ty: LinkType, index: u64) -> &[u8] {
         let off = self.record_offset(ty, index);
-        let arena = self.arena(ty).expect("record() needs a device arena");
+        let arena = self.arena(ty).expect("record() needs a device arena"); // cuart-allow: panic-path fixed-stride traversal types always carry a device arena (mapper invariant)
         &arena[off..off + stride(ty)]
     }
 
@@ -213,15 +213,15 @@ impl CuartBuffers {
         let s = stride(ty);
         let arena = self
             .arena_mut(ty)
-            .expect("record_mut() needs a device arena");
+            .expect("record_mut() needs a device arena"); // cuart-allow: panic-path fixed-stride traversal types always carry a device arena (mapper invariant)
         &mut arena[off..off + s]
     }
 
     /// Read a packed link stored at byte `off` within `ty`'s arena.
     pub fn link_at(&self, ty: LinkType, off: usize) -> NodeLink {
-        let arena = self.arena(ty).expect("link_at() needs a device arena");
+        let arena = self.arena(ty).expect("link_at() needs a device arena"); // cuart-allow: panic-path fixed-stride traversal types always carry a device arena (mapper invariant)
         NodeLink(u64::from_le_bytes(
-            arena[off..off + 8].try_into().expect("8 bytes"),
+            arena[off..off + 8].try_into().expect("8 bytes"), // cuart-allow: panic-path slice indexed to the exact field width on this line
         ))
     }
 
@@ -229,7 +229,7 @@ impl CuartBuffers {
     pub fn set_link_at(&mut self, ty: LinkType, off: usize, link: NodeLink) {
         let arena = self
             .arena_mut(ty)
-            .expect("set_link_at() needs a device arena");
+            .expect("set_link_at() needs a device arena"); // cuart-allow: panic-path fixed-stride traversal types always carry a device arena (mapper invariant)
         arena[off..off + 8].copy_from_slice(&link.0.to_le_bytes());
     }
 

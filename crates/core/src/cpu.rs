@@ -59,21 +59,20 @@ pub fn traverse(b: &CuartBuffers, key: &[u8]) -> Resolution {
                 if len == key.len() && &rec[..len] == key {
                     let at = leaf::value_at(ty);
                     return Resolution::Found(u64::from_le_bytes(
-                        rec[at..at + 8].try_into().expect("8 bytes"),
+                        rec[at..at + 8].try_into().expect("8 bytes"), // cuart-allow: panic-path slice indexed to the exact field width on this line
                     ));
                 }
                 return Resolution::NotFound;
             }
             LinkType::DynLeaf => {
                 let off = link.index() as usize;
-                let len =
-                    u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes"))
+                let len = u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes")) // cuart-allow: panic-path slice indexed to the exact field width on this line
                         as usize;
                 let stored = &b.dyn_leaves[off + 2..off + 2 + len];
                 if stored == key {
                     let at = off + 2 + len;
                     return Resolution::Found(u64::from_le_bytes(
-                        b.dyn_leaves[at..at + 8].try_into().expect("8 bytes"),
+                        b.dyn_leaves[at..at + 8].try_into().expect("8 bytes"), // cuart-allow: panic-path slice indexed to the exact field width on this line
                     ));
                 }
                 return Resolution::NotFound;
@@ -146,7 +145,7 @@ pub fn traverse(b: &CuartBuffers, key: &[u8]) -> Resolution {
                     LinkType::N256 => {
                         b.link_at(ty, base + layout::links_at(ty) + byte as usize * 8)
                     }
-                    _ => unreachable!(),
+                    _ => unreachable!(), // cuart-allow: panic-path arm excluded by the tag/class validation guarding this match
                 };
                 if next.is_null() {
                     return Resolution::NotFound;

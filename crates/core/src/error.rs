@@ -59,6 +59,18 @@ pub enum CuartError {
         /// The error from the final attempt.
         last: Box<CuartError>,
     },
+    /// A key batch failed to pack into its device staging buffer.
+    KeyPack {
+        /// What the packer rejected.
+        detail: String,
+    },
+    /// An engine invariant was violated — a bug surfaced as an error
+    /// instead of a panic, so a serving process can shed the batch and
+    /// keep running.
+    Internal {
+        /// Which invariant broke.
+        detail: String,
+    },
     /// An underlying I/O error (snapshot read/write).
     Io(std::io::Error),
 }
@@ -90,6 +102,8 @@ impl fmt::Display for CuartError {
             CuartError::RetriesExhausted { attempts, last } => {
                 write!(f, "device op failed after {attempts} attempts: {last}")
             }
+            CuartError::KeyPack { detail } => write!(f, "key batch pack failed: {detail}"),
+            CuartError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
             CuartError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -108,6 +122,14 @@ impl std::error::Error for CuartError {
 impl From<std::io::Error> for CuartError {
     fn from(e: std::io::Error) -> Self {
         CuartError::Io(e)
+    }
+}
+
+impl From<cuart_gpu_sim::batch::PackError> for CuartError {
+    fn from(e: cuart_gpu_sim::batch::PackError) -> Self {
+        CuartError::KeyPack {
+            detail: e.to_string(),
+        }
     }
 }
 

@@ -14,6 +14,8 @@
 //! * leaves are one aligned read; key comparison is **word-oriented**
 //!   (§4.4 — the reason GRT wins on very short keys and CuART on long).
 
+// cuart-allow-file: index-hot-path device traversal indexes packed arenas; every offset is derived from a validated NodeLink and bounds-checked at build time (layout::stride invariants), and a panic here is preferable to silently reading a wrong record
+
 use crate::error::CuartError;
 use crate::layout::{self, leaf, stride, EMPTY48, HEADER_BYTES, PREFIX_CAP};
 use crate::link::{LinkType, NodeLink};
@@ -94,7 +96,7 @@ impl DeviceTree {
     /// (host leaves short-circuit before any arena access).
     pub(crate) fn dev_arena(&self, ty: LinkType) -> BufferId {
         self.arena(ty)
-            .expect("traversal link types have device arenas")
+            .expect("traversal link types have device arenas") // cuart-allow: panic-path fixed-stride traversal types always carry a device arena (mapper invariant)
     }
 }
 
@@ -124,7 +126,7 @@ pub mod slot_ref {
         match tag {
             TAG_LUT => tree.lut,
             TAG_META => tree.meta,
-            t => tree.dev_arena(LinkType::from_tag(t).expect("valid arena tag")),
+            t => tree.dev_arena(LinkType::from_tag(t).expect("valid arena tag")), // cuart-allow: panic-path fixed-stride traversal types always carry a device arena (mapper invariant)
         }
     }
 }
@@ -233,7 +235,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                 if len == key.len() && &rec[..len] == key {
                     let at = leaf::value_at(ty);
                     return DevHit::Found {
-                        value: u64::from_le_bytes(rec[at..at + 8].try_into().expect("8 bytes")),
+                        value: u64::from_le_bytes(rec[at..at + 8].try_into().expect("8 bytes")), // cuart-allow: panic-path slice indexed to the exact field width on this line
                         value_slot: slot_ref::encode(ty as u8, base + at),
                         parent_slot,
                         leaf_link: link,
@@ -248,14 +250,14 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                 let len = u16::from_le_bytes(
                     ctx.read_bytes(tree.dyn_leaves, off, 2)
                         .try_into()
-                        .expect("2"),
+                        .expect("2"), // cuart-allow: panic-path slice indexed to the exact field width on this line
                 ) as usize;
                 let body = ctx.read_bytes(tree.dyn_leaves, off + 2, len + 8);
                 // Byte-oriented comparison of the arbitrary-length key.
                 ctx.compute(3 * len as u32);
                 if &body[..len] == key {
                     return DevHit::Found {
-                        value: u64::from_le_bytes(body[len..len + 8].try_into().expect("8 bytes")),
+                        value: u64::from_le_bytes(body[len..len + 8].try_into().expect("8 bytes")), // cuart-allow: panic-path slice indexed to the exact field width on this line
                         value_slot: slot_ref::encode(ty as u8, off + 2 + len),
                         parent_slot,
                         leaf_link: link,
@@ -320,7 +322,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                                     Some(i) => {
                                         let at = layout::links_at(ty) + i * 8;
                                         NodeLink(u64::from_le_bytes(
-                                            rec[at..at + 8].try_into().expect("8 bytes"),
+                                            rec[at..at + 8].try_into().expect("8 bytes"), // cuart-allow: panic-path slice indexed to the exact field width on this line
                                         ))
                                     }
                                     None => NodeLink::NULL,
@@ -387,7 +389,7 @@ pub(crate) fn device_traverse(tree: &DeviceTree, key: &[u8], ctx: &mut ThreadCtx
                             None => return DevHit::MISS,
                         }
                     }
-                    _ => unreachable!(),
+                    _ => unreachable!(), // cuart-allow: panic-path arm excluded by the tag/class validation guarding this match
                 };
                 if next.is_null() {
                     return DevHit::Miss {
@@ -445,7 +447,7 @@ fn parent_of_inner(
         LinkType::N4 => 4,
         LinkType::N16 => 16,
         LinkType::N48 => 48,
-        _ => unreachable!(),
+        _ => unreachable!(), // cuart-allow: panic-path arm excluded by the tag/class validation guarding this match
     };
     let mem = ctx.memory();
     for i in 0..cap {
@@ -454,7 +456,7 @@ fn parent_of_inner(
             return slot_ref::encode(ty as u8, at);
         }
     }
-    unreachable!("child link not found in parent record");
+    unreachable!("child link not found in parent record"); // cuart-allow: panic-path arm excluded by the tag/class validation guarding this match
 }
 
 /// One lookup per thread over the CuART structure of buffers.

@@ -139,12 +139,12 @@ impl<'a> Cursor<'a> {
 
     fn u32(&mut self, what: &str) -> Result<u32, CuartError> {
         let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes"))) // cuart-allow: panic-path slice indexed to the exact field width on this line
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, CuartError> {
         let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes"))) // cuart-allow: panic-path slice indexed to the exact field width on this line
     }
 
     fn done(&self) -> bool {

@@ -49,7 +49,7 @@ fn leaf_key(b: &CuartBuffers, class: LinkType, i: u64) -> Option<&[u8]> {
 fn leaf_value(b: &CuartBuffers, class: LinkType, i: u64) -> u64 {
     let rec = b.record(class, i);
     let at = leaf::value_at(class);
-    u64::from_le_bytes(rec[at..at + 8].try_into().expect("8 bytes"))
+    u64::from_le_bytes(rec[at..at + 8].try_into().expect("8 bytes")) // cuart-allow: panic-path slice indexed to the exact field width on this line
 }
 
 /// First index whose key is `>= bound`, skipping deleted holes. The arenas
@@ -133,7 +133,7 @@ pub fn range_query(b: &CuartBuffers, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, u64)
     let mut off = 0usize;
     while off + 2 <= b.dyn_leaves.len() {
         let len =
-            u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes")) as usize;
+            u16::from_le_bytes(b.dyn_leaves[off..off + 2].try_into().expect("2 bytes")) as usize; // cuart-allow: panic-path slice indexed to the exact field width on this line
         if len == 0 {
             break;
         }
@@ -141,7 +141,7 @@ pub fn range_query(b: &CuartBuffers, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, u64)
         let value = u64::from_le_bytes(
             b.dyn_leaves[off + 2 + len..off + 2 + len + 8]
                 .try_into()
-                .expect("8 bytes"),
+                .expect("8 bytes"), // cuart-allow: panic-path slice indexed to the exact field width on this line
         );
         if key >= lo && key <= hi {
             out.push((key.to_vec(), value));

@@ -51,14 +51,14 @@ impl Cache {
         let slots = &mut self.tags[base..base + self.ways];
         if let Some(way) = slots.iter().position(|&t| t == line) {
             self.stamps[base + way] = self.clock;
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
             return true;
         }
         // Miss: evict LRU way of the set.
-        self.misses += 1;
+        self.misses = self.misses.saturating_add(1);
         let lru = (0..self.ways)
             .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways >= 1");
+            .unwrap_or(0);
         self.tags[base + lru] = line;
         self.stamps[base + lru] = self.clock;
         false

@@ -25,6 +25,8 @@
 //! The reported `time_ns` excludes the kernel-launch overhead; the
 //! [`pipeline`](crate::pipeline) model adds it per dispatch.
 
+// cuart-allow-file: index-hot-path the SIMT interpreter's per-lane loops index warp/lane vectors sized at construction (lanes == warp_size, buffers sized by BufferId registration); checked indexing in the innermost replay loop is measurable overhead
+
 use crate::cache::Cache;
 use crate::coalesce::{sectors, SECTOR_BYTES};
 use crate::config::DeviceConfig;
@@ -99,24 +101,26 @@ impl KernelReport {
     /// Merge another report (e.g. a later phase) into this one, summing
     /// times and statistics.
     pub fn accumulate(&mut self, other: &KernelReport) {
-        self.time_ns += other.time_ns;
+        self.time_ns += other.time_ns; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
         self.threads = self.threads.max(other.threads);
         self.warps = self.warps.max(other.warps);
-        self.steps_total += other.steps_total;
+        self.steps_total = self.steps_total.saturating_add(other.steps_total);
         self.max_chain_steps = self.max_chain_steps.max(other.max_chain_steps);
-        self.raw_accesses += other.raw_accesses;
-        self.sectors += other.sectors;
-        self.l2_hits += other.l2_hits;
-        self.dram_transactions += other.dram_transactions;
-        self.dram_bytes += other.dram_bytes;
+        self.raw_accesses = self.raw_accesses.saturating_add(other.raw_accesses);
+        self.sectors = self.sectors.saturating_add(other.sectors);
+        self.l2_hits = self.l2_hits.saturating_add(other.l2_hits);
+        self.dram_transactions = self
+            .dram_transactions
+            .saturating_add(other.dram_transactions);
+        self.dram_bytes = self.dram_bytes.saturating_add(other.dram_bytes);
         self.dram_imbalance = self.dram_imbalance.max(other.dram_imbalance);
         self.compute_cycles += other.compute_cycles;
-        self.atomic_conflicts += other.atomic_conflicts;
+        self.atomic_conflicts = self.atomic_conflicts.saturating_add(other.atomic_conflicts);
         self.active_lane_steps += other.active_lane_steps;
         self.issued_lane_steps += other.issued_lane_steps;
-        self.latency_bound_ns += other.latency_bound_ns;
-        self.bandwidth_bound_ns += other.bandwidth_bound_ns;
-        self.compute_bound_ns += other.compute_bound_ns;
+        self.latency_bound_ns += other.latency_bound_ns; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
+        self.bandwidth_bound_ns += other.bandwidth_bound_ns; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
+        self.compute_bound_ns += other.compute_bound_ns; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
     }
 
     /// Sectors that missed the L2 (each miss issues one DRAM transaction).
@@ -176,13 +180,14 @@ impl KernelReport {
         let total = self.time_ns.max(0.0) as u64;
         let dram = (self.bandwidth_bound_ns.max(0.0) as u64).min(total);
         let exec = total - dram;
+        use cuart_telemetry::names::spans;
         cuart_telemetry::SpanNode::node(
-            "kernel",
+            spans::KERNEL,
             vec![
-                cuart_telemetry::SpanNode::leaf("dram", dram)
+                cuart_telemetry::SpanNode::leaf(spans::DRAM, dram)
                     .with_attr("transactions", self.dram_transactions)
                     .with_attr("bytes", self.dram_bytes),
-                cuart_telemetry::SpanNode::leaf("exec", exec)
+                cuart_telemetry::SpanNode::leaf(spans::EXEC, exec)
                     .with_attr("latency_bound_ns", self.latency_bound_ns as u64)
                     .with_attr("compute_bound_ns", self.compute_bound_ns as u64),
             ],
@@ -263,7 +268,7 @@ pub fn launch_with_cache<K: PhasedKernel>(
         let report = time_phase(dev, &traces, l2);
         total.accumulate(&report);
         if phase + 1 < phases {
-            total.time_ns += GRID_SYNC_NS;
+            total.time_ns += GRID_SYNC_NS; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
         }
     }
     total
@@ -304,7 +309,7 @@ fn time_phase(dev: &DeviceConfig, traces: &[ThreadTrace], l2: &mut Cache) -> Ker
             addr_counts.clear();
             for lane in lanes.iter() {
                 if let Some(step) = lane.steps.get(s) {
-                    report.steps_total += 1;
+                    report.steps_total = report.steps_total.saturating_add(1);
                     active_lanes += 1;
                     step_compute_max = step_compute_max.max(step.compute_cycles);
                     report.compute_cycles += step.compute_cycles as u64;
@@ -329,19 +334,22 @@ fn time_phase(dev: &DeviceConfig, traces: &[ThreadTrace], l2: &mut Cache) -> Ker
             for (&_addr, &count) in addr_counts.iter() {
                 if count > 1 {
                     conflict_extra = conflict_extra.max(count - 1);
-                    report.atomic_conflicts += (count - 1) as u64;
+                    report.atomic_conflicts =
+                        report.atomic_conflicts.saturating_add((count - 1) as u64);
                 }
             }
-            chains[w].atomic_extra_ns += conflict_extra as f64 * ATOMIC_SERIALIZE_NS;
-            // Coalesce and serve.
-            report.raw_accesses += step_accesses.len() as u64;
+            chains[w].atomic_extra_ns += conflict_extra as f64 * ATOMIC_SERIALIZE_NS; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
+                                                                                      // Coalesce and serve.
+            report.raw_accesses = report
+                .raw_accesses
+                .saturating_add(step_accesses.len() as u64);
             let secs = sectors(step_accesses.iter().copied());
-            report.sectors += secs.len() as u64;
+            report.sectors = report.sectors.saturating_add(secs.len() as u64);
             let mut missed = false;
             for &sec in &secs {
                 let addr = sec * SECTOR_BYTES;
                 if l2.access(addr) {
-                    report.l2_hits += 1;
+                    report.l2_hits = report.l2_hits.saturating_add(1);
                 } else {
                     dram.issue(addr, SECTOR_BYTES as usize);
                     missed = true;
@@ -393,7 +401,7 @@ fn time_phase(dev: &DeviceConfig, traces: &[ThreadTrace], l2: &mut Cache) -> Ker
                 + dev.cycles_to_ns(c.compute_cycles as f64)
                 + c.atomic_extra_ns;
             max_chain = max_chain.max(t);
-            sum_chain += t;
+            sum_chain += t; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
         }
         (max_chain, sum_chain)
     };

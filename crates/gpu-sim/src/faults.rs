@@ -170,7 +170,7 @@ impl FaultInjector {
     /// schedules line up across builds — they just never fire).
     pub fn check(&mut self, site: FaultSite) -> Result<(), DeviceFault> {
         let op_index = self.ops;
-        self.ops += 1;
+        self.ops = self.ops.saturating_add(1);
         #[cfg(feature = "faults")]
         {
             let scheduled = self.cfg.fail_ops.contains(&op_index);

@@ -114,16 +114,19 @@ impl DeviceMemory {
 
     /// Read a little-endian u64.
     pub fn read_u64(&self, id: BufferId, offset: usize) -> u64 {
+        // cuart-allow: panic-path read_bytes returns exactly 8 bytes
         u64::from_le_bytes(self.read_bytes(id, offset, 8).try_into().expect("8 bytes"))
     }
 
     /// Read a little-endian u32.
     pub fn read_u32(&self, id: BufferId, offset: usize) -> u32 {
+        // cuart-allow: panic-path read_bytes returns exactly 4 bytes
         u32::from_le_bytes(self.read_bytes(id, offset, 4).try_into().expect("4 bytes"))
     }
 
     /// Read a little-endian u16.
     pub fn read_u16(&self, id: BufferId, offset: usize) -> u16 {
+        // cuart-allow: panic-path read_bytes returns exactly 2 bytes
         u16::from_le_bytes(self.read_bytes(id, offset, 2).try_into().expect("2 bytes"))
     }
 

@@ -183,6 +183,7 @@ pub fn simulate_traced(
     }
 
     if let Some(t) = telemetry {
+        use cuart_telemetry::names::spans;
         use cuart_telemetry::SpanNode;
         let ns = |x: f64| x.max(0.0).round() as u64;
         let batches = traced
@@ -191,15 +192,19 @@ pub fn simulate_traced(
             .map(|(i, bt)| {
                 let rel = |x: f64| ns(x - bt.prepare_start);
                 SpanNode::node(
-                    "pipeline.batch",
+                    spans::PIPELINE_BATCH,
                     vec![
-                        SpanNode::leaf("prepare", ns(bt.submit - bt.prepare_start)).at(0),
-                        SpanNode::leaf("h2d", ns(bt.h2d_end - bt.h2d_start)).at(rel(bt.h2d_start)),
-                        SpanNode::leaf("launch", ns(p.launch_overhead_ns)).at(rel(bt.k_start)),
-                        SpanNode::leaf("kernel", ns(bt.k_end - bt.k_start - p.launch_overhead_ns))
-                            .at(rel(bt.k_start + p.launch_overhead_ns)),
-                        SpanNode::leaf("d2h", ns(bt.d_end - bt.d_start)).at(rel(bt.d_start)),
-                        SpanNode::leaf("post", ns(bt.post_end - bt.post_start))
+                        SpanNode::leaf(spans::PREPARE, ns(bt.submit - bt.prepare_start)).at(0),
+                        SpanNode::leaf(spans::H2D, ns(bt.h2d_end - bt.h2d_start))
+                            .at(rel(bt.h2d_start)),
+                        SpanNode::leaf(spans::LAUNCH, ns(p.launch_overhead_ns)).at(rel(bt.k_start)),
+                        SpanNode::leaf(
+                            spans::KERNEL,
+                            ns(bt.k_end - bt.k_start - p.launch_overhead_ns),
+                        )
+                        .at(rel(bt.k_start + p.launch_overhead_ns)),
+                        SpanNode::leaf(spans::D2H, ns(bt.d_end - bt.d_start)).at(rel(bt.d_start)),
+                        SpanNode::leaf(spans::POST, ns(bt.post_end - bt.post_start))
                             .at(rel(bt.post_start)),
                     ],
                 )
@@ -207,7 +212,7 @@ pub fn simulate_traced(
                 .at(ns(bt.prepare_start))
             })
             .collect();
-        let mut root = SpanNode::node("pipeline", batches)
+        let mut root = SpanNode::node(spans::PIPELINE, batches)
             .with_attr("batches", p.batches)
             .with_attr("host_threads", host_threads)
             .with_attr("streams", streams);
@@ -236,8 +241,8 @@ pub fn simulate_traced(
     let bottleneck = demands
         .iter()
         .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty")
-        .0;
+        .map(|d| d.0)
+        .unwrap_or(Stage::Compute);
 
     PipelineReport {
         makespan_ns: makespan,

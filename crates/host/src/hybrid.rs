@@ -55,17 +55,17 @@ impl HybridReport {
         // Both legs start at the split point and run concurrently, so the
         // children are pinned at offset 0 and the root spans the envelope
         // — the slower leg, which is the batch's modeled time.
-        let mut children = vec![SpanNode::leaf("gpu", self.gpu_leg_ns as u64)
+        let mut children = vec![SpanNode::leaf(names::spans::GPU, self.gpu_leg_ns as u64)
             .with_attr("keys", gpu_keys)
             .at(0)];
         if self.cpu_leg_ns > 0.0 {
             children.push(
-                SpanNode::leaf("cpu", self.cpu_leg_ns as u64)
+                SpanNode::leaf(names::spans::CPU, self.cpu_leg_ns as u64)
                     .with_attr("keys", cpu_keys)
                     .at(0),
             );
         }
-        let root = SpanNode::node("hybrid.route", children)
+        let root = SpanNode::node(names::spans::HYBRID_ROUTE, children)
             .with_attr("keys", batch_size)
             .with_attr("cpu_bound", self.cpu_bound);
         telemetry.record_span_tree(&root);

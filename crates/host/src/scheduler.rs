@@ -391,7 +391,7 @@ impl SubmissionQueue {
                 return Err(SchedError::Shutdown);
             }
             if self.cap == 0 || inner.resident_ops + ops <= self.cap {
-                inner.resident_ops += ops;
+                inner.resident_ops = inner.resident_ops.saturating_add(ops);
                 self.max_resident_ops
                     .fetch_max(inner.resident_ops as u64, Ordering::Relaxed);
                 inner.queue.push_back(req);
@@ -408,8 +408,10 @@ impl SubmissionQueue {
                 AdmissionPolicy::Block => {
                     inner = self.admit.wait(inner).unwrap_or_else(|p| p.into_inner());
                 }
-                AdmissionPolicy::BlockWithTimeout(_) => {
-                    let deadline = wait_until.expect("set for BlockWithTimeout");
+                AdmissionPolicy::BlockWithTimeout(d) => {
+                    // `wait_until` was seeded from this same policy arm
+                    // above; recompute rather than unwrap if it is absent.
+                    let deadline = wait_until.unwrap_or_else(|| Instant::now() + d);
                     let now = Instant::now();
                     if now >= deadline {
                         drop(inner);
@@ -586,13 +588,15 @@ impl SchedulerStats {
     }
 
     fn absorb_report(&mut self, keys: usize, report: &KernelReport) {
-        self.batches += 1;
-        self.keys_dispatched += keys as u64;
-        self.kernel_time_ns += report.time_ns;
-        self.l2_hits += report.l2_hits;
-        self.sectors += report.sectors;
-        self.dram_transactions += report.dram_transactions;
-        self.raw_accesses += report.raw_accesses;
+        self.batches = self.batches.saturating_add(1);
+        self.keys_dispatched = self.keys_dispatched.saturating_add(keys as u64);
+        self.kernel_time_ns += report.time_ns; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
+        self.l2_hits = self.l2_hits.saturating_add(report.l2_hits);
+        self.sectors = self.sectors.saturating_add(report.sectors);
+        self.dram_transactions = self
+            .dram_transactions
+            .saturating_add(report.dram_transactions);
+        self.raw_accesses = self.raw_accesses.saturating_add(report.raw_accesses);
     }
 }
 
@@ -906,25 +910,25 @@ fn executor(
     loop {
         // Wake at the earlier of the batch deadline (oldest op + deadline)
         // and the earliest per-op deadline; sleep unbounded when idle.
-        let wake = if pending.is_empty() {
-            None
-        } else {
-            let oldest = pending.front().expect("non-empty").enqueued;
-            let mut at = oldest + ctx.cfg.deadline;
+        let wake = if let Some(front) = pending.front() {
+            let mut at = front.enqueued + ctx.cfg.deadline;
             for r in &pending {
                 if let Some(d) = r.deadline {
                     at = at.min(d);
                 }
             }
             Some(at)
+        } else {
+            None
         };
 
         match queue.pop(wake) {
             Pop::Got(req) => {
-                ctx.stats.ops_enqueued += req.keys.len() as u64;
+                ctx.stats.ops_enqueued =
+                    ctx.stats.ops_enqueued.saturating_add(req.keys.len() as u64);
                 ctx.telemetry
                     .incr(names::SCHED_ENQUEUED, req.keys.len() as u64);
-                pending_keys += req.keys.len();
+                pending_keys = pending_keys.saturating_add(req.keys.len());
                 pending.push_back(req);
                 if pending_keys >= batch_target {
                     let depth = pending_keys as u64;
@@ -998,8 +1002,8 @@ impl ExecCtx<'_> {
         let mut kept: VecDeque<Request> = VecDeque::with_capacity(pending.len());
         while let Some(req) = pending.pop_front() {
             if req.deadline.is_some_and(|d| d <= now) {
-                shed_ops += req.keys.len();
-                shed_requests += 1;
+                shed_ops = shed_ops.saturating_add(req.keys.len());
+                shed_requests = shed_requests.saturating_add(1);
                 let _ = req.reply.send(Err(SchedError::DeadlineExceeded));
             } else {
                 kept.push_back(req);
@@ -1009,8 +1013,8 @@ impl ExecCtx<'_> {
         if shed_ops == 0 {
             return;
         }
-        *pending_keys -= shed_ops;
-        self.stats.shed_ops += shed_ops as u64;
+        *pending_keys = pending_keys.saturating_sub(shed_ops);
+        self.stats.shed_ops = self.stats.shed_ops.saturating_add(shed_ops as u64);
         self.stats.requests += shed_requests;
         self.queue.release(shed_ops);
         self.telemetry.incr(names::SCHED_SHED, shed_ops as u64);
@@ -1018,7 +1022,7 @@ impl ExecCtx<'_> {
             // Not a `sched.batch.*` root: shed work has no device leg, so
             // the leaf-sum invariant the trace verifier enforces on batch
             // roots does not apply.
-            let span = SpanNode::leaf("sched.shed", SHED_NS_PER_OP * shed_ops as u64)
+            let span = SpanNode::leaf(names::spans::SCHED_SHED, SHED_NS_PER_OP * shed_ops as u64)
                 .with_attr("ops", shed_ops);
             t.record_span_tree(&span);
         }
@@ -1030,11 +1034,13 @@ impl ExecCtx<'_> {
     fn flush(&mut self, pending: &mut VecDeque<Request>, pending_keys: &mut usize) {
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(*pending_keys as u64);
         self.shed_expired(pending, pending_keys, Instant::now());
-        while !pending.is_empty() {
-            let kind = pending.front().expect("non-empty").kind;
+        while let Some(front) = pending.front() {
+            let kind = front.kind;
             let mut run: Vec<Request> = Vec::new();
             while pending.front().is_some_and(|r| r.kind == kind) {
-                run.push(pending.pop_front().expect("checked front"));
+                if let Some(r) = pending.pop_front() {
+                    run.push(r);
+                }
             }
             self.execute_run(kind, run);
         }
@@ -1073,10 +1079,10 @@ impl ExecCtx<'_> {
 
         let mode = self.breaker_before(total as u64);
         if mode == DispatchMode::Probe {
-            self.stats.probe_batches += 1;
+            self.stats.probe_batches = self.stats.probe_batches.saturating_add(1);
             self.telemetry.incr(names::SCHED_PROBE_BATCHES, 1);
         } else if mode == DispatchMode::CpuOnly {
-            self.stats.breaker_open_batches += 1;
+            self.stats.breaker_open_batches = self.stats.breaker_open_batches.saturating_add(1);
         }
         let injected_before = self.session.fault_stats().injected;
 
@@ -1101,7 +1107,7 @@ impl ExecCtx<'_> {
             Ok((batch_results, report)) => {
                 self.stats.absorb_report(total, &report);
                 if perm.is_some() {
-                    self.stats.sorted_batches += 1;
+                    self.stats.sorted_batches = self.stats.sorted_batches.saturating_add(1);
                 }
                 let results = match &perm {
                     Some(p) => scatter_inverse(&batch_results, p),
@@ -1142,7 +1148,7 @@ impl ExecCtx<'_> {
                 }
             }
             Err(e) => {
-                self.stats.failed_batches += 1;
+                self.stats.failed_batches = self.stats.failed_batches.saturating_add(1);
                 let err = SchedError::from(&e);
                 for req in run {
                     self.stats.requests += 1;
@@ -1255,7 +1261,7 @@ impl ExecCtx<'_> {
         b.consecutive_faults = 0;
         b.clean_probes = 0;
         b.window.clear();
-        self.stats.breaker_trips += 1;
+        self.stats.breaker_trips = self.stats.breaker_trips.saturating_add(1);
         self.session.set_cpu_only(true);
         self.telemetry.incr(names::SCHED_BREAKER_TRIPS, 1);
         self.telemetry.gauge_set(names::SCHED_BREAKER_STATE, 2.0);
@@ -1302,24 +1308,25 @@ fn record_sched_span(
     let log2n = (u64::BITS - n.leading_zeros()).max(1) as u64;
     let up = cuart_gpu_sim::pcie::upload(&dev.pcie, total, session.device_key_stride());
     let down = cuart_gpu_sim::pcie::download(&dev.pcie, total, 8);
-    let mut children = vec![SpanNode::leaf("coalesce", COALESCE_NS_PER_KEY * n)];
+    use names::spans;
+    let mut children = vec![SpanNode::leaf(spans::COALESCE, COALESCE_NS_PER_KEY * n)];
     if sorted {
-        children.push(SpanNode::leaf("sort", SORT_NS_PER_KEY_LOG * n * log2n));
+        children.push(SpanNode::leaf(spans::SORT, SORT_NS_PER_KEY_LOG * n * log2n));
     }
-    children.push(SpanNode::leaf("h2d", up.time_ns as u64).with_attr("bytes", up.bytes));
+    children.push(SpanNode::leaf(spans::H2D, up.time_ns as u64).with_attr("bytes", up.bytes));
     children.push(SpanNode::leaf(
-        "launch",
+        spans::LAUNCH,
         (dev.launch_overhead_us * 1_000.0) as u64,
     ));
     children.push(report.to_span());
-    children.push(SpanNode::leaf("d2h", down.time_ns as u64).with_attr("bytes", down.bytes));
+    children.push(SpanNode::leaf(spans::D2H, down.time_ns as u64).with_attr("bytes", down.bytes));
     if sorted {
-        children.push(SpanNode::leaf("scatter", SCATTER_NS_PER_KEY * n));
+        children.push(SpanNode::leaf(spans::SCATTER, SCATTER_NS_PER_KEY * n));
     }
     let name = match kind {
-        OpKind::Lookup => "sched.batch.lookup",
-        OpKind::Update => "sched.batch.update",
-        OpKind::Insert => "sched.batch.insert",
+        OpKind::Lookup => spans::SCHED_BATCH_LOOKUP,
+        OpKind::Update => spans::SCHED_BATCH_UPDATE,
+        OpKind::Insert => spans::SCHED_BATCH_INSERT,
     };
     let mut root = SpanNode::node(name, children)
         .with_attr("keys", total)

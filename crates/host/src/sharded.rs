@@ -188,28 +188,32 @@ impl ShardedStats {
         let mut agg = SchedulerStats::default();
         for s in &self.shards {
             let st = &s.stats;
-            agg.ops_enqueued += st.ops_enqueued;
+            agg.ops_enqueued = agg.ops_enqueued.saturating_add(st.ops_enqueued);
             agg.requests += st.requests;
-            agg.batches += st.batches;
-            agg.sorted_batches += st.sorted_batches;
+            agg.batches = agg.batches.saturating_add(st.batches);
+            agg.sorted_batches = agg.sorted_batches.saturating_add(st.sorted_batches);
             agg.size_flushes += st.size_flushes;
             agg.deadline_flushes += st.deadline_flushes;
             agg.final_flushes += st.final_flushes;
-            agg.keys_dispatched += st.keys_dispatched;
+            agg.keys_dispatched = agg.keys_dispatched.saturating_add(st.keys_dispatched);
             agg.max_queue_depth = agg.max_queue_depth.max(st.max_queue_depth);
-            agg.kernel_time_ns += st.kernel_time_ns;
-            agg.l2_hits += st.l2_hits;
-            agg.sectors += st.sectors;
-            agg.dram_transactions += st.dram_transactions;
-            agg.raw_accesses += st.raw_accesses;
-            agg.failed_batches += st.failed_batches;
-            agg.shed_ops += st.shed_ops;
-            agg.rejected_ops += st.rejected_ops;
-            agg.admission_timeout_ops += st.admission_timeout_ops;
+            agg.kernel_time_ns += st.kernel_time_ns; // cuart-allow: arith-overflow f64 accumulator; float addition cannot wrap
+            agg.l2_hits = agg.l2_hits.saturating_add(st.l2_hits);
+            agg.sectors = agg.sectors.saturating_add(st.sectors);
+            agg.dram_transactions = agg.dram_transactions.saturating_add(st.dram_transactions);
+            agg.raw_accesses = agg.raw_accesses.saturating_add(st.raw_accesses);
+            agg.failed_batches = agg.failed_batches.saturating_add(st.failed_batches);
+            agg.shed_ops = agg.shed_ops.saturating_add(st.shed_ops);
+            agg.rejected_ops = agg.rejected_ops.saturating_add(st.rejected_ops);
+            agg.admission_timeout_ops = agg
+                .admission_timeout_ops
+                .saturating_add(st.admission_timeout_ops);
             agg.max_resident_ops = agg.max_resident_ops.max(st.max_resident_ops);
-            agg.breaker_trips += st.breaker_trips;
-            agg.probe_batches += st.probe_batches;
-            agg.breaker_open_batches += st.breaker_open_batches;
+            agg.breaker_trips = agg.breaker_trips.saturating_add(st.breaker_trips);
+            agg.probe_batches = agg.probe_batches.saturating_add(st.probe_batches);
+            agg.breaker_open_batches = agg
+                .breaker_open_batches
+                .saturating_add(st.breaker_open_batches);
         }
         agg
     }
@@ -313,7 +317,7 @@ impl ShardedClient {
             t.incr(names::SCHED_ROUTED_KEYS, total as u64);
             // Standalone root (like `sched.shed`): routing has no device
             // leg, so the batch-root leaf-sum invariant does not apply.
-            let span = SpanNode::leaf("sched.route", ROUTE_NS_PER_KEY * total as u64)
+            let span = SpanNode::leaf(names::spans::SCHED_ROUTE, ROUTE_NS_PER_KEY * total as u64)
                 .with_attr("keys", total)
                 .with_attr("shards", active);
             t.record_span_tree(&span);
@@ -323,13 +327,14 @@ impl ShardedClient {
         type SubBatch = (usize, Vec<Vec<u8>>, Vec<u64>);
         // Move each op out of the request exactly once, in shard order.
         let mut keys: Vec<Option<Vec<u8>>> = keys.into_iter().map(Some).collect();
-        let mut sub: Vec<Option<SubBatch>> = Vec::with_capacity(active);
+        let mut sub: Vec<SubBatch> = Vec::with_capacity(active);
         for (shard, list) in lists.iter().enumerate() {
             if list.is_empty() {
                 continue;
             }
             let sub_keys: Vec<Vec<u8>> = list
                 .iter()
+                // cuart-allow: panic-path route() emits each op index into exactly one shard list
                 .map(|&i| keys[i].take().expect("each index routed once"))
                 .collect();
             let sub_values: Vec<u64> = if values.is_empty() {
@@ -337,14 +342,14 @@ impl ShardedClient {
             } else {
                 list.iter().map(|&i| values[i]).collect()
             };
-            sub.push(Some((shard, sub_keys, sub_values)));
+            sub.push((shard, sub_keys, sub_values));
         }
 
         let mut merged: Vec<u64> = vec![0; total];
         let mut first_err: Option<SchedError> = None;
-        if active == 1 {
+        if let [(shard, k, v)] = &mut sub[..] {
             // Single-shard fast path: no reason to pay a thread spawn.
-            let (shard, k, v) = sub[0].take().expect("one active shard");
+            let (shard, k, v) = (*shard, std::mem::take(k), std::mem::take(v));
             match call(&self.clients[shard], k, v) {
                 Ok(results) => scatter(&mut merged, &lists[shard], results),
                 Err(e) => first_err = Some(e),
@@ -354,11 +359,8 @@ impl ShardedClient {
                 let call = &call;
                 let clients = &self.clients;
                 let handles: Vec<_> = sub
-                    .iter_mut()
-                    .map(|slot| {
-                        let (shard, k, v) = slot.take().expect("filled above");
-                        (shard, scope.spawn(move || call(&clients[shard], k, v)))
-                    })
+                    .into_iter()
+                    .map(|(shard, k, v)| (shard, scope.spawn(move || call(&clients[shard], k, v))))
                     .collect();
                 handles
                     .into_iter()

@@ -52,150 +52,7 @@ pub use noop::{
     DEFAULT_EVENT_CAPACITY,
 };
 
-/// Canonical metric names shared by producers and consumers, so the CLI,
-/// the bench harness and the tests never drift on spelling.
-pub mod names {
-    /// Lookup batches served on the device path.
-    pub const LOOKUP_BATCHES: &str = "cuart.lookup.batches";
-    /// Keys submitted to device lookups.
-    pub const LOOKUP_KEYS: &str = "cuart.lookup.keys";
-    /// Lookup keys resolved on the host (HOST_SIGNAL / overflow).
-    pub const LOOKUP_HOST_SPILLS: &str = "cuart.lookup.host_spills";
-    /// Histogram: modeled kernel ns per lookup batch.
-    pub const LOOKUP_KERNEL_NS: &str = "cuart.lookup.kernel_ns";
-    /// Update batches served on the device path.
-    pub const UPDATE_BATCHES: &str = "cuart.update.batches";
-    /// Keys submitted to device updates.
-    pub const UPDATE_KEYS: &str = "cuart.update.keys";
-    /// Histogram: modeled kernel ns per update batch.
-    pub const UPDATE_KERNEL_NS: &str = "cuart.update.kernel_ns";
-    /// Update/insert slot-claim conflicts (atomic CAS retries).
-    pub const CLAIM_CONFLICTS: &str = "cuart.update.claim_conflicts";
-    /// Insert batches served on the device path.
-    pub const INSERT_BATCHES: &str = "cuart.insert.batches";
-    /// Keys submitted to device inserts.
-    pub const INSERT_KEYS: &str = "cuart.insert.keys";
-    /// Inserts spilled to the host overflow table.
-    pub const INSERT_HOST_SPILLS: &str = "cuart.insert.host_spills";
-    /// Free-list refills triggered by inserts.
-    pub const FREELIST_REFILLS: &str = "cuart.insert.freelist_refills";
-    /// Histogram: modeled kernel ns per insert batch.
-    pub const INSERT_KERNEL_NS: &str = "cuart.insert.kernel_ns";
-    /// L2 hits across all kernels.
-    pub const L2_HITS: &str = "cuart.kernel.l2_hits";
-    /// L2 misses across all kernels.
-    pub const L2_MISSES: &str = "cuart.kernel.l2_misses";
-    /// Gauge: L2 hit rate of the most recent kernel.
-    pub const L2_HIT_RATE: &str = "cuart.kernel.l2_hit_rate";
-    /// DRAM sector transactions across all kernels.
-    pub const DRAM_TRANSACTIONS: &str = "cuart.kernel.dram_transactions";
-    /// DRAM bytes moved across all kernels.
-    pub const DRAM_BYTES: &str = "cuart.kernel.dram_bytes";
-    /// Gauge: DRAM channel imbalance of the most recent kernel.
-    pub const DRAM_IMBALANCE: &str = "cuart.kernel.dram_imbalance";
-    /// Coalesced memory requests across all kernels.
-    pub const COALESCED_ACCESSES: &str = "cuart.kernel.coalesced_accesses";
-    /// Raw per-lane memory requests across all kernels.
-    pub const RAW_ACCESSES: &str = "cuart.kernel.raw_accesses";
-    /// Histogram: DRAM transactions per batch.
-    pub const DRAM_TX_PER_BATCH: &str = "cuart.kernel.dram_tx_per_batch";
-    /// Gauge: device-resident bytes of the built index.
-    pub const DEVICE_BYTES: &str = "cuart.build.device_bytes";
-    /// Gauge: number of inner nodes in the built index.
-    pub const BUILD_NODES: &str = "cuart.build.nodes";
-    /// Gauge: number of leaves in the built index.
-    pub const BUILD_LEAVES: &str = "cuart.build.leaves";
-    /// Hybrid batches routed to the GPU.
-    pub const HYBRID_GPU_BATCHES: &str = "cuart.hybrid.gpu_batches";
-    /// Hybrid keys routed to the CPU (long-key / HOST_SIGNAL path).
-    pub const HYBRID_CPU_KEYS: &str = "cuart.hybrid.cpu_keys";
-    /// Hybrid keys routed to the GPU.
-    pub const HYBRID_GPU_KEYS: &str = "cuart.hybrid.gpu_keys";
-    /// Gauge: fraction of keys routed to the CPU in the last hybrid run.
-    pub const HYBRID_CPU_FRACTION: &str = "cuart.hybrid.cpu_fraction";
-    /// Device faults injected (or observed) across the session.
-    pub const FAULTS_INJECTED: &str = "cuart.faults.injected";
-    /// Batch retries after a device fault.
-    pub const FAULT_RETRIES: &str = "cuart.faults.retries";
-    /// Histogram: modeled retry backoff ns per attempt.
-    pub const FAULT_BACKOFF_NS: &str = "cuart.faults.backoff_ns";
-    /// Times the session degraded to the CPU path.
-    pub const FAULT_DEGRADATIONS: &str = "cuart.faults.degradations";
-    /// Times a degraded session recovered its device image.
-    pub const FAULT_RECOVERIES: &str = "cuart.faults.recoveries";
-    /// Batches served entirely by the CPU fallback while degraded.
-    pub const FAULT_CPU_FALLBACK_BATCHES: &str = "cuart.faults.cpu_fallback_batches";
-    /// Keys served by the CPU fallback while degraded.
-    pub const FAULT_CPU_FALLBACK_KEYS: &str = "cuart.faults.cpu_fallback_keys";
-    /// Gauge: 1 while the session is degraded, 0 otherwise.
-    pub const FAULT_DEGRADED: &str = "cuart.faults.degraded";
-    /// GRT lookup batches.
-    pub const GRT_LOOKUP_BATCHES: &str = "grt.lookup.batches";
-    /// GRT keys submitted to lookups.
-    pub const GRT_LOOKUP_KEYS: &str = "grt.lookup.keys";
-    /// Histogram: modeled kernel ns per GRT lookup batch.
-    pub const GRT_LOOKUP_KERNEL_NS: &str = "grt.lookup.kernel_ns";
-    /// GRT update batches.
-    pub const GRT_UPDATE_BATCHES: &str = "grt.update.batches";
-    /// Gauge: device-resident bytes of the built GRT.
-    pub const GRT_DEVICE_BYTES: &str = "grt.build.device_bytes";
-    /// Operations accepted by the batch scheduler's submission queue.
-    pub const SCHED_ENQUEUED: &str = "cuart.sched.enqueued";
-    /// Batches the scheduler dispatched to the session.
-    pub const SCHED_BATCHES: &str = "cuart.sched.batches";
-    /// Batches flushed because the size target was reached.
-    pub const SCHED_SIZE_FLUSHES: &str = "cuart.sched.size_flushes";
-    /// Batches flushed because the oldest queued op hit its deadline.
-    pub const SCHED_DEADLINE_FLUSHES: &str = "cuart.sched.deadline_flushes";
-    /// Gauge: ops waiting in the scheduler queue at the last flush.
-    pub const SCHED_QUEUE_DEPTH: &str = "cuart.sched.queue_depth";
-    /// Histogram: per-batch queueing latency (enqueue of the oldest op to
-    /// dispatch), nanoseconds.
-    pub const SCHED_QUEUE_LATENCY_NS: &str = "cuart.sched.queue_latency_ns";
-    /// Histogram: keys per dispatched scheduler batch.
-    pub const SCHED_BATCH_FILL: &str = "cuart.sched.batch_fill";
-    /// Batches packed in sorted key order (the locality path).
-    pub const SCHED_SORTED_BATCHES: &str = "cuart.sched.sorted_batches";
-    /// Ops shed at coalesce time because their deadline had already passed.
-    pub const SCHED_SHED: &str = "cuart.sched.shed";
-    /// Ops refused at admission (queue full under the `Reject` policy).
-    pub const SCHED_REJECTED: &str = "cuart.sched.rejected";
-    /// Circuit-breaker trips (`Closed`/`HalfOpen` → `Open`).
-    pub const SCHED_BREAKER_TRIPS: &str = "cuart.sched.breaker_trips";
-    /// Half-open probe batches dispatched to the device while recovering.
-    pub const SCHED_PROBE_BATCHES: &str = "cuart.sched.probe_batches";
-    /// Gauge: breaker state (0 = Closed, 1 = HalfOpen, 2 = Open).
-    pub const SCHED_BREAKER_STATE: &str = "cuart.sched.breaker_state";
-    /// Common prefix of every scheduler series above.
-    pub const SCHED_PREFIX: &str = "cuart.sched.";
-    /// Prefix of the per-shard scheduler twins: a scheduler running as
-    /// shard `i` of a `ShardedScheduler` mirrors each of its counters and
-    /// gauges to `cuart.sched.shard.<i>.<suffix>`, so per-shard counters
-    /// sum to the global `cuart.sched.*` totals by construction.
-    pub const SCHED_SHARD_PREFIX: &str = "cuart.sched.shard.";
-    /// Requests routed through a sharded scheduler's split/merge router.
-    pub const SCHED_ROUTED_REQUESTS: &str = "cuart.sched.routed_requests";
-    /// Keys routed through a sharded scheduler's split/merge router.
-    pub const SCHED_ROUTED_KEYS: &str = "cuart.sched.routed_keys";
-
-    /// Per-shard twin of a global `cuart.sched.*` series name:
-    /// `sched_shard(3, SCHED_SHED)` → `"cuart.sched.shard.3.shed"`.
-    pub fn sched_shard(shard: usize, global: &str) -> String {
-        let suffix = global.strip_prefix(SCHED_PREFIX).unwrap_or(global);
-        format!("{SCHED_SHARD_PREFIX}{shard}.{suffix}")
-    }
-    /// Events evicted from the bounded batch-event ring (overflow is
-    /// surfaced, not silent).
-    pub const EVENTS_DROPPED: &str = "cuart.telemetry.events_dropped";
-    /// Spans evicted from the bounded span ring.
-    pub const SPANS_DROPPED: &str = "cuart.telemetry.spans_dropped";
-    /// Prefix of the critical-path counters: committing a span tree bumps
-    /// `cuart.trace.critical.<stage>` for its dominant leaf stage.
-    pub const TRACE_CRITICAL_PREFIX: &str = "cuart.trace.critical.";
-    /// Gauge: dominant stage's share of leaf time in the last committed
-    /// span tree.
-    pub const TRACE_CRITICAL_SHARE: &str = "cuart.trace.critical_share";
-}
+pub mod names;
 
 #[cfg(test)]
 mod tests {

@@ -12,7 +12,7 @@ use crate::snapshot::{HistogramSnapshot, Snapshot};
 use crate::tracing::{Span, SpanNode, DEFAULT_SPAN_CAPACITY};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Default bound of the batch event ring.
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
@@ -154,7 +154,7 @@ impl EventRing {
     }
 
     fn record(&self, mut event: BatchEvent) -> u64 {
-        let mut inner = self.inner.lock().expect("event ring poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         event.seq = inner.next_seq;
         inner.next_seq += 1;
         if inner.buf.len() == self.capacity {
@@ -166,7 +166,7 @@ impl EventRing {
     }
 
     fn snapshot(&self) -> (Vec<BatchEvent>, u64) {
-        let inner = self.inner.lock().expect("event ring poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         (inner.buf.iter().copied().collect(), inner.dropped)
     }
 }
@@ -209,7 +209,7 @@ impl SpanRing {
     /// Lay `root` out at the current modeled clock, advance the clock to
     /// the tree's end and retain the flattened spans. Returns the root id.
     fn record_tree(&self, root: &SpanNode) -> u64 {
-        let mut inner = self.inner.lock().expect("span ring poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut flat = Vec::new();
         let start = inner.clock_ns;
         let mut next_id = inner.next_id;
@@ -228,7 +228,7 @@ impl SpanRing {
     }
 
     fn snapshot(&self) -> (Vec<Span>, u64) {
-        let inner = self.inner.lock().expect("span ring poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         (inner.buf.iter().cloned().collect(), inner.dropped)
     }
 }
@@ -284,10 +284,10 @@ impl Telemetry {
     }
 
     fn resolve<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-        if let Some(m) = map.read().expect("registry poisoned").get(name) {
+        if let Some(m) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
             return Arc::clone(m);
         }
-        let mut w = map.write().expect("registry poisoned");
+        let mut w = map.write().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(w.entry(name.to_string()).or_default())
     }
 
@@ -354,21 +354,21 @@ impl Telemetry {
         let counters = self
             .counters
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
         let gauges = self
             .gauges
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
         let histograms = self
             .histograms
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();

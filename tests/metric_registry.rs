@@ -1,0 +1,88 @@
+//! The generated name registry (`cuart_telemetry::names`, emitted by
+//! `cuart-analyze --emit-registry`) must match what the runtime actually
+//! emits: every series and span name in a live snapshot is registered,
+//! and the registry itself is well-formed (unique, `cuart.`-prefixed).
+
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_gpu_sim::devices;
+use cuart_telemetry::{names, Telemetry};
+use cuart_workloads::uniform_keys;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn instrumented_index(n: usize) -> (CuartIndex, Vec<Vec<u8>>, Arc<Telemetry>) {
+    let keys = uniform_keys(n, 8, 42);
+    let mut art = Art::new();
+    for (i, k) in keys.iter().enumerate() {
+        art.insert(k, i as u64 + 1).unwrap();
+    }
+    let telemetry = Arc::new(Telemetry::new());
+    let index =
+        CuartIndex::build(&art, &CuartConfig::for_tests()).with_telemetry(telemetry.clone());
+    (index, keys, telemetry)
+}
+
+#[test]
+fn registry_is_well_formed() {
+    let namespaces = ["cuart.", "grt.", "sched."];
+    let mut seen = BTreeSet::new();
+    for name in names::ALL_METRICS {
+        assert!(
+            namespaces.iter().any(|ns| name.starts_with(ns)),
+            "registered series `{name}` outside the known namespaces"
+        );
+        assert!(seen.insert(*name), "duplicate registered series `{name}`");
+    }
+    let mut seen = BTreeSet::new();
+    for span in names::spans::ALL_SPANS {
+        assert!(seen.insert(*span), "duplicate registered span `{span}`");
+    }
+    for prefix in names::METRIC_PREFIXES {
+        assert!(
+            namespaces.iter().any(|ns| prefix.starts_with(ns)),
+            "prefix `{prefix}` unscoped"
+        );
+        assert!(prefix.ends_with('.'), "prefix `{prefix}` must end in `.`");
+        // A prefix alone is not a series name.
+        assert!(!names::is_registered(prefix));
+    }
+}
+
+#[test]
+fn live_snapshot_emits_only_registered_names() {
+    let (index, keys, telemetry) = instrumented_index(3000);
+    let dev = devices::a100();
+    let mut session = index.device_session(&dev);
+    session.lookup_batch(&keys[..1024]).unwrap();
+    let updates: Vec<(Vec<u8>, u64)> = keys[..512].iter().map(|k| (k.clone(), 7)).collect();
+    session.update_batch(&updates).unwrap();
+    let fresh: Vec<(Vec<u8>, u64)> = uniform_keys(64, 8, 4242)
+        .into_iter()
+        .map(|k| (k, 9))
+        .collect();
+    session.insert_batch(&fresh).unwrap();
+
+    let snap = telemetry.snapshot();
+    assert!(!snap.counters.is_empty(), "session must emit counters");
+    for name in snap.counters.keys() {
+        assert!(names::is_registered(name), "unregistered counter `{name}`");
+    }
+    for name in snap.gauges.keys() {
+        assert!(names::is_registered(name), "unregistered gauge `{name}`");
+    }
+    for name in snap.histograms.keys() {
+        assert!(
+            names::is_registered(name),
+            "unregistered histogram `{name}`"
+        );
+    }
+    assert!(!snap.spans.is_empty(), "session must emit spans");
+    for span in &snap.spans {
+        assert!(
+            names::spans::ALL_SPANS.contains(&span.name.as_str()),
+            "unregistered span `{}`",
+            span.name
+        );
+    }
+}
