@@ -106,6 +106,14 @@ pub const METRICS: &[MetricDef] = &[
         "Free-list refills triggered by inserts."),
     metric!(INSERT_KERNEL_NS, "cuart.insert.kernel_ns", Histogram, "insert",
         "Histogram: modeled kernel ns per insert batch."),
+    metric!(RANGE_BATCHES, "cuart.range.batches", Counter, "range",
+        "Range-query batches served through the session."),
+    metric!(RANGE_KEYS, "cuart.range.keys", Counter, "range",
+        "Inclusive range queries submitted (one per [lo, hi] pair)."),
+    metric!(RANGE_ROWS, "cuart.range.rows", Counter, "range",
+        "Rows materialized across all range queries."),
+    metric!(RANGE_KERNEL_NS, "cuart.range.kernel_ns", Histogram, "range",
+        "Histogram: modeled span-kernel ns per range batch."),
     metric!(L2_HITS, "cuart.kernel.l2_hits", Counter, "l2",
         "L2 hits across all kernels."),
     metric!(L2_MISSES, "cuart.kernel.l2_misses", Counter, "l2",
@@ -214,6 +222,28 @@ pub const METRICS: &[MetricDef] = &[
         "Keys routed through a sharded scheduler's split/merge router."),
     metric!(SCHED_SHARD_PREFIX, "cuart.sched.shard.", Prefix, "sched-shard",
         "Prefix of the per-shard scheduler twins: a scheduler running as\nshard `i` of a `ShardedScheduler` mirrors each of its counters and\ngauges to `cuart.sched.shard.<i>.<suffix>`, so per-shard counters\nsum to the global `cuart.sched.*` totals by construction."),
+    metric!(NET_CONNECTIONS, "cuart.net.connections", Gauge, "net",
+        "Gauge: currently open client connections."),
+    metric!(NET_ACCEPTED, "cuart.net.accepted", Counter, "net",
+        "Client connections accepted since the server started."),
+    metric!(NET_DRAINED, "cuart.net.drained", Gauge, "net",
+        "Gauge: 1 once the server finished a drain-safe shutdown (stopped\naccepting, flushed in-flight requests, joined the scheduler)."),
+    metric!(NET_FRAMES_IN, "cuart.net.frames_in", Counter, "net-frames",
+        "Request frames decoded off client connections."),
+    metric!(NET_FRAMES_OUT, "cuart.net.frames_out", Counter, "net-frames",
+        "Response frames written to client connections."),
+    metric!(NET_BYTES_IN, "cuart.net.bytes_in", Counter, "net-frames",
+        "Payload bytes read off client connections."),
+    metric!(NET_BYTES_OUT, "cuart.net.bytes_out", Counter, "net-frames",
+        "Payload bytes written to client connections."),
+    metric!(NET_DECODE_ERRORS, "cuart.net.decode_errors", Counter, "net-frames",
+        "Frames rejected at decode time (bad magic/version/CRC/truncation)."),
+    metric!(NET_WINDOW_STALLS, "cuart.net.window_stalls", Counter, "net-backpressure",
+        "Times a connection's reader blocked on its full in-flight window\n(network backpressure composing with queue admission)."),
+    metric!(NET_ERROR_FRAMES, "cuart.net.error_frames", Counter, "net-backpressure",
+        "Typed error frames returned to clients (admission rejects, sheds,\nbreaker-open refusals, decode errors)."),
+    metric!(NET_REQUEST_NS, "cuart.net.request_ns", Histogram, "net-lat",
+        "Histogram: server-side wall ns per request (decode to response\nwrite handoff)."),
     metric!(EVENTS_DROPPED, "cuart.telemetry.events_dropped", Counter, "telemetry-drops",
         "Events evicted from the bounded batch-event ring (overflow is\nsurfaced, not silent)."),
     metric!(SPANS_DROPPED, "cuart.telemetry.spans_dropped", Counter, "telemetry-drops",
@@ -247,6 +277,8 @@ pub const GROUPS: &[GroupDef] = &[
         hook: "§3.2 mapping: built-image size, node/leaf totals and host-side overflow population." },
     GroupDef { id: "build-records", table_name: Some("`cuart.build.records.<class>`"),
         hook: "§3.2 mapping: arena population per node/leaf class (`n4`/`n16`/`n48`/`n256`/`n2l`/`leaf8`/`leaf16`/`leaf32` — density effects of §4.4)." },
+    GroupDef { id: "range", table_name: None,
+        hook: "§3.2.1 range queries: span-kernel batches over the ordered leaf arenas, queries served and rows returned (result = per-class `[start, end)` index pairs, materialized host-side)." },
     GroupDef { id: "hybrid", table_name: None,
         hook: "§3.2.3 hybrid split, Figs. 13/14: the CPU-leg share that collapses overall throughput." },
     GroupDef { id: "faults", table_name: None,
@@ -269,6 +301,14 @@ pub const GROUPS: &[GroupDef] = &[
         hook: "scale-out router (extension): client calls and point ops that went through the split→dispatch→merge path (§5.1 table)." },
     GroupDef { id: "sched-shard", table_name: Some("`cuart.sched.shard.<i>.*`"),
         hook: "per-shard twins of every `cuart.sched.*` counter and gauge above; shard `i`'s scheduler dual-writes both, so the twins sum to the global series exactly (asserted in `tests/scheduler_sharded.rs`). Histograms and spans stay global-only to bound cardinality." },
+    GroupDef { id: "net", table_name: None,
+        hook: "network front-end (extension): connection lifecycle and the drain-safe shutdown marker CI asserts on — the request coalescing front §3.4's batching pays off through." },
+    GroupDef { id: "net-frames", table_name: None,
+        hook: "wire traffic: frames/bytes in and out of the length-prefixed binary protocol, and frames rejected at decode (bad magic/version/CRC) — the server answers an error frame and survives." },
+    GroupDef { id: "net-backpressure", table_name: None,
+        hook: "backpressure composition: reader stalls on the bounded per-connection in-flight window (TCP backpressure) and typed error frames surfacing admission rejects/sheds/breaker refusals to clients." },
+    GroupDef { id: "net-lat", table_name: None,
+        hook: "server-side request latency distribution — the network-path twin of `cuart.sched.queue_latency_ns`, separating wire/queueing cost from modeled kernel time." },
     GroupDef { id: "grt", table_name: None,
         hook: "GRT baseline (§4), same event schema — side-by-side comparison in one registry." },
     GroupDef { id: "telemetry-drops", table_name: None,
@@ -295,12 +335,18 @@ pub const SPANS: &[SpanDef] = &[
         "Root: one CuART session update/delete batch (§3.4)."),
     span!(BATCH_INSERT, "batch.insert",
         "Root: one CuART session insert batch (§5.1)."),
+    span!(BATCH_RANGE, "batch.range",
+        "Root: one CuART session range batch (§3.2.1 span kernel)."),
     span!(SCHED_BATCH_LOOKUP, "sched.batch.lookup",
         "Root: one serving-layer lookup batch (coalesce→sort→dispatch→scatter)."),
     span!(SCHED_BATCH_UPDATE, "sched.batch.update",
         "Root: one serving-layer update batch."),
     span!(SCHED_BATCH_INSERT, "sched.batch.insert",
         "Root: one serving-layer insert batch."),
+    span!(SCHED_BATCH_RANGE, "sched.batch.range",
+        "Root: one serving-layer range batch (coalesce\u{2192}dispatch, no sort\nor scatter \u{2014} ranges keep arrival order)."),
+    span!(NET_REQUEST, "net.request",
+        "Standalone leaf: one network request served (decode\u{2192}backend\u{2192}\nresponse write), wall-clock, attrs opcode/bytes."),
     span!(SCHED_SHED, "sched.shed",
         "Standalone leaf: coalesce-time shedding of deadline-expired ops."),
     span!(SCHED_ROUTE, "sched.route",

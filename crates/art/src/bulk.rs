@@ -49,24 +49,26 @@ type ChildGroups<V> = Vec<(u8, Vec<(Vec<u8>, V)>)>;
 /// Build the subtree for a sorted run of keys agreeing on the first
 /// `depth` bytes.
 fn build_group<V>(mut pairs: Vec<(Vec<u8>, V)>, depth: usize) -> Result<Box<Node<V>>, ArtError> {
-    if pairs.len() == 1 {
-        let (key, value) = pairs.pop().expect("one element");
+    if pairs.len() <= 1 {
+        // A run of one key becomes a leaf. `pop` doubles as the emptiness
+        // check: callers only form non-empty groups, but an empty run maps
+        // to a typed error rather than a panicking unwrap.
+        let (key, value) = pairs.pop().ok_or(ArtError::EmptyKey)?;
         return Ok(Box::new(Node::Leaf(crate::node::Leaf {
             key: key.into_boxed_slice(),
             value,
         })));
     }
     // Longest common prefix from `depth` across the (sorted) run: it is
-    // the LCP of the first and last keys.
-    let lcp = {
-        let first = &pairs.first().expect("non-empty").0;
-        let last = &pairs.last().expect("non-empty").0;
-        first[depth..]
-            .iter()
-            .zip(&last[depth..])
-            .take_while(|(a, b)| a == b)
-            .count()
+    // the LCP of the first and last keys, both present since len >= 2.
+    let (Some(first), Some(last)) = (pairs.first(), pairs.last()) else {
+        return Err(ArtError::EmptyKey);
     };
+    let lcp = first.0[depth..]
+        .iter()
+        .zip(&last.0[depth..])
+        .take_while(|(a, b)| a == b)
+        .count();
     let split = depth + lcp;
     // Prefix-free sorted input guarantees every key extends past `split`
     // (a key ending exactly at split would prefix its successors).

@@ -139,17 +139,17 @@ impl<V> Children<V> {
             Children::Node4 { len, keys, ptrs } => keys[..*len as usize]
                 .iter()
                 .position(|&k| k == byte)
-                .map(|i| ptrs[i].as_deref().expect("occupied slot")),
+                .and_then(|i| ptrs[i].as_deref()),
             Children::Node16 { len, keys, ptrs } => keys[..*len as usize]
                 .binary_search(&byte)
                 .ok()
-                .map(|i| ptrs[i].as_deref().expect("occupied slot")),
+                .and_then(|i| ptrs[i].as_deref()),
             Children::Node48 { index, ptrs, .. } => {
                 let slot = index[byte as usize];
                 if slot == EMPTY48 {
                     None
                 } else {
-                    Some(ptrs[slot as usize].as_deref().expect("occupied slot"))
+                    ptrs[slot as usize].as_deref()
                 }
             }
             Children::Node256 { ptrs, .. } => ptrs[byte as usize].as_deref(),
@@ -162,17 +162,17 @@ impl<V> Children<V> {
             Children::Node4 { len, keys, ptrs } => keys[..*len as usize]
                 .iter()
                 .position(|&k| k == byte)
-                .map(|i| ptrs[i].as_mut().expect("occupied slot")),
+                .and_then(|i| ptrs[i].as_mut()),
             Children::Node16 { len, keys, ptrs } => keys[..*len as usize]
                 .binary_search(&byte)
                 .ok()
-                .map(|i| ptrs[i].as_mut().expect("occupied slot")),
+                .and_then(|i| ptrs[i].as_mut()),
             Children::Node48 { index, ptrs, .. } => {
                 let slot = index[byte as usize];
                 if slot == EMPTY48 {
                     None
                 } else {
-                    Some(ptrs[slot as usize].as_mut().expect("occupied slot"))
+                    ptrs[slot as usize].as_mut()
                 }
             }
             Children::Node256 { ptrs, .. } => ptrs[byte as usize].as_mut(),
@@ -208,7 +208,7 @@ impl<V> Children<V> {
             Children::Node48 { len, index, ptrs } => {
                 let n = *len as usize;
                 assert!(n < 48, "Node48 overflow");
-                let slot = ptrs.iter().position(|p| p.is_none()).expect("free slot");
+                let slot = ptrs.iter().position(|p| p.is_none()).expect("free slot"); // cuart-allow: panic-path `n < 48` is asserted above so a free slot exists; a miss is a broken len/ptrs invariant, covered by this method's documented panic-on-logic-error contract
                 ptrs[slot] = Some(child);
                 index[byte as usize] = slot as u8;
                 *len += 1;
@@ -394,21 +394,25 @@ impl<V> Children<V> {
         match self {
             Children::Node4 { len, keys, ptrs } => {
                 for i in 0..*len as usize {
-                    f(keys[i], ptrs[i].as_deref().expect("occupied slot"));
+                    if let Some(c) = ptrs[i].as_deref() {
+                        f(keys[i], c);
+                    }
                 }
             }
             Children::Node16 { len, keys, ptrs } => {
                 for i in 0..*len as usize {
-                    f(keys[i], ptrs[i].as_deref().expect("occupied slot"));
+                    if let Some(c) = ptrs[i].as_deref() {
+                        f(keys[i], c);
+                    }
                 }
             }
             Children::Node48 { index, ptrs, .. } => {
                 for (byte, &slot) in index.iter().enumerate() {
-                    if slot != EMPTY48 {
-                        f(
-                            byte as u8,
-                            ptrs[slot as usize].as_deref().expect("occupied slot"),
-                        );
+                    if slot == EMPTY48 {
+                        continue;
+                    }
+                    if let Some(c) = ptrs[slot as usize].as_deref() {
+                        f(byte as u8, c);
                     }
                 }
             }
@@ -443,13 +447,14 @@ impl<V> Children<V> {
             Children::Node4 { keys, .. } => keys[0],
             Children::Node16 { keys, .. } => keys[0],
             Children::Node48 { index, .. } => {
-                index.iter().position(|&s| s != EMPTY48).expect("one child") as u8
+                let slot = index.iter().position(|&s| s != EMPTY48);
+                slot.expect("one child") as u8 // cuart-allow: panic-path `len() == 1` is asserted above so one index slot is occupied; a miss is a corrupt index, covered by this method's documented panic contract
             }
             Children::Node256 { ptrs, .. } => {
-                ptrs.iter().position(|p| p.is_some()).expect("one child") as u8
+                ptrs.iter().position(|p| p.is_some()).expect("one child") as u8 // cuart-allow: panic-path `len() == 1` is asserted above so one pointer is occupied; a miss is a corrupt ptrs array, covered by this method's documented panic contract
             }
         };
-        let child = self.remove(byte).expect("child present");
+        let child = self.remove(byte).expect("child present"); // cuart-allow: panic-path `byte` was just located in this node under the asserted single-child invariant; a failed remove is a tree-code bug, covered by this method's documented panic contract
         (byte, child)
     }
 }
@@ -462,10 +467,12 @@ impl<V> Node<V> {
         }))
     }
 
-    /// The smallest (leftmost) leaf of the subtree.
-    pub fn minimum(&self) -> &Leaf<V> {
+    /// The smallest (leftmost) leaf of the subtree. `None` only when an
+    /// inner node has no children — a broken invariant (inner nodes always
+    /// hold at least two children), reported as absent rather than a panic.
+    pub fn minimum(&self) -> Option<&Leaf<V>> {
         match self {
-            Node::Leaf(l) => l,
+            Node::Leaf(l) => Some(l),
             Node::Inner(inner) => {
                 let mut first = None;
                 inner.children.for_each(|_, c| {
@@ -473,19 +480,21 @@ impl<V> Node<V> {
                         first = Some(c);
                     }
                 });
-                first.expect("inner node has at least one child").minimum()
+                first?.minimum()
             }
         }
     }
 
-    /// The largest (rightmost) leaf of the subtree.
-    pub fn maximum(&self) -> &Leaf<V> {
+    /// The largest (rightmost) leaf of the subtree. `None` only when an
+    /// inner node has no children — a broken invariant (inner nodes always
+    /// hold at least two children), reported as absent rather than a panic.
+    pub fn maximum(&self) -> Option<&Leaf<V>> {
         match self {
-            Node::Leaf(l) => l,
+            Node::Leaf(l) => Some(l),
             Node::Inner(inner) => {
                 let mut last = None;
                 inner.children.for_each(|_, c| last = Some(c));
-                last.expect("inner node has at least one child").maximum()
+                last?.maximum()
             }
         }
     }
@@ -619,8 +628,8 @@ mod tests {
             prefix: Box::from(&b""[..]),
             children: c,
         });
-        assert_eq!(node.minimum().value, 1);
-        assert_eq!(node.maximum().value, 200);
+        assert_eq!(node.minimum().unwrap().value, 1);
+        assert_eq!(node.maximum().unwrap().value, 200);
     }
 
     #[test]

@@ -4,6 +4,7 @@ pub mod cpu;
 pub mod gpu_devices;
 pub mod hybrid;
 pub mod lookup;
+pub mod net;
 pub mod overload;
 pub mod scaleout;
 pub mod serving;
@@ -12,8 +13,8 @@ pub mod update;
 use crate::context::RunCtx;
 use crate::series::Figure;
 
-/// All figure ids in paper order (`fig19`, `fig-overload` and
-/// `fig-scaleout` are this repo's serving-layer extensions, not paper
+/// All figure ids in paper order (`fig19`, `fig-overload`, `fig-scaleout`
+/// and `fig-net` are this repo's serving-layer extensions, not paper
 /// figures).
 pub const ALL: &[&str] = &[
     "fig7",
@@ -31,6 +32,7 @@ pub const ALL: &[&str] = &[
     "fig19",
     "fig-overload",
     "fig-scaleout",
+    "fig-net",
 ];
 
 /// Run one figure by id.
@@ -51,6 +53,7 @@ pub fn run(id: &str, ctx: &RunCtx) -> Figure {
         "fig19" => serving::fig19(ctx),
         "fig-overload" => overload::fig_overload(ctx),
         "fig-scaleout" => scaleout::fig_scaleout(ctx),
+        "fig-net" => net::fig_net(ctx),
         other => panic!("unknown figure id {other:?}; known: {ALL:?}"),
     }
 }

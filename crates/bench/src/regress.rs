@@ -36,6 +36,11 @@ const SEED: u64 = 0xC0A7;
 /// Metrics:
 /// - `lookup_mops` / `update_mops` / `insert_mops` — modeled kernel-side
 ///   throughput per op kind.
+/// - `net_lookup_mops` — modeled serving throughput of the same lookup
+///   workload pushed through the `cuart-net` loopback RPC path (single
+///   sequential client, request size pinned to the batch target, so each
+///   request coalesces into exactly one batch and the modeled time is
+///   exact across runs despite the TCP transport).
 /// - `stage_share.<name>` — fraction of total leaf span time spent in each
 ///   pipeline stage (`h2d`, `dram`, `exec`, `d2h`), present only when the
 ///   binary was built with the `telemetry` feature.
@@ -93,6 +98,8 @@ pub fn run_smoke() -> BTreeMap<String, f64> {
         fresh.len() as f64 / insert_ns * 1000.0,
     );
 
+    metrics.insert("net_lookup_mops".into(), net_smoke_mops(&art, stored, &dev));
+
     // Stage shares from the recorded span trees: a leaf is any span no
     // other span names as parent; shares are leaf time over total leaf time.
     let snap = telemetry.snapshot();
@@ -113,6 +120,59 @@ pub fn run_smoke() -> BTreeMap<String, f64> {
         }
     }
     metrics
+}
+
+/// Modeled serving throughput of the smoke lookup workload through the
+/// `cuart-net` loopback RPC path, in MOps/s.
+///
+/// Deterministic by construction: one sequential client, each request
+/// exactly `BATCH` keys against a scheduler whose batch target is also
+/// `BATCH` with a far-off coalescing deadline, so every request flushes
+/// as exactly one size-triggered batch. The metric is modeled kernel
+/// time plus one launch overhead per batch (the fig19 convention) —
+/// wall-clock TCP and thread-handoff time is deliberately excluded, so
+/// the number is exact across runs and machines.
+fn net_smoke_mops(
+    art: &cuart_art::Art<u64>,
+    stored: &[Vec<u8>],
+    dev: &cuart_gpu_sim::DeviceConfig,
+) -> f64 {
+    use cuart_host::scheduler::{Scheduler, SchedulerConfig};
+    use cuart_net::{NetClient, NetServer, NetServerConfig};
+
+    // A fresh index without telemetry: the serving pass must not leak
+    // spans into the stage-share accounting of the in-process passes.
+    let index = Arc::new(CuartIndex::build(art, &CuartConfig::default()));
+    let cfg = SchedulerConfig {
+        batch_target: BATCH,
+        deadline: std::time::Duration::from_millis(50),
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::spawn(index, *dev, cfg);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let server = NetServer::serve_single(listener, sched, None, NetServerConfig::default())
+        .expect("serve on loopback");
+    let mut client = NetClient::connect(server.local_addr()).expect("loopback connect");
+    for b in 0..KEYS / BATCH {
+        let queries: Vec<Vec<u8>> = (0..BATCH)
+            .map(|i| {
+                stored[b.wrapping_mul(BATCH).wrapping_add(i.wrapping_mul(7)) % stored.len()].clone()
+            })
+            .collect();
+        client.lookup(queries).expect("smoke net lookup");
+    }
+    drop(client);
+    server.shutdown_handle().shutdown();
+    let report = server.join().expect("clean drain");
+    assert_eq!(report.served_ops, KEYS as u64, "every key must be served");
+    let stats = report.sched.aggregate();
+    assert_eq!(
+        stats.batches,
+        (KEYS / BATCH) as u64,
+        "one batch per request"
+    );
+    let total_ns = stats.kernel_time_ns + stats.batches as f64 * dev.launch_overhead_us * 1_000.0;
+    stats.keys_dispatched as f64 * 1_000.0 / total_ns
 }
 
 /// Serialize a metric map as the baseline JSON document.
@@ -237,6 +297,7 @@ mod tests {
         assert!(a["lookup_mops"] > 0.0);
         assert!(a["update_mops"] > 0.0);
         assert!(a["insert_mops"] > 0.0);
+        assert!(a["net_lookup_mops"] > 0.0);
         #[cfg(feature = "telemetry")]
         {
             let share_sum: f64 = a

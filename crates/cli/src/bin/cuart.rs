@@ -25,6 +25,17 @@ USAGE:
                   [--fault-seed N] [--fault-rate P]
                   [--admission block|reject] [--admission-timeout-us N]
                   [--queue-cap N] [--op-deadline-us N]
+  cuart serve  INDEX --listen ADDR [--device NAME] [--batch 32768]
+               [--deadline-us 200] [--unsorted] [--shards N]
+               [--shard-devices NAME,NAME,...] [--window 32] [--workers 2]
+               [--idle-timeout-ms N] [--allow-shutdown]
+               [--metrics-out FILE] [--trace-out FILE] [--folded-out FILE]
+               [--fault-seed N] [--fault-rate P]
+               [--admission block|reject] [--admission-timeout-us N]
+               [--queue-cap N] [--op-deadline-us N]
+  cuart bench-net INDEX [--connect ADDR] [--clients 4] [--ops 65536]
+               [--req-keys 256] [--smoke] [--shutdown] [--device NAME]
+               [--metrics-out FILE]
   cuart trace  INDEX [--device NAME] [--batch N] [--batches N]
                [--out trace.json] [--folded out.txt]
   cuart verify-trace TRACE.json
@@ -53,7 +64,13 @@ e.g. rtx3090,rtx3090,gtx1070,gtx1070); every shard has its own queue
 cap and circuit breaker, and per-shard cuart.sched.shard.<i>.* series
 land in the metrics spill next to the global cuart.sched.* totals.
 verify-snapshot checks a saved index (header, per-section CRCs,
-structural parse) without loading it";
+structural parse) without loading it
+NETWORK: `serve` puts the scheduler behind the cuart-net binary RPC
+protocol on --listen and blocks until a remote shutdown frame
+(--allow-shutdown) drains it; `bench-net` sprays lookups from --clients
+TCP connections at --connect (or a self-hosted loopback server) and
+reports goodput. --smoke pins bench-net to 4 clients x 8192 ops in
+256-key frames; --shutdown sends the drain frame when done.";
 
 struct Args {
     positional: Vec<String>,
@@ -67,7 +84,10 @@ impl Args {
         let mut i = 0;
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
-                let takes_value = !matches!(name, "hex" | "unsorted" | "smoke");
+                let takes_value = !matches!(
+                    name,
+                    "hex" | "unsorted" | "smoke" | "allow-shutdown" | "shutdown"
+                );
                 if takes_value && i + 1 < raw.len() {
                     flags.push((name.to_string(), Some(raw[i + 1].clone())));
                     i += 2;
@@ -298,6 +318,78 @@ fn main() {
                 fault_options(&args),
                 overload_options(&args),
                 shard_options(&args),
+            )
+        }
+        "serve" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let listen = args
+                .flag("listen")
+                .unwrap_or_else(|| fail("missing --listen ADDR"));
+            let deadline_us = args
+                .flag("deadline-us")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --deadline-us")))
+                .unwrap_or(200);
+            let batch = args
+                .flag("batch")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --batch")))
+                .unwrap_or(32 * 1024);
+            let metrics_out = args.flag("metrics-out").map(PathBuf::from);
+            let trace_out = args.flag("trace-out").map(PathBuf::from);
+            let folded_out = args.flag("folded-out").map(PathBuf::from);
+            let mut net = NetOptions {
+                allow_shutdown: args.has("allow-shutdown"),
+                ..NetOptions::default()
+            };
+            if let Some(w) = args.flag("window") {
+                net.window = w.parse().unwrap_or_else(|_| fail("bad --window"));
+            }
+            if let Some(w) = args.flag("workers") {
+                net.workers = w.parse().unwrap_or_else(|_| fail("bad --workers"));
+            }
+            if let Some(ms) = args.flag("idle-timeout-ms") {
+                net.idle_timeout_ms = ms.parse().unwrap_or_else(|_| fail("bad --idle-timeout-ms"));
+            }
+            cmd_serve(
+                &idx,
+                listen,
+                args.flag("device").unwrap_or("rtx3090"),
+                deadline_us,
+                batch,
+                args.has("unsorted"),
+                metrics_out.as_deref(),
+                trace_out.as_deref(),
+                folded_out.as_deref(),
+                fault_options(&args),
+                overload_options(&args),
+                shard_options(&args),
+                net,
+            )
+        }
+        "bench-net" => {
+            let idx = required_path(&args, "INDEX", args.pos(0));
+            let clients = args
+                .flag("clients")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --clients")))
+                .unwrap_or(4);
+            let ops = args
+                .flag("ops")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --ops")))
+                .unwrap_or(64 * 1024);
+            let req_keys = args
+                .flag("req-keys")
+                .map(|s| s.parse().unwrap_or_else(|_| fail("bad --req-keys")))
+                .unwrap_or(256);
+            let metrics_out = args.flag("metrics-out").map(PathBuf::from);
+            cmd_bench_net(
+                &idx,
+                args.flag("connect"),
+                clients,
+                ops,
+                req_keys,
+                args.has("smoke"),
+                args.has("shutdown"),
+                args.flag("device").unwrap_or("rtx3090"),
+                metrics_out.as_deref(),
             )
         }
         "trace" => {

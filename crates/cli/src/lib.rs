@@ -17,6 +17,12 @@
 //!                 [--trace-out FILE] [--folded-out FILE] [--fault-seed N] [--fault-rate P]
 //!                 [--admission block|reject] [--admission-timeout-us N]
 //!                 [--queue-cap N] [--op-deadline-us N]
+//! cuart serve  idx.cuart --listen 127.0.0.1:7070 [--device NAME] [--batch N]
+//!              [--deadline-us N] [--unsorted] [--shards N] [--shard-devices ...]
+//!              [--window 32] [--workers 2] [--idle-timeout-ms N]
+//!              [--allow-shutdown] [--metrics-out FILE] [overload/fault knobs]
+//! cuart bench-net idx.cuart [--connect ADDR] [--clients 4] [--ops 65536]
+//!              [--req-keys 256] [--smoke] [--shutdown] [--metrics-out FILE]
 //! cuart trace  idx.cuart [--device NAME] [--batch N] [--batches N]
 //!              [--out trace.json] [--folded out.txt]
 //! cuart verify-trace trace.json
@@ -1145,6 +1151,309 @@ pub fn cmd_verify_trace(path: &Path) -> Result<String, CliError> {
     ))
 }
 
+/// Network-serving options for `cuart serve` (`--window`, `--workers`,
+/// `--idle-timeout-ms`, `--allow-shutdown`).
+#[derive(Debug, Clone, Copy)]
+pub struct NetOptions {
+    /// Per-connection in-flight request window (TCP backpressure beyond).
+    pub window: usize,
+    /// Worker threads per connection.
+    pub workers: usize,
+    /// Close connections idle for this many milliseconds; 0 = never.
+    pub idle_timeout_ms: u64,
+    /// Honor the wire shutdown opcode (drills/tests).
+    pub allow_shutdown: bool,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            window: 32,
+            workers: 2,
+            idle_timeout_ms: 0,
+            allow_shutdown: false,
+        }
+    }
+}
+
+impl NetOptions {
+    fn server_config(&self) -> cuart_net::NetServerConfig {
+        cuart_net::NetServerConfig {
+            window: self.window.max(1),
+            workers: self.workers.max(1),
+            idle_timeout: match self.idle_timeout_ms {
+                0 => None,
+                ms => Some(std::time::Duration::from_millis(ms)),
+            },
+            allow_remote_shutdown: self.allow_shutdown,
+            ..cuart_net::NetServerConfig::default()
+        }
+    }
+}
+
+/// Serve a saved index over TCP (`cuart serve INDEX --listen ADDR`): the
+/// binary RPC protocol of [`cuart_net`], backed by the coalescing
+/// scheduler — or, with `--shards`/`--shard-devices`, the sharded fleet.
+/// Blocks until a remote shutdown frame arrives (requires
+/// `--allow-shutdown`) or the process is killed; on a clean drain the
+/// final summary (and `--metrics-out` spill, including the
+/// `cuart.net.*` series and the `cuart.net.drained` gauge) is emitted.
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_serve(
+    path: &Path,
+    listen: &str,
+    device: &str,
+    deadline_us: u64,
+    batch: usize,
+    unsorted: bool,
+    metrics_out: Option<&Path>,
+    trace_out: Option<&Path>,
+    folded_out: Option<&Path>,
+    faults: Option<FaultOptions>,
+    overload: OverloadOptions,
+    shard: ShardOptions,
+    net: NetOptions,
+) -> Result<String, CliError> {
+    let index = CuartIndex::load(path)?;
+    let dev = device_by_name(device)?;
+    let devs = shard.resolve(dev)?;
+    let telemetry = Arc::new(Telemetry::new());
+    let index = Arc::new(index.with_telemetry(telemetry.clone()));
+    if faults.is_some() && !FaultInjector::is_active() {
+        eprintln!(
+            "warning: built without the `faults` feature; \
+             --fault-seed/--fault-rate have no effect"
+        );
+    }
+    let cfg = SchedulerConfig {
+        batch_target: batch.max(1),
+        deadline: std::time::Duration::from_micros(deadline_us),
+        sort_batches: !unsorted,
+        fault_injector: faults.map(|f| FaultInjector::uniform(f.seed, f.rate)),
+        queue_cap: overload.queue_cap,
+        admission: overload.admission,
+        op_deadline: overload
+            .op_deadline_us
+            .map(std::time::Duration::from_micros),
+        breaker: Some(BreakerConfig::default()),
+        shard: None,
+    };
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| CliError::Input(format!("cannot listen on {listen}: {e}")))?;
+    let net_cfg = net.server_config();
+    let server = if devs.len() > 1 {
+        let sharded = ShardedScheduler::spawn(Arc::clone(&index), &devs, cfg)
+            .map_err(|e| CliError::Input(format!("scheduler: {e}")))?;
+        cuart_net::NetServer::serve_sharded(listener, sharded, Some(telemetry.clone()), net_cfg)
+    } else {
+        let sched = Scheduler::spawn(Arc::clone(&index), devs[0], cfg);
+        cuart_net::NetServer::serve_single(listener, sched, Some(telemetry.clone()), net_cfg)
+    }
+    .map_err(CliError::Io)?;
+    let addr = server.local_addr();
+    // Liveness line on stderr before blocking, so scripts (and the CI
+    // drill) know the listener is up even when stdout is buffered.
+    eprintln!(
+        "serving {} on {addr} ({} shard(s), window {}, workers {}/conn{})",
+        path.display(),
+        devs.len(),
+        net.window,
+        net.workers,
+        if net.allow_shutdown {
+            ", remote shutdown armed"
+        } else {
+            ""
+        }
+    );
+    let report = server
+        .join()
+        .map_err(|e| CliError::Input(format!("serve: {e}")))?;
+    let mut out = render_net_report(&report, &addr.to_string());
+    spill_serving_outputs(&mut out, &telemetry, metrics_out, trace_out, folded_out)?;
+    Ok(out)
+}
+
+fn render_net_report(report: &cuart_net::NetReport, addr: &str) -> String {
+    let agg = report.sched.aggregate();
+    let mut out = format!(
+        "drained {addr} cleanly — {} connection(s), {} ops served\n\
+         frames {} in / {} out, {} decode errors, {} error frames, \
+         {} window stalls\nscheduler: {} batches (mean fill {:.0}), \
+         {} shed / {} rejected, {} breaker trips",
+        report.accepted,
+        report.served_ops,
+        report.frames_in,
+        report.frames_out,
+        report.decode_errors,
+        report.error_frames,
+        report.window_stalls,
+        agg.batches,
+        agg.mean_batch_fill(),
+        agg.shed_ops,
+        agg.rejected_ops,
+        agg.breaker_trips,
+    );
+    if let cuart_net::SchedReport::Sharded(s) = &report.sched {
+        let _ = write!(
+            out,
+            "\nsharded: {} requests routed over {} shard(s)",
+            s.routed_requests,
+            s.shards.len()
+        );
+    }
+    out
+}
+
+/// Loopback/remote serving drill (`cuart bench-net`): N client threads
+/// spray point lookups at a [`cuart_net`] server and the goodput is
+/// reported. With `--connect ADDR` the drill drives an external
+/// `cuart serve` process (retrying the dial until the listener is up);
+/// otherwise it self-hosts a server on an ephemeral loopback port.
+/// `--smoke` pins the workload (4 clients × 8192 ops in 256-key frames)
+/// for comparable CI runs; `--shutdown` sends the remote-shutdown frame
+/// when done (self-hosted drills always drain their own server).
+#[allow(clippy::too_many_arguments)]
+pub fn cmd_bench_net(
+    path: &Path,
+    connect: Option<&str>,
+    clients: usize,
+    ops: usize,
+    req_keys: usize,
+    smoke: bool,
+    shutdown: bool,
+    device: &str,
+    metrics_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let (clients, ops, req_keys) = if smoke {
+        (4, 8192, 256)
+    } else {
+        (clients.max(1), ops.max(1), req_keys.max(1))
+    };
+    let index = CuartIndex::load(path)?;
+    let stored = cuart::range::range_query(
+        index.buffers(),
+        &[0u8],
+        &vec![0xFFu8; index.buffers().max_key_len.max(1)],
+    );
+    if stored.is_empty() {
+        return Err(CliError::Input("index is empty".into()));
+    }
+
+    // Self-hosted server unless --connect points at an external one.
+    let telemetry = Arc::new(Telemetry::new());
+    let mut hosted = None;
+    let addr = match connect {
+        Some(a) => a.to_string(),
+        None => {
+            let dev = device_by_name(device)?;
+            let index = Arc::new(index.with_telemetry(telemetry.clone()));
+            let cfg = SchedulerConfig {
+                batch_target: req_keys * clients,
+                deadline: std::time::Duration::from_micros(200),
+                sort_batches: true,
+                breaker: Some(BreakerConfig::default()),
+                ..SchedulerConfig::default()
+            };
+            let sched = Scheduler::spawn(index, dev, cfg);
+            let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+            let server = cuart_net::NetServer::serve_single(
+                listener,
+                sched,
+                Some(telemetry.clone()),
+                cuart_net::NetServerConfig {
+                    allow_remote_shutdown: true,
+                    ..cuart_net::NetServerConfig::default()
+                },
+            )?;
+            let addr = server.local_addr().to_string();
+            hosted = Some(server);
+            addr
+        }
+    };
+
+    // An external listener may still be binding; retry the dial briefly.
+    let dial = |what: &str| -> Result<cuart_net::NetClient, CliError> {
+        let mut last = None;
+        for _ in 0..100 {
+            match cuart_net::NetClient::connect(&addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+            }
+        }
+        Err(CliError::Input(format!(
+            "{what}: cannot reach {addr}: {}",
+            last.map(|e| e.to_string()).unwrap_or_default()
+        )))
+    };
+    dial("probe")?.ping().map_err(net_err)?;
+
+    let per_client = ops.div_ceil(clients).max(1);
+    let t0 = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for p in 0..clients {
+        let mut conn = dial("client")?;
+        let probes: Vec<Vec<u8>> = (0..per_client)
+            .map(|i| {
+                stored[p.wrapping_mul(131).wrapping_add(i.wrapping_mul(7)) % stored.len()]
+                    .0
+                    .clone()
+            })
+            .collect();
+        handles.push(std::thread::spawn(
+            move || -> Result<u64, cuart_net::NetError> {
+                let mut hits = 0u64;
+                for chunk in probes.chunks(req_keys) {
+                    let results = conn.lookup(chunk.to_vec())?;
+                    hits += results.iter().filter(|&&r| r != NOT_FOUND).count() as u64;
+                }
+                Ok(hits)
+            },
+        ));
+    }
+    let mut hits = 0u64;
+    for h in handles {
+        hits += h
+            .join()
+            .map_err(|_| CliError::Input("client thread panicked".into()))?
+            .map_err(net_err)?;
+    }
+    let wall = t0.elapsed();
+    let sent = per_client * clients;
+    let mut out = format!(
+        "{sent} lookups from {clients} client(s) over TCP to {addr} — \
+         {hits} hits, {:.1} ms wall, {:.0} ops/s goodput",
+        wall.as_secs_f64() * 1e3,
+        sent as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    if shutdown || hosted.is_some() {
+        dial("shutdown")?.shutdown_server().map_err(net_err)?;
+    }
+    if let Some(server) = hosted {
+        let report = server
+            .join()
+            .map_err(|e| CliError::Input(format!("drain: {e}")))?;
+        let _ = write!(out, "\n{}", render_net_report(&report, &addr));
+        if let Some(p) = metrics_out {
+            out.push_str(&spill_metrics(&telemetry, p)?);
+        }
+    } else if let Some(p) = metrics_out {
+        // Connected mode: the server owns the telemetry; nothing useful
+        // to spill client-side.
+        eprintln!(
+            "warning: --metrics-out {} ignored with --connect (the server spills its own)",
+            p.display()
+        );
+    }
+    Ok(out)
+}
+
+fn net_err(e: cuart_net::NetError) -> CliError {
+    CliError::Input(format!("net: {e}"))
+}
+
 fn preview(key: &[u8]) -> String {
     String::from_utf8_lossy(&key[..key.len().min(24)]).into_owned()
 }
@@ -1602,6 +1911,109 @@ mod tests {
         let err = cmd_verify_trace(&bad).unwrap_err();
         assert!(err.to_string().contains("leaf durations"), "{err}");
         std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn bench_net_self_hosted_drill_drains_cleanly() {
+        let lines: Vec<String> = (0..400u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("bench-net", &refs);
+        let idx = tmp("bench-net-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        let spill = tmp("bench-net-metrics");
+        let out = cmd_bench_net(
+            &idx,
+            None,
+            2,
+            512,
+            64,
+            false,
+            false,
+            "gtx1070",
+            Some(&spill),
+        )
+        .unwrap();
+        assert!(out.contains("512 lookups from 2 client(s)"), "{out}");
+        assert!(out.contains("512 hits"), "{out}");
+        assert!(out.contains("ops/s goodput"), "{out}");
+        assert!(out.contains("drained"), "{out}");
+        assert!(out.contains("512 ops served"), "{out}");
+        #[cfg(feature = "telemetry")]
+        {
+            let written = std::fs::read_to_string(&spill).unwrap();
+            assert!(written.contains("cuart.net.frames_out"), "{written}");
+            assert!(written.contains("cuart.net.drained"), "{written}");
+        }
+        for p in [keys, idx, spill] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn serve_and_bench_net_pair_over_a_real_socket() {
+        let lines: Vec<String> = (0..400u64).map(|i| format!("{i:08}\t{i}")).collect();
+        let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+        let keys = write_keys("serve-net", &refs);
+        let idx = tmp("serve-net-idx");
+        cmd_build(&keys, &idx, false, 2).unwrap();
+        // Grab an ephemeral port, free it, and hand it to `cuart serve`
+        // (bench-net's dial loop retries while the server binds).
+        let port = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let addr = format!("127.0.0.1:{port}");
+        let spill = tmp("serve-net-metrics");
+        let server = {
+            let idx = idx.clone();
+            let addr = addr.clone();
+            let spill = spill.clone();
+            std::thread::spawn(move || {
+                cmd_serve(
+                    &idx,
+                    &addr,
+                    "gtx1070",
+                    200,
+                    512,
+                    false,
+                    Some(&spill),
+                    None,
+                    None,
+                    None,
+                    OverloadOptions::default(),
+                    ShardOptions::default(),
+                    NetOptions {
+                        allow_shutdown: true,
+                        ..NetOptions::default()
+                    },
+                )
+            })
+        };
+        let out = cmd_bench_net(
+            &idx,
+            Some(&addr),
+            2,
+            256,
+            64,
+            false,
+            true, // --shutdown drains the serve thread
+            "gtx1070",
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("256 hits"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("drained"), "{served}");
+        assert!(served.contains("ops served"), "{served}");
+        #[cfg(feature = "telemetry")]
+        {
+            let written = std::fs::read_to_string(&spill).unwrap();
+            assert!(written.contains("cuart.net.drained"), "{written}");
+        }
+        for p in [keys, idx, spill] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

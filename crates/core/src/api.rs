@@ -12,6 +12,7 @@ use crate::insert::{insert_status, ArenaTails, CuartInsertKernel};
 use crate::kernels::{CuartLookupKernel, DeviceTree, HOST_SIGNAL};
 use crate::link::LinkType;
 use crate::mapper::{map_art, MAX_DEVICE_KEY};
+use crate::range::{range_device_rows, RangeSpanKernel, RANGE_RECORD_BYTES, RANGE_RESULT_BYTES};
 use crate::update::{status, CuartUpdateKernel, FreeLists, DEFAULT_TABLE_SLOTS, DELETE};
 use cuart_art::Art;
 use cuart_gpu_sim::batch::{pack_keys, pack_keys_into, KeyBatchLayout, NOT_FOUND};
@@ -345,6 +346,15 @@ fn run_packable_lookup_batch(
     )
 }
 
+/// Reusable device buffers for range-span batches
+/// ([`CuartSession::range_batch`]), so a long-serving session does not
+/// grow modeled device memory with every range call.
+struct RangeStaging {
+    queries: BufferId,
+    results: BufferId,
+    capacity: usize,
+}
+
 /// Staging buffers reused across batches within a session.
 struct Staging {
     queries: BufferId,
@@ -444,6 +454,7 @@ pub struct CuartSession<'a> {
     free_lists: FreeLists,
     tails: ArenaTails,
     staging: Option<Staging>,
+    range_staging: Option<RangeStaging>,
     /// Inherited from the index at session open; `None` records nothing.
     telemetry: Option<Arc<Telemetry>>,
     /// Session-private copies of the host-side tables so host-routed
@@ -501,6 +512,7 @@ impl<'a> CuartSession<'a> {
             free_lists: state.free_lists,
             tails: state.tails,
             staging: None,
+            range_staging: None,
             telemetry: index.telemetry.clone(),
             short_keys: index.buffers.short_keys.clone(),
             host_leaves: index.buffers.host_leaves.clone(),
@@ -734,6 +746,7 @@ impl<'a> CuartSession<'a> {
         self.tails = state.tails;
         self.l2 = Cache::new(&self.dev.l2);
         self.staging = None;
+        self.range_staging = None;
         self.degraded = false;
         self.recoveries += 1;
         if let Some(t) = &self.telemetry {
@@ -831,6 +844,63 @@ impl<'a> CuartSession<'a> {
             }
         };
         Ok(self.staging.insert(st))
+    }
+
+    fn ensure_range_staging(&mut self, batch: usize) -> &RangeStaging {
+        let reusable = self.range_staging.take().filter(|s| s.capacity >= batch);
+        let st = match reusable {
+            Some(s) => s,
+            None => {
+                let cap = batch.next_power_of_two().max(64);
+                RangeStaging {
+                    queries: self
+                        .mem
+                        .alloc("range-stage-queries", cap * RANGE_RECORD_BYTES, 32),
+                    results: self
+                        .mem
+                        .alloc("range-stage-results", cap * RANGE_RESULT_BYTES, 32),
+                    capacity: cap,
+                }
+            }
+        };
+        self.range_staging.insert(st)
+    }
+
+    /// Host-authoritative rows for one inclusive range: pristine device
+    /// rows (arena spans + dynamic leaves), the session's host tables,
+    /// parked overflow inserts, and finally the mutation journal overlay
+    /// (which wins on conflicts and removes deletions). Inverted bounds
+    /// yield an empty result rather than panicking.
+    fn range_rows(&self, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, u64)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut map: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (k, v) in range_device_rows(&self.index.buffers, lo, hi) {
+            map.insert(k, v);
+        }
+        for table in [&self.short_keys, &self.host_leaves] {
+            for (k, v) in table.iter() {
+                if k.as_slice() >= lo && k.as_slice() <= hi {
+                    map.insert(k.clone(), *v);
+                }
+            }
+        }
+        let bounds = (std::ops::Bound::Included(lo), std::ops::Bound::Included(hi));
+        for (k, v) in self.overflow.range::<[u8], _>(bounds) {
+            map.insert(k.clone(), *v);
+        }
+        for (k, entry) in self.journal.range::<[u8], _>(bounds) {
+            match entry {
+                Some(v) => {
+                    map.insert(k.clone(), *v);
+                }
+                None => {
+                    map.remove(k);
+                }
+            }
+        }
+        map.into_iter().collect()
     }
 
     fn host_lookup(&self, key: &[u8]) -> u64 {
@@ -979,6 +1049,121 @@ impl<'a> CuartSession<'a> {
             );
         }
         Ok((results, report))
+    }
+
+    /// Batch of inclusive range queries: per range, every live `(key,
+    /// value)` row in `[lo, hi]`, sorted by key; results in query order.
+    ///
+    /// The device leg runs the §3.2.1 span kernel over the session's
+    /// arenas to model the lookup cost, but the rows themselves are
+    /// materialized host-side (pristine spans + dynamic leaves, session
+    /// host tables, parked overflow inserts, then the mutation journal
+    /// overlay) so device mutations recorded in the journal are visible.
+    /// Mutations made *before* journal shadowing was enabled are not —
+    /// the scheduler path enables shadowing up front, so serving-path
+    /// ranges are exact. Inverted or empty ranges return empty rows. A
+    /// device leg that exhausts its retries degrades to the CPU engine
+    /// rather than failing the batch.
+    #[allow(clippy::type_complexity)]
+    pub fn range_batch(
+        &mut self,
+        ranges: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<(Vec<Vec<(Vec<u8>, u64)>>, KernelReport), CuartError> {
+        self.try_recover();
+        if ranges.is_empty() {
+            return Ok((Vec::new(), KernelReport::default()));
+        }
+        let mut report = KernelReport::default();
+        let mut fallback_keys = 0u64;
+        if self.degraded {
+            fallback_keys = ranges.len() as u64;
+        } else {
+            match self.run_with_retry(|s| {
+                s.fault_check(FaultSite::Transfer)?;
+                let st = s.ensure_range_staging(ranges.len());
+                let (queries, results) = (st.queries, st.results);
+                let mut data = vec![0u8; ranges.len() * RANGE_RECORD_BYTES];
+                for (i, (lo, hi)) in ranges.iter().enumerate() {
+                    // Bounds longer than the packed 32-byte field are
+                    // clamped: the kernel leg only models span-search
+                    // cost, the host merge below is authoritative.
+                    let lo_n = lo.len().min(32);
+                    let hi_n = hi.len().min(32);
+                    let at = i * RANGE_RECORD_BYTES;
+                    data[at] = lo_n as u8;
+                    data[at + 1..at + 1 + lo_n].copy_from_slice(&lo[..lo_n]);
+                    data[at + 33] = hi_n as u8;
+                    data[at + 34..at + 34 + hi_n].copy_from_slice(&hi[..hi_n]);
+                }
+                s.mem.write_bytes(queries, 0, &data);
+                s.fault_check(FaultSite::Kernel)?;
+                let kernel = RangeSpanKernel {
+                    tree: s.tree,
+                    queries,
+                    results,
+                    count: ranges.len(),
+                    mapped: [
+                        s.index.buffers.record_count(LinkType::Leaf8) as u64,
+                        s.index.buffers.record_count(LinkType::Leaf16) as u64,
+                        s.index.buffers.record_count(LinkType::Leaf32) as u64,
+                    ],
+                };
+                Ok(launch_with_cache(
+                    &s.dev,
+                    &mut s.mem,
+                    &kernel,
+                    ranges.len(),
+                    &mut s.l2,
+                ))
+            }) {
+                Ok(r) => report = r,
+                Err(CuartError::RetriesExhausted { .. }) => {
+                    self.degrade(ranges.len() as u64);
+                    fallback_keys = ranges.len() as u64;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.note_cpu_fallback(fallback_keys);
+        let mut rows_total = 0u64;
+        let out: Vec<Vec<(Vec<u8>, u64)>> = ranges
+            .iter()
+            .map(|(lo, hi)| {
+                let rows = self.range_rows(lo, hi);
+                rows_total += rows.len() as u64;
+                rows
+            })
+            .collect();
+        if let Some(t) = &self.telemetry {
+            t.incr(names::RANGE_BATCHES, 1);
+            t.incr(names::RANGE_KEYS, ranges.len() as u64);
+            t.incr(names::RANGE_ROWS, rows_total);
+            t.observe(names::RANGE_KERNEL_NS, report.time_ns as u64);
+            report.record_into(t);
+            let mut e = report.to_event(BatchKind::Range, ranges.len() as u64);
+            e.host_spills = fallback_keys;
+            t.record(e);
+            if self.record_spans && fallback_keys == 0 && report.time_ns > 0.0 {
+                let up =
+                    cuart_gpu_sim::pcie::upload(&self.dev.pcie, ranges.len(), RANGE_RECORD_BYTES);
+                let down =
+                    cuart_gpu_sim::pcie::download(&self.dev.pcie, ranges.len(), RANGE_RESULT_BYTES);
+                let root = SpanNode::node(
+                    names::spans::BATCH_RANGE,
+                    vec![
+                        SpanNode::leaf(names::spans::H2D, up.time_ns as u64)
+                            .with_attr("bytes", up.bytes),
+                        report.to_span(),
+                        SpanNode::leaf(names::spans::D2H, down.time_ns as u64)
+                            .with_attr("bytes", down.bytes),
+                    ],
+                )
+                .with_attr("ranges", ranges.len())
+                .with_attr("rows", rows_total);
+                t.record_span_tree(&root);
+            }
+        }
+        Ok((out, report))
     }
 
     /// Batch update/delete through the two-stage kernel. `DELETE` as the

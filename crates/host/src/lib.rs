@@ -37,5 +37,7 @@ pub mod sharded;
 
 pub use gpu_runner::{E2eReport, Engine, RunConfig};
 pub use hybrid::HybridReport;
-pub use scheduler::{SchedError, Scheduler, SchedulerClient, SchedulerConfig, SchedulerStats};
+pub use scheduler::{
+    RangeRows, SchedError, Scheduler, SchedulerClient, SchedulerConfig, SchedulerStats,
+};
 pub use sharded::{ShardStats, ShardedClient, ShardedScheduler, ShardedStats};

@@ -287,16 +287,45 @@ enum OpKind {
     Lookup,
     Update,
     Insert,
+    Range,
 }
 
-/// One queued submission: a slice of same-kind point ops from one client
-/// call, plus the channel its results go back on.
+/// The rows of one inclusive range query: `(key, value)` pairs sorted by
+/// key.
+pub type RangeRows = Vec<(Vec<u8>, u64)>;
+
+/// Where one request's results go back: point ops reply with one `u64`
+/// per key, range ops with one row list per `[lo, hi]` pair.
+enum Reply {
+    Values(SyncSender<Result<Vec<u64>, SchedError>>),
+    Rows(SyncSender<Result<Vec<RangeRows>, SchedError>>),
+}
+
+impl Reply {
+    /// Fail the request, whichever shape it expects.
+    fn send_err(&self, e: SchedError) {
+        match self {
+            Reply::Values(s) => {
+                let _ = s.send(Err(e));
+            }
+            Reply::Rows(s) => {
+                let _ = s.send(Err(e));
+            }
+        }
+    }
+}
+
+/// One queued submission: a slice of same-kind point ops (or range
+/// queries) from one client call, plus the channel its results go back on.
 struct Request {
     kind: OpKind,
+    /// Point-op keys, or the `lo` bounds of range queries.
     keys: Vec<Vec<u8>>,
-    /// One value per key for updates/inserts; empty for lookups.
+    /// One `hi` bound per key for ranges; empty for point ops.
+    his: Vec<Vec<u8>>,
+    /// One value per key for updates/inserts; empty otherwise.
     values: Vec<u64>,
-    reply: SyncSender<Result<Vec<u64>, SchedError>>,
+    reply: Reply,
     enqueued: Instant,
     /// Shed (with `DeadlineExceeded`) if still undispatched past this.
     deadline: Option<Instant>,
@@ -629,8 +658,34 @@ impl SchedulerClient {
         let req = Request {
             kind,
             keys,
+            his: Vec::new(),
             values,
-            reply,
+            reply: Reply::Values(reply),
+            enqueued: now,
+            deadline,
+        };
+        self.queue.push(req, self.admission)?;
+        result.recv().map_err(|_| SchedError::Disconnected)?
+    }
+
+    fn submit_range(
+        &self,
+        ranges: Vec<(Vec<u8>, Vec<u8>)>,
+        budget: Option<Duration>,
+    ) -> Result<Vec<RangeRows>, SchedError> {
+        if ranges.is_empty() {
+            return Ok(Vec::new());
+        }
+        let now = Instant::now();
+        let deadline = budget.or(self.default_deadline).map(|d| now + d);
+        let (keys, his) = split_ops_keyed(ranges);
+        let (reply, result) = mpsc::sync_channel(1);
+        let req = Request {
+            kind: OpKind::Range,
+            keys,
+            his,
+            values: Vec::new(),
+            reply: Reply::Rows(reply),
             enqueued: now,
             deadline,
         };
@@ -694,6 +749,24 @@ impl SchedulerClient {
         let (keys, values) = split_ops(ops);
         self.submit(OpKind::Insert, keys, values, Some(budget))
     }
+
+    /// Submit inclusive range queries. Returns, per `[lo, hi]` pair and in
+    /// submission order, every live `(key, value)` row in the range sorted
+    /// by key (see [`CuartSession::range_batch`](cuart::CuartSession::range_batch)).
+    /// Inverted or empty ranges return empty row lists. Each range counts
+    /// as one resident op for admission purposes.
+    pub fn range(&self, ranges: Vec<(Vec<u8>, Vec<u8>)>) -> Result<Vec<RangeRows>, SchedError> {
+        self.submit_range(ranges, None)
+    }
+
+    /// [`range`](Self::range) with an explicit latency budget.
+    pub fn range_with_deadline(
+        &self,
+        ranges: Vec<(Vec<u8>, Vec<u8>)>,
+        budget: Duration,
+    ) -> Result<Vec<RangeRows>, SchedError> {
+        self.submit_range(ranges, Some(budget))
+    }
 }
 
 fn split_ops(ops: Vec<(Vec<u8>, u64)>) -> (Vec<Vec<u8>>, Vec<u64>) {
@@ -704,6 +777,16 @@ fn split_ops(ops: Vec<(Vec<u8>, u64)>) -> (Vec<Vec<u8>>, Vec<u64>) {
         values.push(v);
     }
     (keys, values)
+}
+
+fn split_ops_keyed(ops: Vec<(Vec<u8>, Vec<u8>)>) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut los = Vec::with_capacity(ops.len());
+    let mut his = Vec::with_capacity(ops.len());
+    for (lo, hi) in ops {
+        los.push(lo);
+        his.push(hi);
+    }
+    (los, his)
 }
 
 /// Owning handle for the executor thread. Dropping it shuts the executor
@@ -886,11 +969,13 @@ fn executor(
     if let Some(injector) = cfg.fault_injector.clone() {
         session.attach_fault_injector(injector);
     }
+    // Shadowing guarantees the journal holds every device mutation made
+    // through this scheduler: a breaker trip pins the session to the CPU
+    // path (even a latency-SLO trip with no injector), and `range_batch`'s
+    // host-side merge reads the journal overlay — both need it on from
+    // the first mutating batch.
+    session.set_journal_shadowing(true);
     if cfg.breaker.is_some() {
-        // A breaker trip pins the session to the CPU path; shadowing
-        // guarantees the journal already holds every device mutation when
-        // that happens — even for a latency-SLO trip with no injector.
-        session.set_journal_shadowing(true);
         telemetry.gauge_set(names::SCHED_BREAKER_STATE, 0.0);
     }
     let batch_target = cfg.batch_target.max(1);
@@ -1004,7 +1089,7 @@ impl ExecCtx<'_> {
             if req.deadline.is_some_and(|d| d <= now) {
                 shed_ops = shed_ops.saturating_add(req.keys.len());
                 shed_requests = shed_requests.saturating_add(1);
-                let _ = req.reply.send(Err(SchedError::DeadlineExceeded));
+                req.reply.send_err(SchedError::DeadlineExceeded);
             } else {
                 kept.push_back(req);
             }
@@ -1050,6 +1135,9 @@ impl ExecCtx<'_> {
     /// Execute one same-kind run as a single (optionally sorted) device
     /// batch and reply to every request in it.
     fn execute_run(&mut self, kind: OpKind, run: Vec<Request>) {
+        if kind == OpKind::Range {
+            return self.execute_range_run(run);
+        }
         // Concatenate the run into one batch, remembering per-request
         // extents.
         let total: usize = run.iter().map(|r| r.keys.len()).sum();
@@ -1096,6 +1184,10 @@ impl ExecCtx<'_> {
                 let ops: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
                 self.session.insert_batch(&ops)
             }
+            // Dispatched to execute_range_run above; kept panic-free.
+            OpKind::Range => Err(CuartError::Internal {
+                detail: "range run reached the point-op path".into(),
+            }),
         };
         let injected_delta = self
             .session
@@ -1141,7 +1233,9 @@ impl ExecCtx<'_> {
                     self.stats.requests += 1;
                     let slice = results[off..off + len].to_vec();
                     off += len;
-                    let _ = req.reply.send(Ok(slice));
+                    if let Reply::Values(s) = &req.reply {
+                        let _ = s.send(Ok(slice));
+                    }
                 }
                 if mode != DispatchMode::CpuOnly {
                     self.breaker_after(injected_delta > 0, report.time_ns, total as u64);
@@ -1152,7 +1246,88 @@ impl ExecCtx<'_> {
                 let err = SchedError::from(&e);
                 for req in run {
                     self.stats.requests += 1;
-                    let _ = req.reply.send(Err(err.clone()));
+                    req.reply.send_err(err.clone());
+                }
+                if mode != DispatchMode::CpuOnly {
+                    self.breaker_after(true, 0.0, total as u64);
+                }
+            }
+        }
+        self.queue.release(total);
+    }
+
+    /// Execute one run of range requests as a single device batch. Ranges
+    /// are never sorted — each request's `[lo, hi]` pairs keep arrival
+    /// order, and rows come back sorted per range by construction.
+    fn execute_range_run(&mut self, run: Vec<Request>) {
+        let total: usize = run.iter().map(|r| r.keys.len()).sum();
+        let mut ranges: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(total);
+        let mut extents: Vec<usize> = Vec::with_capacity(run.len());
+        let oldest = run.iter().map(|r| r.enqueued).min();
+        for r in &run {
+            extents.push(r.keys.len());
+            for (lo, hi) in r.keys.iter().zip(&r.his) {
+                ranges.push((lo.clone(), hi.clone()));
+            }
+        }
+
+        let mode = self.breaker_before(total as u64);
+        if mode == DispatchMode::Probe {
+            self.stats.probe_batches = self.stats.probe_batches.saturating_add(1);
+            self.telemetry.incr(names::SCHED_PROBE_BATCHES, 1);
+        } else if mode == DispatchMode::CpuOnly {
+            self.stats.breaker_open_batches = self.stats.breaker_open_batches.saturating_add(1);
+        }
+        let injected_before = self.session.fault_stats().injected;
+
+        let outcome = self.session.range_batch(&ranges);
+        let injected_delta = self
+            .session
+            .fault_stats()
+            .injected
+            .saturating_sub(injected_before);
+
+        match outcome {
+            Ok((rows, report)) => {
+                self.stats.absorb_report(total, &report);
+                self.telemetry.incr(names::SCHED_BATCHES, 1);
+                if let Some(t) = self.telemetry.raw() {
+                    t.observe(names::SCHED_BATCH_FILL, total as u64);
+                    if let Some(start) = oldest {
+                        t.observe(
+                            names::SCHED_QUEUE_LATENCY_NS,
+                            start.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    record_sched_span(
+                        &self.session,
+                        t,
+                        OpKind::Range,
+                        total,
+                        false,
+                        mode == DispatchMode::Probe,
+                        &report,
+                    );
+                }
+                let mut off = 0usize;
+                for (req, len) in run.into_iter().zip(extents) {
+                    self.stats.requests += 1;
+                    let slice = rows[off..off + len].to_vec();
+                    off += len;
+                    if let Reply::Rows(s) = &req.reply {
+                        let _ = s.send(Ok(slice));
+                    }
+                }
+                if mode != DispatchMode::CpuOnly {
+                    self.breaker_after(injected_delta > 0, report.time_ns, total as u64);
+                }
+            }
+            Err(e) => {
+                self.stats.failed_batches = self.stats.failed_batches.saturating_add(1);
+                let err = SchedError::from(&e);
+                for req in run {
+                    self.stats.requests += 1;
+                    req.reply.send_err(err.clone());
                 }
                 if mode != DispatchMode::CpuOnly {
                     self.breaker_after(true, 0.0, total as u64);
@@ -1306,8 +1481,17 @@ fn record_sched_span(
     let n = total as u64;
     // Bit length of n: a cheap, deterministic ⌈log2⌉ stand-in.
     let log2n = (u64::BITS - n.leading_zeros()).max(1) as u64;
-    let up = cuart_gpu_sim::pcie::upload(&dev.pcie, total, session.device_key_stride());
-    let down = cuart_gpu_sim::pcie::download(&dev.pcie, total, 8);
+    // Ranges ship packed [lo, hi] records up and per-class span pairs
+    // down; point ops ship stride-packed keys up and one u64 down.
+    let (up_stride, down_stride) = match kind {
+        OpKind::Range => (
+            cuart::range::RANGE_RECORD_BYTES,
+            cuart::range::RANGE_RESULT_BYTES,
+        ),
+        _ => (session.device_key_stride(), 8),
+    };
+    let up = cuart_gpu_sim::pcie::upload(&dev.pcie, total, up_stride);
+    let down = cuart_gpu_sim::pcie::download(&dev.pcie, total, down_stride);
     use names::spans;
     let mut children = vec![SpanNode::leaf(spans::COALESCE, COALESCE_NS_PER_KEY * n)];
     if sorted {
@@ -1327,6 +1511,7 @@ fn record_sched_span(
         OpKind::Lookup => spans::SCHED_BATCH_LOOKUP,
         OpKind::Update => spans::SCHED_BATCH_UPDATE,
         OpKind::Insert => spans::SCHED_BATCH_INSERT,
+        OpKind::Range => spans::SCHED_BATCH_RANGE,
     };
     let mut root = SpanNode::node(name, children)
         .with_attr("keys", total)
@@ -1388,8 +1573,55 @@ mod tests {
         let sched = spawn(&index, SchedulerConfig::default());
         let client = sched.client().unwrap();
         assert_eq!(client.lookup(Vec::new()), Ok(Vec::new()));
+        assert_eq!(client.range(Vec::new()), Ok(Vec::new()));
         drop(client);
         assert_eq!(sched.join().unwrap().requests, 0);
+    }
+
+    #[test]
+    fn range_roundtrip_matches_host_reference_and_sees_updates() {
+        let index = build_index(512);
+        let sched = spawn(&index, SchedulerConfig::default());
+        let client = sched.client().unwrap();
+        // A device-side mutation before the range: journal shadowing is
+        // unconditional in the executor, so the range must see it.
+        client.update(vec![(key(20), 777)]).unwrap();
+        let rows = client
+            .range(vec![
+                (key(10), key(25)),
+                (key(30), key(30)),
+                (key(25), key(10)), // inverted → empty
+            ])
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        let want: Vec<(Vec<u8>, u64)> = (10..=25u64)
+            .map(|i| (key(i), if i == 20 { 777 } else { i * 10 }))
+            .collect();
+        assert_eq!(rows[0], want);
+        assert_eq!(rows[1], vec![(key(30), 300)]);
+        assert!(rows[2].is_empty());
+        drop(client);
+        let stats = sched.join().unwrap();
+        // 1 update op + 3 range ops went through the queue.
+        assert_eq!(stats.ops_enqueued, 4);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn range_with_zero_budget_is_shed() {
+        let index = build_index(64);
+        let cfg = SchedulerConfig {
+            batch_target: 1_000_000,
+            deadline: Duration::from_millis(50),
+            ..SchedulerConfig::default()
+        };
+        let sched = spawn(&index, cfg);
+        let client = sched.client().unwrap();
+        let got = client.range_with_deadline(vec![(key(0), key(9))], Duration::ZERO);
+        assert_eq!(got, Err(SchedError::DeadlineExceeded));
+        drop(client);
+        let stats = sched.join().unwrap();
+        assert_eq!(stats.shed_ops, 1);
     }
 
     #[test]

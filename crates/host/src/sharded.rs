@@ -30,7 +30,9 @@
 //! totals), and every routed call commits a standalone `sched.route` span
 //! with the fan-out, next to the per-shard `sched.batch.*` trees.
 
-use crate::scheduler::{SchedError, Scheduler, SchedulerClient, SchedulerConfig, SchedulerStats};
+use crate::scheduler::{
+    RangeRows, SchedError, Scheduler, SchedulerClient, SchedulerConfig, SchedulerStats,
+};
 use cuart::{CuartIndex, ShardRouter};
 use cuart_gpu_sim::{DeviceConfig, FaultInjector};
 use cuart_telemetry::{names, SpanNode, Telemetry};
@@ -285,6 +287,156 @@ impl ShardedClient {
         })
     }
 
+    /// [`update`](Self::update) with an explicit latency budget applied
+    /// to every sub-batch.
+    pub fn update_with_deadline(
+        &self,
+        ops: Vec<(Vec<u8>, u64)>,
+        budget: std::time::Duration,
+    ) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = unzip_ops(ops);
+        self.route(keys, values, move |c, k, v| {
+            c.update_with_deadline(zip_ops(k, v), budget)
+        })
+    }
+
+    /// [`insert`](Self::insert) with an explicit latency budget applied
+    /// to every sub-batch.
+    pub fn insert_with_deadline(
+        &self,
+        ops: Vec<(Vec<u8>, u64)>,
+        budget: std::time::Duration,
+    ) -> Result<Vec<u64>, SchedError> {
+        let (keys, values) = unzip_ops(ops);
+        self.route(keys, values, move |c, k, v| {
+            c.insert_with_deadline(zip_ops(k, v), budget)
+        })
+    }
+
+    /// Inclusive range queries across the fleet; one sorted row list per
+    /// `[lo, hi]` pair in submission order (see
+    /// [`SchedulerClient::range`]).
+    ///
+    /// A range can span several shards' key intervals: the full `[lo, hi]`
+    /// query goes to every shard from `shard_of(lo)` to `shard_of(hi)`,
+    /// each shard's answer is filtered to the keys that shard *owns* (its
+    /// journal/overflow are authoritative only for those), and the shares
+    /// are concatenated in shard order — which is key order, because the
+    /// router is monotone in the key prefix.
+    pub fn range(&self, ranges: Vec<(Vec<u8>, Vec<u8>)>) -> Result<Vec<RangeRows>, SchedError> {
+        self.route_ranges(ranges, None)
+    }
+
+    /// [`range`](Self::range) with an explicit latency budget applied to
+    /// every sub-query.
+    pub fn range_with_deadline(
+        &self,
+        ranges: Vec<(Vec<u8>, Vec<u8>)>,
+        budget: std::time::Duration,
+    ) -> Result<Vec<RangeRows>, SchedError> {
+        self.route_ranges(ranges, Some(budget))
+    }
+
+    fn route_ranges(
+        &self,
+        ranges: Vec<(Vec<u8>, Vec<u8>)>,
+        budget: Option<std::time::Duration>,
+    ) -> Result<Vec<RangeRows>, SchedError> {
+        let total = ranges.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        // Which original ranges touch each shard (inverted bounds touch
+        // none and stay empty in the merge).
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); self.clients.len()];
+        for (i, (lo, hi)) in ranges.iter().enumerate() {
+            if lo > hi {
+                continue;
+            }
+            for list in lists
+                .iter_mut()
+                .take(self.router.shard_of(hi) + 1)
+                .skip(self.router.shard_of(lo))
+            {
+                list.push(i);
+            }
+        }
+        let active = lists.iter().filter(|l| !l.is_empty()).count();
+        self.route.requests.fetch_add(1, Ordering::Relaxed);
+        self.route.keys.fetch_add(total as u64, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.incr(names::SCHED_ROUTED_REQUESTS, 1);
+            t.incr(names::SCHED_ROUTED_KEYS, total as u64);
+            let span = SpanNode::leaf(names::spans::SCHED_ROUTE, ROUTE_NS_PER_KEY * total as u64)
+                .with_attr("keys", total)
+                .with_attr("shards", active);
+            t.record_span_tree(&span);
+        }
+
+        type ShardRanges = Vec<(usize, Vec<(Vec<u8>, Vec<u8>)>)>;
+        let sub: ShardRanges = lists
+            .iter()
+            .enumerate()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(shard, list)| (shard, list.iter().map(|&i| ranges[i].clone()).collect()))
+            .collect();
+        let call = |c: &SchedulerClient, r: Vec<(Vec<u8>, Vec<u8>)>| match budget {
+            Some(b) => c.range_with_deadline(r, b),
+            None => c.range(r),
+        };
+
+        let mut merged: Vec<RangeRows> = vec![Vec::new(); total];
+        let mut first_err: Option<SchedError> = None;
+        let outcomes: Vec<(usize, Result<Vec<RangeRows>, SchedError>)> = if sub.len() == 1 {
+            // Single-shard fast path: no reason to pay a thread spawn.
+            sub.into_iter()
+                .map(|(shard, r)| {
+                    let outcome = call(&self.clients[shard], r);
+                    (shard, outcome)
+                })
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let call = &call;
+                let clients = &self.clients;
+                let handles: Vec<_> = sub
+                    .into_iter()
+                    .map(|(shard, r)| (shard, scope.spawn(move || call(&clients[shard], r))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(shard, h)| {
+                        let r = h.join().unwrap_or_else(|p| {
+                            Err(SchedError::ExecutorPanicked(format!(
+                                "shard {shard} dispatch panicked: {p:?}"
+                            )))
+                        });
+                        (shard, r)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        // Shards ascending == key order (monotone router), so extending
+        // per original range keeps each row list sorted.
+        for (shard, outcome) in outcomes {
+            match outcome {
+                Ok(per_query) => {
+                    for (&i, rows) in lists[shard].iter().zip(per_query) {
+                        merged[i].extend(
+                            rows.into_iter()
+                                .filter(|(k, _)| self.router.shard_of(k) == shard),
+                        );
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(merged),
+        }
+    }
+
     /// Split → dispatch → merge. `call` runs one shard's sub-batch on
     /// that shard's client; sub-batches go out concurrently (scoped
     /// threads — every client call blocks until its batch executes) and
@@ -494,6 +646,29 @@ mod tests {
         client.update(ops).unwrap();
         assert_eq!(client.lookup(vec![k]).unwrap(), vec![333]);
         sharded.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_range_spans_shards_and_sees_routed_updates() {
+        let index = build_index(1024);
+        let devs = [devices::rtx3090(), devices::gtx1070()];
+        let sharded = ShardedScheduler::spawn(Arc::clone(&index), &devs, cfg()).unwrap();
+        let client = sharded.client().unwrap();
+        // Two keys from opposite ends of the key space, so their owning
+        // shards differ; the full-space range must merge both mutations.
+        let lo_key = 3u64.to_be_bytes().to_vec();
+        let hi_key = [0xFFu8; 8].to_vec();
+        client
+            .insert(vec![(lo_key.clone(), 111), (hi_key.clone(), 222)])
+            .unwrap();
+        let full = (vec![0u8], vec![0xFFu8; 9]);
+        let rows = client.range(vec![full]).unwrap().remove(0);
+        assert_eq!(rows.len(), 1025, "1024 built keys + 1 new insert");
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "sorted, deduped");
+        assert!(rows.contains(&(lo_key, 111)));
+        assert_eq!(rows.last().unwrap(), &(hi_key, 222));
+        let stats = sharded.join().unwrap();
+        assert_eq!(stats.routed_requests, 2);
     }
 
     #[test]

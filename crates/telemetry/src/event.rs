@@ -16,6 +16,8 @@ pub enum BatchKind {
     Update,
     /// A device insert batch.
     Insert,
+    /// A device range-query batch (§3.2.1 span kernel).
+    Range,
     /// A hybrid CPU/GPU routing decision over one batch.
     HybridRoute,
     /// The session lost its device image and fell back to the CPU path.
@@ -38,6 +40,7 @@ impl BatchKind {
             BatchKind::Lookup => "lookup",
             BatchKind::Update => "update",
             BatchKind::Insert => "insert",
+            BatchKind::Range => "range",
             BatchKind::HybridRoute => "hybrid_route",
             BatchKind::Degraded => "degraded",
             BatchKind::Recovered => "recovered",

@@ -1,0 +1,553 @@
+//! Loopback integration suite for the `cuart-net` serving subsystem.
+//!
+//! Five contracts are pinned here:
+//!
+//! 1. **Byte equivalence** — concurrent TCP clients spraying lookups
+//!    through a [`ShardedScheduler`]-backed server get answers
+//!    byte-identical to `CuartIndex::lookup_batch_cpu`.
+//! 2. **Typed refusals** — queue-cap rejects, deadline sheds and (under
+//!    `--features faults`) a breaker storm surface as typed error frames
+//!    on a connection that stays usable; overload never drops a peer.
+//! 3. **Hostile input** — bad magic, wrong version, CRC corruption,
+//!    oversized and truncated frames each get an error frame (where the
+//!    socket allows one) and cost at most that one connection.
+//! 4. **No slot leaks** — a client that disconnects mid-flight leaves no
+//!    resident ops behind: a full-queue-cap request still admits after
+//!    the storm.
+//! 5. **Drain ordering** — shutdown answers everything already admitted
+//!    before closing, then the listener is really gone and the metrics
+//!    spill shows the drained gauge.
+
+use cuart::{CuartConfig, CuartIndex};
+use cuart_art::Art;
+use cuart_gpu_sim::batch::NOT_FOUND;
+use cuart_gpu_sim::devices;
+use cuart_host::scheduler::{AdmissionPolicy, BreakerConfig, SchedulerConfig};
+use cuart_host::sharded::ShardedScheduler;
+use cuart_host::Scheduler;
+use cuart_net::proto::{self, ErrorCode, Op, RespBody};
+use cuart_net::{NetClient, NetError, NetServer, NetServerConfig};
+use cuart_telemetry::{names, Telemetry};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Dense 8-byte keyed index: value = i * 3 + 1.
+fn build_index(n: u64, telemetry: Option<&Arc<Telemetry>>) -> Arc<CuartIndex> {
+    let mut art = Art::new();
+    for i in 0..n {
+        art.insert(&i.to_be_bytes(), i * 3 + 1).unwrap();
+    }
+    let mut index = CuartIndex::build(&art, &CuartConfig::for_tests());
+    if let Some(t) = telemetry {
+        index = index.with_telemetry(Arc::clone(t));
+    }
+    Arc::new(index)
+}
+
+fn key(i: u64) -> Vec<u8> {
+    i.to_be_bytes().to_vec()
+}
+
+fn listener() -> TcpListener {
+    TcpListener::bind("127.0.0.1:0").expect("bind loopback")
+}
+
+/// splitmix64 for deterministic per-client key streams.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn concurrent_clients_match_the_cpu_engine_through_a_sharded_fleet() {
+    let clients = 4u64;
+    let (chunks, chunk) = if cfg!(debug_assertions) {
+        (8u64, 512usize)
+    } else {
+        // ≥100k ops per client, ≥400k total over the fleet.
+        (100u64, 1024usize)
+    };
+    let index = build_index(64 * 1024, None);
+    let devs = [devices::rtx3090(), devices::gtx1070()];
+    let cfg = SchedulerConfig {
+        batch_target: 4 * 1024,
+        deadline: Duration::from_micros(300),
+        sort_batches: true,
+        ..SchedulerConfig::default()
+    };
+    let sharded = ShardedScheduler::spawn(Arc::clone(&index), &devs, cfg).unwrap();
+    let server = NetServer::serve_sharded(listener(), sharded, None, NetServerConfig::default())
+        .expect("serve");
+    let addr = server.local_addr();
+    let stop = server.shutdown_handle();
+
+    let mut handles = Vec::new();
+    for p in 0..clients {
+        let index = Arc::clone(&index);
+        handles.push(std::thread::spawn(move || {
+            let mut conn = NetClient::connect(addr).expect("connect");
+            let mut rng = p.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(1);
+            let mut done = 0u64;
+            for c in 0..chunks {
+                // Mix of stored keys and (mostly missing) random ones.
+                let keys: Vec<Vec<u8>> = (0..chunk)
+                    .map(|_| {
+                        let r = splitmix(&mut rng);
+                        if r.is_multiple_of(2) {
+                            key(r % (64 * 1024))
+                        } else {
+                            r.to_be_bytes().to_vec()
+                        }
+                    })
+                    .collect();
+                let expect: Vec<u64> = index
+                    .lookup_batch_cpu(&keys)
+                    .into_iter()
+                    .map(|r| r.unwrap_or(NOT_FOUND))
+                    .collect();
+                let got = conn.lookup(keys).expect("serving fleet alive");
+                assert_eq!(got, expect, "client {p} diverged in chunk {c}");
+                done += chunk as u64;
+            }
+            done
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, clients * chunks * chunk as u64);
+
+    stop.shutdown();
+    let report = server.join().expect("clean drain");
+    assert_eq!(report.accepted, clients);
+    assert_eq!(report.served_ops, total);
+    assert_eq!(report.decode_errors, 0);
+    let agg = report.sched.aggregate();
+    assert_eq!(agg.ops_enqueued, total);
+}
+
+#[test]
+fn updates_inserts_and_ranges_roundtrip_over_the_wire() {
+    let index = build_index(4096, None);
+    let sched = Scheduler::spawn(
+        Arc::clone(&index),
+        devices::gtx1070(),
+        SchedulerConfig {
+            batch_target: 256,
+            deadline: Duration::from_micros(200),
+            ..SchedulerConfig::default()
+        },
+    );
+    let server =
+        NetServer::serve_single(listener(), sched, None, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let stop = server.shutdown_handle();
+    let mut conn = NetClient::connect(addr).unwrap();
+
+    conn.ping().expect("ping");
+    // Update an existing key, insert a brand-new one.
+    let st = conn.update(vec![(key(100), 9999)]).unwrap();
+    assert_eq!(st.len(), 1);
+    let st = conn.insert(vec![(b"zz-new-key".to_vec(), 4242)]).unwrap();
+    assert_eq!(st.len(), 1);
+    // Point-read both back over the wire.
+    assert_eq!(conn.lookup_one(key(100)).unwrap(), 9999);
+    assert_eq!(conn.lookup_one(b"zz-new-key".to_vec()).unwrap(), 4242);
+    // An inclusive range spanning the update sees the new value, in key
+    // order; an inverted range is empty, not an error.
+    let rows = conn
+        .range(vec![(key(98), key(102)), (key(50), key(40))])
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+    let got: Vec<(Vec<u8>, u64)> = rows[0].clone();
+    let expect: Vec<(Vec<u8>, u64)> = (98..=102)
+        .map(|i| (key(i), if i == 100 { 9999 } else { i * 3 + 1 }))
+        .collect();
+    assert_eq!(got, expect);
+    assert!(rows[1].is_empty());
+    // Chunked batch helper: results concatenate in key order.
+    let keys: Vec<Vec<u8>> = (0..300).map(key).collect();
+    let expect: Vec<u64> = index
+        .lookup_batch_cpu(&keys)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i == 100 {
+                9999
+            } else {
+                r.unwrap_or(NOT_FOUND)
+            }
+        })
+        .collect();
+    assert_eq!(conn.lookup_chunked(keys, 64).unwrap(), expect);
+
+    stop.shutdown();
+    let report = server.join().unwrap();
+    assert_eq!(report.error_frames, 0);
+}
+
+#[test]
+fn overload_refusals_are_typed_error_frames_on_a_live_connection() {
+    let index = build_index(4096, None);
+    let cfg = SchedulerConfig {
+        batch_target: 1_000_000,
+        deadline: Duration::from_millis(5),
+        queue_cap: 64,
+        admission: AdmissionPolicy::Reject,
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::spawn(Arc::clone(&index), devices::gtx1070(), cfg);
+    let server =
+        NetServer::serve_single(listener(), sched, None, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let stop = server.shutdown_handle();
+    let mut conn = NetClient::connect(addr).unwrap();
+
+    // A single request over the resident-op cap: typed QueueFull frame.
+    let keys: Vec<Vec<u8>> = (0..65).map(key).collect();
+    let err = conn.lookup(keys).expect_err("over the cap");
+    match &err {
+        NetError::Remote(code, _) => assert_eq!(*code, ErrorCode::QueueFull),
+        other => panic!("expected a typed error frame, got {other}"),
+    }
+    assert_eq!(
+        err.as_sched_error(),
+        Some(cuart_host::SchedError::QueueFull)
+    );
+
+    // A 1 µs budget against a 5 ms coalesce deadline: shed, typed frame.
+    conn.set_deadline(Some(Duration::from_micros(1)));
+    let err = conn.lookup(vec![key(1)]).expect_err("must be shed");
+    match &err {
+        NetError::Remote(code, _) => assert_eq!(*code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected a typed error frame, got {other}"),
+    }
+
+    // The same connection keeps serving after both refusals.
+    conn.set_deadline(None);
+    conn.ping().expect("connection survived the refusals");
+    assert_eq!(conn.lookup_one(key(7)).unwrap(), 7 * 3 + 1);
+
+    stop.shutdown();
+    let report = server.join().unwrap();
+    assert_eq!(report.error_frames, 2);
+    assert_eq!(report.decode_errors, 0);
+    assert_eq!(report.sched.aggregate().shed_ops, 1);
+}
+
+#[test]
+fn breaker_storm_stays_byte_equal_and_reports_trips() {
+    use cuart_gpu_sim::{FaultConfig, FaultInjector};
+    if !FaultInjector::is_active() {
+        // Injector compiled out without `--features faults`; CI runs this
+        // suite both ways.
+        return;
+    }
+    let index = build_index(4096, None);
+    let injector = FaultInjector::new(FaultConfig::uniform(0xB0BA, 0.0).fail_range(0, 8));
+    let cfg = SchedulerConfig {
+        batch_target: 1_000_000,
+        deadline: Duration::from_millis(1),
+        fault_injector: Some(injector),
+        breaker: Some(BreakerConfig {
+            fault_threshold: 2,
+            open_cooldown: Duration::from_millis(20),
+            probe_batches: 2,
+            ..BreakerConfig::default()
+        }),
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::spawn(Arc::clone(&index), devices::gtx1070(), cfg);
+    let server =
+        NetServer::serve_single(listener(), sched, None, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let stop = server.shutdown_handle();
+    let mut conn = NetClient::connect(addr).unwrap();
+
+    // Ride the whole breaker walk — device faults, degraded CPU path,
+    // open pin, half-open probes — over the wire; every answer must stay
+    // byte-identical to the CPU engine.
+    for round in 0..40u64 {
+        let keys: Vec<Vec<u8>> = (0..32).map(|i| key((round * 67 + i * 3) % 8192)).collect();
+        let expect: Vec<u64> = index
+            .lookup_batch_cpu(&keys)
+            .into_iter()
+            .map(|r| r.unwrap_or(NOT_FOUND))
+            .collect();
+        assert_eq!(conn.lookup(keys).unwrap(), expect, "round {round}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    stop.shutdown();
+    let report = server.join().unwrap();
+    let agg = report.sched.aggregate();
+    assert!(agg.breaker_trips >= 1, "the storm must trip: {agg:?}");
+    assert!(agg.breaker_open_batches >= 1, "{agg:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input helpers
+// ---------------------------------------------------------------------------
+
+fn read_error_frame(stream: &mut TcpStream) -> (ErrorCode, String) {
+    let mut header = [0u8; proto::FRAME_HEADER_BYTES];
+    stream.read_exact(&mut header).expect("error frame header");
+    let (len, crc) = proto::decode_frame_header(&header).expect("frame header");
+    let mut payload = vec![0u8; len];
+    stream
+        .read_exact(&mut payload)
+        .expect("error frame payload");
+    proto::check_frame_crc(&payload, crc).expect("frame crc");
+    let resp = proto::decode_response(&payload).expect("response");
+    match resp.body {
+        RespBody::Error(code, msg) => (code, msg),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+fn handshake_raw(addr: std::net::SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&proto::encode_hello(proto::VERSION)).unwrap();
+    let mut hello = [0u8; proto::HELLO_BYTES];
+    s.read_exact(&mut hello).unwrap();
+    proto::decode_hello(&hello).unwrap();
+    s
+}
+
+#[test]
+fn hostile_frames_get_error_frames_and_cost_one_connection_each() {
+    let telemetry = Arc::new(Telemetry::new());
+    let index = build_index(4096, Some(&telemetry));
+    let sched = Scheduler::spawn(
+        Arc::clone(&index),
+        devices::gtx1070(),
+        SchedulerConfig {
+            batch_target: 64,
+            deadline: Duration::from_micros(200),
+            ..SchedulerConfig::default()
+        },
+    );
+    let server = NetServer::serve_single(
+        listener(),
+        sched,
+        Some(Arc::clone(&telemetry)),
+        NetServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let stop = server.shutdown_handle();
+
+    // (a) Bad magic: typed BadVersion-class frame, no handshake echo.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"XXXXzzzz").unwrap();
+    assert_eq!(read_error_frame(&mut s).0, ErrorCode::BadVersion);
+
+    // (b) Right magic, future version: refused the same way.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&proto::encode_hello(proto::VERSION + 9))
+        .unwrap();
+    assert_eq!(read_error_frame(&mut s).0, ErrorCode::BadVersion);
+
+    // (c) Valid handshake, then a CRC-corrupted request frame.
+    let mut s = handshake_raw(addr);
+    let payload = proto::encode_request(&proto::Request {
+        id: 9,
+        deadline_us: 0,
+        op: Op::Ping,
+    })
+    .unwrap();
+    let mut frame = proto::encode_frame(&payload);
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    s.write_all(&frame).unwrap();
+    assert_eq!(read_error_frame(&mut s).0, ErrorCode::BadCrc);
+
+    // (d) Header announcing an absurd length: rejected before allocating.
+    let mut s = handshake_raw(addr);
+    let mut header = [0u8; proto::FRAME_HEADER_BYTES];
+    header[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+    s.write_all(&header).unwrap();
+    assert_eq!(read_error_frame(&mut s).0, ErrorCode::TooLarge);
+
+    // (e) Unknown opcode inside a well-formed frame.
+    let mut s = handshake_raw(addr);
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&11u64.to_le_bytes());
+    payload.push(99); // no such opcode
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&proto::encode_frame(&payload)).unwrap();
+    assert_eq!(read_error_frame(&mut s).0, ErrorCode::Unsupported);
+
+    // (f) Truncated frame then hang-up: the server just moves on.
+    let mut s = handshake_raw(addr);
+    let mut frame = proto::encode_frame(&payload);
+    frame.truncate(proto::FRAME_HEADER_BYTES + 2);
+    s.write_all(&frame).unwrap();
+    drop(s);
+
+    // After all of that, a well-behaved client is served normally.
+    let mut conn = NetClient::connect(addr).unwrap();
+    assert_eq!(conn.lookup_one(key(3)).unwrap(), 3 * 3 + 1);
+
+    stop.shutdown();
+    let report = server.join().unwrap();
+    assert!(
+        report.decode_errors >= 5,
+        "five hostile peers should be on the books: {report:?}"
+    );
+    assert_eq!(report.served_ops, 1);
+    assert_eq!(
+        telemetry.counter(names::NET_DECODE_ERRORS).get(),
+        report.decode_errors
+    );
+}
+
+#[test]
+fn mid_flight_disconnects_leak_no_scheduler_slots() {
+    let index = build_index(4096, None);
+    let cfg = SchedulerConfig {
+        batch_target: 1_000_000,
+        deadline: Duration::from_millis(1),
+        queue_cap: 64,
+        admission: AdmissionPolicy::Reject,
+        ..SchedulerConfig::default()
+    };
+    let sched = Scheduler::spawn(Arc::clone(&index), devices::gtx1070(), cfg);
+    let server =
+        NetServer::serve_single(listener(), sched, None, NetServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let stop = server.shutdown_handle();
+
+    // 16 clients each admit a 32-op request and vanish without reading
+    // the response.
+    for round in 0..16u64 {
+        let mut s = handshake_raw(addr);
+        let payload = proto::encode_request(&proto::Request {
+            id: round,
+            deadline_us: 0,
+            op: Op::Lookup((0..32).map(key).collect()),
+        })
+        .unwrap();
+        s.write_all(&proto::encode_frame(&payload)).unwrap();
+        drop(s);
+    }
+
+    // If any of those 512 ops leaked a resident slot, a request of
+    // exactly `queue_cap` ops could never admit again. Retry briefly to
+    // let the in-flight batches finish executing.
+    let mut conn = NetClient::connect(addr).unwrap();
+    let mut admitted = false;
+    for _ in 0..100 {
+        match conn.lookup((0..64).map(key).collect()) {
+            Ok(values) => {
+                assert_eq!(values.len(), 64);
+                admitted = true;
+                break;
+            }
+            Err(NetError::Remote(ErrorCode::QueueFull, _)) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert!(admitted, "disconnected requests must release their slots");
+
+    stop.shutdown();
+    server.join().expect("clean drain after disconnect storm");
+}
+
+#[test]
+fn graceful_drain_answers_everything_admitted_then_closes_the_listener() {
+    let telemetry = Arc::new(Telemetry::new());
+    let index = build_index(4096, Some(&telemetry));
+    let sched = Scheduler::spawn(
+        Arc::clone(&index),
+        devices::gtx1070(),
+        SchedulerConfig {
+            batch_target: 64,
+            deadline: Duration::from_micros(500),
+            ..SchedulerConfig::default()
+        },
+    );
+    let server = NetServer::serve_single(
+        listener(),
+        sched,
+        Some(Arc::clone(&telemetry)),
+        NetServerConfig {
+            allow_remote_shutdown: true,
+            ..NetServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Pipeline ten lookups and a shutdown on one raw socket without
+    // reading a single response. The reader admits frames in order, so
+    // all ten sit in the window before the shutdown op flips the stop
+    // flag — drain MUST still answer every one of them.
+    let mut s = handshake_raw(addr);
+    let mut expected = std::collections::BTreeMap::new();
+    for i in 0..10u64 {
+        let payload = proto::encode_request(&proto::Request {
+            id: i + 1,
+            deadline_us: 0,
+            op: Op::Lookup(vec![key(i)]),
+        })
+        .unwrap();
+        s.write_all(&proto::encode_frame(&payload)).unwrap();
+        expected.insert(i + 1, i * 3 + 1);
+    }
+    let payload = proto::encode_request(&proto::Request {
+        id: 999,
+        deadline_us: 0,
+        op: Op::Shutdown,
+    })
+    .unwrap();
+    s.write_all(&proto::encode_frame(&payload)).unwrap();
+
+    // Eleven responses (order free — workers race), then EOF.
+    let mut got = std::collections::BTreeMap::new();
+    let mut shutdown_acked = false;
+    for _ in 0..11 {
+        let mut header = [0u8; proto::FRAME_HEADER_BYTES];
+        s.read_exact(&mut header)
+            .expect("drain must flush in-flight");
+        let (len, crc) = proto::decode_frame_header(&header).unwrap();
+        let mut payload = vec![0u8; len];
+        s.read_exact(&mut payload).unwrap();
+        proto::check_frame_crc(&payload, crc).unwrap();
+        let resp = proto::decode_response(&payload).unwrap();
+        match resp.body {
+            RespBody::Values(v) => {
+                got.insert(resp.id, v[0]);
+            }
+            RespBody::Ok => {
+                assert_eq!(resp.id, 999);
+                shutdown_acked = true;
+            }
+            other => panic!("unexpected drain response: {other:?}"),
+        }
+    }
+    assert!(shutdown_acked);
+    assert_eq!(got, expected, "every admitted request is answered");
+    let mut byte = [0u8; 1];
+    assert_eq!(s.read(&mut byte).unwrap_or(0), 0, "then the socket closes");
+
+    let report = server.join().expect("remote-triggered drain");
+    assert_eq!(report.served_ops, 10);
+    assert_eq!(report.frames_in, 11);
+    assert_eq!(report.frames_out, 11);
+    // The metrics spill records the drain.
+    assert_eq!(telemetry.gauge(names::NET_DRAINED).get(), 1.0);
+    assert_eq!(telemetry.gauge(names::NET_CONNECTIONS).get(), 0.0);
+    assert!(telemetry.counter(names::NET_FRAMES_IN).get() >= 11);
+
+    // And the listener is really gone.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "accept loop must be stopped after drain"
+    );
+}
